@@ -1,0 +1,118 @@
+// Command critique-bench runs the full reproduction suite: experiments
+// E1-E12, one per figure or quantitative claim of the paper (see DESIGN.md
+// for the index), and prints their tables and findings. The recorded
+// output lives in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	critique-bench             # full sweeps (a few minutes)
+//	critique-bench -quick      # reduced sweeps (seconds)
+//	critique-bench -only E4,E9
+//	critique-bench -markdown   # emit the EXPERIMENTS.md body
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced parameter sweeps")
+	only := flag.String("only", "", "comma-separated experiment ids (e.g. E1,E9,A2)")
+	markdown := flag.Bool("markdown", false, "emit EXPERIMENTS.md-formatted output")
+	jsonOut := flag.Bool("json", false, "emit results as JSON")
+	ablations := flag.Bool("ablations", true, "include the A-series design ablations")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, s := range strings.Split(*only, ",") {
+		s = strings.TrimSpace(strings.ToUpper(s))
+		if s != "" {
+			want[s] = true
+		}
+	}
+
+	results := experiments.All(experiments.Options{Quick: *quick})
+	if *ablations {
+		results = append(results, experiments.Ablations(experiments.Options{Quick: *quick})...)
+	}
+	failed := 0
+	var selected []experiments.Result
+	for _, r := range results {
+		if len(want) > 0 && !want[r.ID] {
+			continue
+		}
+		selected = append(selected, r)
+		if r.Err != nil {
+			failed++
+		}
+	}
+	switch {
+	case *jsonOut:
+		printJSON(selected)
+	case *markdown:
+		for _, r := range selected {
+			printMarkdown(r)
+		}
+	default:
+		for _, r := range selected {
+			fmt.Println(r)
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "critique-bench: %d experiments failed\n", failed)
+		os.Exit(1)
+	}
+}
+
+// jsonResult shadows experiments.Result with a marshalable error field.
+type jsonResult struct {
+	ID      string           `json:"id"`
+	Title   string           `json:"title"`
+	Anchor  string           `json:"anchor"`
+	Claim   string           `json:"claim"`
+	Tables  []*metrics.Table `json:"tables"`
+	Finding string           `json:"finding,omitempty"`
+	Error   string           `json:"error,omitempty"`
+}
+
+func printJSON(results []experiments.Result) {
+	out := make([]jsonResult, 0, len(results))
+	for _, r := range results {
+		jr := jsonResult{ID: r.ID, Title: r.Title, Anchor: r.Anchor,
+			Claim: r.Claim, Tables: r.Tables, Finding: r.Finding}
+		if r.Err != nil {
+			jr.Error = r.Err.Error()
+		}
+		out = append(out, jr)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "critique-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func printMarkdown(r experiments.Result) {
+	fmt.Printf("## %s — %s\n\n", r.ID, r.Title)
+	fmt.Printf("*Paper anchor:* %s\n\n", r.Anchor)
+	fmt.Printf("*Paper claim:* %s\n\n", r.Claim)
+	if r.Err != nil {
+		fmt.Printf("**ERROR:** %v\n\n", r.Err)
+		return
+	}
+	for _, t := range r.Tables {
+		fmt.Println("```")
+		fmt.Print(t.String())
+		fmt.Println("```")
+		fmt.Println()
+	}
+	fmt.Printf("*Measured:* %s\n\n", r.Finding)
+}

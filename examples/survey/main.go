@@ -1,0 +1,152 @@
+// A tour of Section 1.2: run each surveyed von Neumann machine on the
+// workload that exposes its weakness, and print the paper's verdicts with
+// measured numbers attached.
+//
+//	go run ./examples/survey
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/machines/cmmp"
+	"repro/internal/machines/cmstar"
+	"repro/internal/machines/connection"
+	"repro/internal/machines/ultra"
+	"repro/internal/machines/vliw"
+	"repro/internal/sim"
+	"repro/internal/vn"
+	"repro/internal/workload"
+)
+
+func main() {
+	fmt.Println("Section 1.2, measured: each machine on the workload that bites it")
+	fmt.Println()
+	cmmpDemo()
+	cmstarDemo()
+	ultraDemo()
+	vliwDemo()
+	connectionDemo()
+}
+
+// C.mmp (1.2.1): a TAS-semaphore counter serializes; adding processors
+// adds no throughput.
+func cmmpDemo() {
+	prog, err := vn.Assemble(workload.CounterLockASM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	timeFor := func(p int) sim.Cycle {
+		m := cmmp.New(cmmp.Config{Processors: p, Banks: p}, prog, 1)
+		for q := 0; q < p; q++ {
+			m.Core(q).Context(0).SetReg(5, 25)
+		}
+		cycles, err := m.Run(10_000_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if got := m.Peek(1); got != vn.Word(25*p) {
+			log.Fatalf("counter = %d", got)
+		}
+		return cycles
+	}
+	t2, t16 := timeFor(2), timeFor(16)
+	fmt.Printf("C.mmp      crossbar+semaphores: 2 procs %5d cycles, 16 procs %5d — %0.1fx the work, %.1fx the time (locks serialize)\n",
+		t2, t16, 8.0, float64(t16)/float64(t2))
+}
+
+// Cm* (1.2.2): the same reference stream, one cluster away, triples in
+// cost because the LSI-11 blocks.
+func cmstarDemo() {
+	prog, err := vn.Assemble(workload.MemLoopASM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	runAt := func(base uint32) float64 {
+		m := cmstar.New(cmstar.Config{Clusters: 4, CoresPerCluster: 1, ClusterWords: 4096}, prog)
+		for a := uint32(0); a < 4*4096; a++ {
+			m.Poke(a, 1)
+		}
+		for i := 1; i < m.NumCores(); i++ {
+			m.CoreAt(i).Context(0).SetPC(len(prog.Instrs) - 1)
+		}
+		h := m.Core(0, 0).Context(0)
+		h.SetReg(1, vn.Word(base))
+		h.SetReg(4, 50)
+		if _, err := m.Run(10_000_000); err != nil {
+			log.Fatal(err)
+		}
+		return m.Core(0, 0).Stats().Utilization()
+	}
+	fmt.Printf("Cm*        blocking remote refs: utilization %.2f on local data, %.2f one cluster away, %.2f three away\n",
+		runAt(0), runAt(4096), runAt(3*4096))
+}
+
+// Ultracomputer (1.2.3): combining flattens the hot-spot burst.
+func ultraDemo() {
+	prog, err := vn.Assemble(workload.HotspotASM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run := func(combining bool) (sim.Cycle, uint64) {
+		m := ultra.New(ultra.Config{LogProcessors: 5, Combining: combining}, prog)
+		for p := 0; p < m.NumProcessors(); p++ {
+			m.Core(p).Context(0).SetReg(4, vn.Word(1000+p))
+		}
+		cycles, err := m.Run(10_000_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return cycles, m.BankServed(0)
+	}
+	pc, ph := run(false)
+	cc, ch := run(true)
+	fmt.Printf("Ultra      32-way FETCH-AND-ADD burst: plain %d cycles (%d hot-bank requests), combining %d cycles (%d) — the adds moved into the switches\n",
+		pc, ph, cc, ch)
+}
+
+// VLIW (1.2.4): miss-rate sensitivity of a lockstep schedule.
+func vliwDemo() {
+	sched := vliw.SyntheticSchedule(2000, 4, 2, 4)
+	clean := vliw.Run(sched, vliw.Config{HitLatency: 3, MissLatency: 100, MissRate: 0, Seed: 1})
+	dirty := vliw.Run(sched, vliw.Config{HitLatency: 3, MissLatency: 100, MissRate: 0.10, Seed: 1})
+	fmt.Printf("VLIW       static schedule: %.1f ops/cycle when memory behaves, %.2f at a 10%% miss rate (everything stalls together)\n",
+		clean.OpsPerCycle(), dirty.OpsPerCycle())
+}
+
+// Connection Machine (1.2.5): communication dominates 1-bit computation.
+func connectionDemo() {
+	m := connection.New(connection.Config{LogPEs: 8}, 4)
+	n := m.NumPEs()
+	rng := sim.NewRNG(7)
+	for pe := 0; pe < n; pe++ {
+		m.Mem(pe)[0] = int64(pe)
+		m.Mem(pe)[1] = int64(n)
+	}
+	for round := 0; round < 200; round++ {
+		var msgs []connection.Message
+		for pe := 0; pe < n; pe++ {
+			msgs = append(msgs,
+				connection.Message{From: pe, To: (pe + 1) % n, Value: m.Mem(pe)[0]},
+				connection.Message{From: pe, To: rng.Intn(n), Value: m.Mem(pe)[0]})
+		}
+		changed := false
+		m.Route(msgs, func(to int, v int64) {
+			if v < m.Mem(to)[1] {
+				m.Mem(to)[1] = v
+			}
+		})
+		m.Compute(func(pe int, mem []int64) {
+			if mem[1] < mem[0] {
+				mem[0] = mem[1]
+				changed = true
+			}
+			mem[1] = int64(n)
+		})
+		if !changed {
+			break
+		}
+	}
+	fmt.Printf("CM         label propagation on 256 cells: %.0f%% of sequencer time spent routing (the paper guessed \"90%%? 99%%?\")\n",
+		100*m.CommFraction())
+}

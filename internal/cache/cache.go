@@ -1,0 +1,383 @@
+// Package cache implements processor caches and the cache-coherence
+// machinery the paper argues cannot scale (Issue 1, the Censier-Feautrier
+// coherence requirement): set-associative caches kept coherent by an MSI
+// write-invalidate protocol over a serializing snoopy bus.
+//
+// The measurable costs the experiments plot are exactly the ones the paper
+// names: invalidation traffic, bus serialization of writes to shared data,
+// and the growth of both with the number of sharing processors.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// lineState is the MSI coherence state of one cache line.
+type lineState uint8
+
+const (
+	invalid lineState = iota
+	shared
+	modified
+)
+
+// line is one cache line (block-granular; data tracked word-by-word in the
+// shared backing store for verification).
+type line struct {
+	state lineState
+	tag   uint32
+	lru   uint64
+}
+
+// Config parameterizes the cache system.
+type Config struct {
+	// Sets and Ways shape each private cache; BlockWords is the line size
+	// in words (addresses are word-granular).
+	Sets, Ways, BlockWords int
+	// BusTime is the bus occupancy of one transaction; MemTime is the
+	// extra occupancy when data comes from memory rather than a cache.
+	BusTime, MemTime sim.Cycle
+	// HitTime is the cache access time on a hit.
+	HitTime sim.Cycle
+}
+
+func (c Config) withDefaults() Config {
+	if c.Sets == 0 {
+		c.Sets = 64
+	}
+	if c.Ways == 0 {
+		c.Ways = 2
+	}
+	if c.BlockWords == 0 {
+		c.BlockWords = 4
+	}
+	if c.BusTime == 0 {
+		c.BusTime = 4
+	}
+	if c.MemTime == 0 {
+		c.MemTime = 10
+	}
+	if c.HitTime == 0 {
+		c.HitTime = 1
+	}
+	return c
+}
+
+// Access is one outstanding processor request.
+type Access struct {
+	Addr  uint32
+	Write bool
+	Value int64 // stored value for writes
+	Done  func(value int64)
+}
+
+// CacheStats counts per-processor cache events.
+type CacheStats struct {
+	Hits, Misses  metrics.Counter
+	Upgrades      metrics.Counter // S→M transitions requiring the bus
+	Invalidations metrics.Counter // lines invalidated by other processors
+	Writebacks    metrics.Counter
+}
+
+// MissRate returns misses / (hits+misses).
+func (s *CacheStats) MissRate() float64 {
+	total := s.Hits.Value() + s.Misses.Value()
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Misses.Value()) / float64(total)
+}
+
+// System is a set of private caches over a single shared memory, kept
+// coherent by a snoopy bus. Each processor has one outstanding access; the
+// bus serializes all misses and upgrades.
+type System struct {
+	cfg    Config
+	caches [][]line // [cpu][set*ways+way]
+	stats  []CacheStats
+
+	memory map[uint32]int64
+
+	// per-cpu request queues (processors block on their head request)
+	reqs [][]Access
+	// per-cpu local completion time for hits
+	hitDone []sim.Cycle
+
+	// bus
+	busBusyUntil sim.Cycle
+	busRR        int
+	busOwner     int // cpu whose transaction occupies the bus; -1 free
+	busDoneAt    sim.Cycle
+	lruTick      uint64
+
+	// BusTransactions counts serialized coherence/miss transactions;
+	// BusBusy tracks bus utilization.
+	BusTransactions metrics.Counter
+	BusBusy         metrics.Utilization
+}
+
+// NewSystem returns a coherent cache system for n processors.
+func NewSystem(cfg Config, n int) *System {
+	cfg = cfg.withDefaults()
+	s := &System{
+		cfg:      cfg,
+		caches:   make([][]line, n),
+		stats:    make([]CacheStats, n),
+		memory:   map[uint32]int64{},
+		reqs:     make([][]Access, n),
+		hitDone:  make([]sim.Cycle, n),
+		busOwner: -1,
+	}
+	for i := range s.caches {
+		s.caches[i] = make([]line, cfg.Sets*cfg.Ways)
+	}
+	return s
+}
+
+// NumCPUs returns the processor count.
+func (s *System) NumCPUs() int { return len(s.caches) }
+
+// Stats returns processor i's cache statistics.
+func (s *System) Stats(i int) *CacheStats { return &s.stats[i] }
+
+// Request enqueues an access for processor cpu.
+func (s *System) Request(cpu int, a Access) {
+	s.reqs[cpu] = append(s.reqs[cpu], a)
+}
+
+// Pending reports whether any request is outstanding.
+func (s *System) Pending() bool {
+	if s.busOwner >= 0 {
+		return true
+	}
+	for _, q := range s.reqs {
+		if len(q) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Poke initializes memory directly.
+func (s *System) Poke(addr uint32, v int64) { s.memory[addr] = v }
+
+// Peek reads memory directly (ignores dirty cached copies; use only when
+// quiescent after FlushAll or for unshared data).
+func (s *System) Peek(addr uint32) int64 { return s.memory[addr] }
+
+func (s *System) blockOf(addr uint32) uint32 { return addr / uint32(s.cfg.BlockWords) }
+
+func (s *System) setOf(block uint32) int { return int(block) % s.cfg.Sets }
+
+// findLine returns cpu's line holding block, or nil.
+func (s *System) findLine(cpu int, block uint32) *line {
+	set := s.setOf(block)
+	for w := 0; w < s.cfg.Ways; w++ {
+		l := &s.caches[cpu][set*s.cfg.Ways+w]
+		if l.state != invalid && l.tag == block {
+			return l
+		}
+	}
+	return nil
+}
+
+// victim picks the LRU way in the block's set.
+func (s *System) victim(cpu int, block uint32) *line {
+	set := s.setOf(block)
+	var v *line
+	for w := 0; w < s.cfg.Ways; w++ {
+		l := &s.caches[cpu][set*s.cfg.Ways+w]
+		if l.state == invalid {
+			return l
+		}
+		if v == nil || l.lru < v.lru {
+			v = l
+		}
+	}
+	return v
+}
+
+// Step advances one cycle.
+func (s *System) Step(now sim.Cycle) {
+	s.BusBusy.Tick(now < s.busBusyUntil)
+	// complete the bus transaction that finishes this cycle
+	if s.busOwner >= 0 && now >= s.busDoneAt {
+		cpu := s.busOwner
+		s.busOwner = -1
+		s.completeMiss(cpu, now)
+	}
+	// per-cpu: service hits locally, request the bus on misses
+	for cpu := range s.reqs {
+		if len(s.reqs[cpu]) == 0 || s.busOwner == cpu {
+			continue
+		}
+		if now < s.hitDone[cpu] {
+			continue // hit in progress
+		}
+		a := s.reqs[cpu][0]
+		block := s.blockOf(a.Addr)
+		l := s.findLine(cpu, block)
+		if l != nil && (!a.Write && l.state != invalid || a.Write && l.state == modified) {
+			// pure cache hit: complete after HitTime without the bus
+			s.stats[cpu].Hits.Inc()
+			s.lruTick++
+			l.lru = s.lruTick
+			s.hitDone[cpu] = now + s.cfg.HitTime
+			s.finish(cpu, a)
+			continue
+		}
+		// needs the bus (miss or S→M upgrade): wait for arbitration
+	}
+	// bus arbitration: grant one waiting cpu per free bus
+	if s.busOwner < 0 && now >= s.busBusyUntil {
+		n := len(s.reqs)
+		for k := 0; k < n; k++ {
+			cpu := (s.busRR + k) % n
+			if len(s.reqs[cpu]) == 0 || now < s.hitDone[cpu] {
+				continue
+			}
+			a := s.reqs[cpu][0]
+			block := s.blockOf(a.Addr)
+			l := s.findLine(cpu, block)
+			if l != nil && (!a.Write || l.state == modified) {
+				continue // a hit, handled above next cycle
+			}
+			// start transaction
+			dur := s.cfg.BusTime
+			if l == nil || l.state == invalid {
+				if !s.suppliedByPeer(cpu, block) {
+					dur += s.cfg.MemTime
+				}
+			}
+			s.busOwner = cpu
+			s.busDoneAt = now + dur
+			s.busBusyUntil = s.busDoneAt
+			s.busRR = (cpu + 1) % n
+			s.BusTransactions.Inc()
+			break
+		}
+	}
+}
+
+// suppliedByPeer reports whether another cache holds the block (cache-to-
+// cache transfer, no memory access needed).
+func (s *System) suppliedByPeer(cpu int, block uint32) bool {
+	for other := range s.caches {
+		if other == cpu {
+			continue
+		}
+		if s.findLine(other, block) != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// completeMiss applies the snoop effects and installs the line when the
+// bus transaction for cpu's head request finishes.
+func (s *System) completeMiss(cpu int, now sim.Cycle) {
+	if len(s.reqs[cpu]) == 0 {
+		return
+	}
+	a := s.reqs[cpu][0]
+	block := s.blockOf(a.Addr)
+	// snoop: writes invalidate every other copy; reads downgrade M to S
+	for other := range s.caches {
+		if other == cpu {
+			continue
+		}
+		if ol := s.findLine(other, block); ol != nil {
+			if a.Write {
+				if ol.state == modified {
+					s.stats[other].Writebacks.Inc()
+				}
+				ol.state = invalid
+				s.stats[other].Invalidations.Inc()
+			} else if ol.state == modified {
+				ol.state = shared
+				s.stats[other].Writebacks.Inc()
+			}
+		}
+	}
+	l := s.findLine(cpu, block)
+	if l == nil {
+		l = s.victim(cpu, block)
+		if l.state == modified {
+			s.stats[cpu].Writebacks.Inc()
+		}
+		l.tag = block
+		s.stats[cpu].Misses.Inc()
+	} else {
+		// S→M upgrade
+		s.stats[cpu].Upgrades.Inc()
+	}
+	if a.Write {
+		l.state = modified
+	} else {
+		l.state = shared
+	}
+	s.lruTick++
+	l.lru = s.lruTick
+	s.finish(cpu, a)
+}
+
+// finish commits the access's data effect and pops the request. Data
+// commits at completion time, which the serializing bus orders globally —
+// the coherence property under test.
+func (s *System) finish(cpu int, a Access) {
+	copy(s.reqs[cpu], s.reqs[cpu][1:])
+	s.reqs[cpu] = s.reqs[cpu][:len(s.reqs[cpu])-1]
+	if a.Write {
+		s.memory[a.Addr] = a.Value
+		if a.Done != nil {
+			a.Done(0)
+		}
+		return
+	}
+	if a.Done != nil {
+		a.Done(s.memory[a.Addr])
+	}
+}
+
+// TotalInvalidations sums invalidations across caches.
+func (s *System) TotalInvalidations() uint64 {
+	var t uint64
+	for i := range s.stats {
+		t += s.stats[i].Invalidations.Value()
+	}
+	return t
+}
+
+// CheckInvariant verifies the MSI invariant: at most one modified copy of
+// any block, and never modified alongside shared.
+func (s *System) CheckInvariant() error {
+	type holders struct{ m, sh int }
+	h := map[uint32]*holders{}
+	for cpu := range s.caches {
+		for i := range s.caches[cpu] {
+			l := &s.caches[cpu][i]
+			if l.state == invalid {
+				continue
+			}
+			e := h[l.tag]
+			if e == nil {
+				e = &holders{}
+				h[l.tag] = e
+			}
+			if l.state == modified {
+				e.m++
+			} else {
+				e.sh++
+			}
+		}
+	}
+	for block, e := range h {
+		if e.m > 1 || (e.m == 1 && e.sh > 0) {
+			return fmt.Errorf("cache: MSI violation on block %d: %d modified, %d shared", block, e.m, e.sh)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,341 @@
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// DirectorySystem is the scalable alternative to the snoopy bus: an MSI
+// protocol kept coherent by a directory at memory that records, per block,
+// which caches hold copies (Censier & Feautrier's own proposal was a
+// directory scheme). There is no broadcast medium; the directory sends
+// point-to-point invalidations, one per cycle, and each must be
+// acknowledged — so the cost of a write to widely shared data grows with
+// the number of sharers even though unshared traffic no longer fights over
+// a bus. This is precisely the trade the paper says cannot be escaped:
+// "all such schemes inevitably introduce overhead and/or decrease
+// parallelism".
+type DirectorySystem struct {
+	cfg Config
+	// netLatency is the one-way point-to-point message latency.
+	netLatency sim.Cycle
+
+	caches [][]line
+	stats  []CacheStats
+
+	dir    map[uint32]*dirEntry
+	memory map[uint32]int64
+
+	reqs      [][]Access
+	busy      []bool // cpu has an access in flight at the directory
+	hitDone   []sim.Cycle
+	dirQueue  []dirMsg
+	dirBusyAt sim.Cycle
+	events    *sim.EventQueue
+	lruTick   uint64
+	pending   int
+
+	// InvalidationMsgs counts point-to-point invalidations sent; DirOps
+	// counts directory occupancy events.
+	InvalidationMsgs metrics.Counter
+	DirOps           metrics.Counter
+	// DirQueueLen samples the directory's input queue.
+	DirQueueLen metrics.Gauge
+}
+
+type dirEntry struct {
+	sharers map[int]bool
+	owner   int // cpu holding the block Modified, or -1
+}
+
+type dirMsg struct {
+	cpu int
+	a   Access
+}
+
+// NewDirectorySystem returns a directory-coherent system for n processors
+// with the given point-to-point latency.
+func NewDirectorySystem(cfg Config, n int, netLatency sim.Cycle) *DirectorySystem {
+	cfg = cfg.withDefaults()
+	if netLatency < 1 {
+		netLatency = 1
+	}
+	s := &DirectorySystem{
+		cfg:        cfg,
+		netLatency: netLatency,
+		caches:     make([][]line, n),
+		stats:      make([]CacheStats, n),
+		dir:        map[uint32]*dirEntry{},
+		memory:     map[uint32]int64{},
+		reqs:       make([][]Access, n),
+		busy:       make([]bool, n),
+		hitDone:    make([]sim.Cycle, n),
+		events:     sim.NewEventQueue(),
+	}
+	for i := range s.caches {
+		s.caches[i] = make([]line, cfg.Sets*cfg.Ways)
+	}
+	return s
+}
+
+// NumCPUs returns the processor count.
+func (s *DirectorySystem) NumCPUs() int { return len(s.caches) }
+
+// Stats returns processor i's cache statistics.
+func (s *DirectorySystem) Stats(i int) *CacheStats { return &s.stats[i] }
+
+// Request enqueues an access for processor cpu.
+func (s *DirectorySystem) Request(cpu int, a Access) {
+	s.reqs[cpu] = append(s.reqs[cpu], a)
+	s.pending++
+}
+
+// Pending reports whether work remains.
+func (s *DirectorySystem) Pending() bool { return s.pending > 0 }
+
+// Poke initializes memory directly.
+func (s *DirectorySystem) Poke(addr uint32, v int64) { s.memory[addr] = v }
+
+// Peek reads memory directly (quiescent state only).
+func (s *DirectorySystem) Peek(addr uint32) int64 { return s.memory[addr] }
+
+func (s *DirectorySystem) blockOf(addr uint32) uint32 { return addr / uint32(s.cfg.BlockWords) }
+func (s *DirectorySystem) setOf(block uint32) int     { return int(block) % s.cfg.Sets }
+
+func (s *DirectorySystem) findLine(cpu int, block uint32) *line {
+	set := s.setOf(block)
+	for w := 0; w < s.cfg.Ways; w++ {
+		l := &s.caches[cpu][set*s.cfg.Ways+w]
+		if l.state != invalid && l.tag == block {
+			return l
+		}
+	}
+	return nil
+}
+
+func (s *DirectorySystem) victim(cpu int, block uint32) *line {
+	set := s.setOf(block)
+	var v *line
+	for w := 0; w < s.cfg.Ways; w++ {
+		l := &s.caches[cpu][set*s.cfg.Ways+w]
+		if l.state == invalid {
+			return l
+		}
+		if v == nil || l.lru < v.lru {
+			v = l
+		}
+	}
+	return v
+}
+
+func (s *DirectorySystem) entry(block uint32) *dirEntry {
+	e := s.dir[block]
+	if e == nil {
+		e = &dirEntry{sharers: map[int]bool{}, owner: -1}
+		s.dir[block] = e
+	}
+	return e
+}
+
+// Step advances one cycle.
+func (s *DirectorySystem) Step(now sim.Cycle) {
+	s.events.RunUntil(now)
+	s.DirQueueLen.Set(int64(len(s.dirQueue)))
+	s.DirQueueLen.Sample()
+
+	// processors: hits complete locally, misses travel to the directory
+	for cpu := range s.reqs {
+		if len(s.reqs[cpu]) == 0 || s.busy[cpu] || now < s.hitDone[cpu] {
+			continue
+		}
+		a := s.reqs[cpu][0]
+		block := s.blockOf(a.Addr)
+		l := s.findLine(cpu, block)
+		if l != nil && (!a.Write && l.state != invalid || a.Write && l.state == modified) {
+			s.stats[cpu].Hits.Inc()
+			s.lruTick++
+			l.lru = s.lruTick
+			s.hitDone[cpu] = now + s.cfg.HitTime
+			s.finish(cpu, a)
+			continue
+		}
+		// miss or upgrade: message to the directory
+		s.busy[cpu] = true
+		cpu, a := cpu, a
+		s.events.At(now+s.netLatency, func() {
+			s.dirQueue = append(s.dirQueue, dirMsg{cpu: cpu, a: a})
+		})
+	}
+
+	// directory: serve one message per cycle
+	if now >= s.dirBusyAt && len(s.dirQueue) > 0 {
+		m := s.dirQueue[0]
+		copy(s.dirQueue, s.dirQueue[1:])
+		s.dirQueue = s.dirQueue[:len(s.dirQueue)-1]
+		s.DirOps.Inc()
+		s.serve(now, m)
+	}
+}
+
+// serve processes one directory request and schedules the reply.
+func (s *DirectorySystem) serve(now sim.Cycle, m dirMsg) {
+	block := s.blockOf(m.a.Addr)
+	e := s.entry(block)
+	extra := sim.Cycle(0)
+
+	if m.a.Write {
+		// invalidate every other copy, one message per cycle, each needing
+		// a round trip for its acknowledgement
+		nInv := 0
+		if e.owner >= 0 && e.owner != m.cpu {
+			if ol := s.findLine(e.owner, block); ol != nil {
+				ol.state = invalid
+				s.stats[e.owner].Invalidations.Inc()
+				s.stats[e.owner].Writebacks.Inc()
+			}
+			s.InvalidationMsgs.Inc()
+			nInv++
+		}
+		for sh := range e.sharers {
+			if sh == m.cpu {
+				continue
+			}
+			if ol := s.findLine(sh, block); ol != nil {
+				ol.state = invalid
+				s.stats[sh].Invalidations.Inc()
+			}
+			s.InvalidationMsgs.Inc()
+			nInv++
+		}
+		// serialization (one invalidation per cycle) plus one ack round trip
+		if nInv > 0 {
+			extra = sim.Cycle(nInv) + 2*s.netLatency
+		}
+		hadCopy := e.sharers[m.cpu] || e.owner == m.cpu
+		if !hadCopy {
+			extra += s.cfg.MemTime
+		}
+		e.sharers = map[int]bool{}
+		e.owner = m.cpu
+	} else {
+		if e.owner >= 0 && e.owner != m.cpu {
+			// fetch from the owner: forward + reply, plus downgrade
+			if ol := s.findLine(e.owner, block); ol != nil {
+				ol.state = shared
+				s.stats[e.owner].Writebacks.Inc()
+			}
+			e.sharers[e.owner] = true
+			e.owner = -1
+			extra = 2 * s.netLatency
+		} else if e.owner != m.cpu {
+			extra = s.cfg.MemTime
+		}
+		e.sharers[m.cpu] = true
+	}
+	// The directory serves the next request only after this one's install
+	// lands: full serialization in place of transient protocol states.
+	s.dirBusyAt = now + 1 + extra + s.netLatency
+
+	cpu, a := m.cpu, m.a
+	s.events.At(now+extra+s.netLatency, func() {
+		s.install(cpu, a)
+	})
+}
+
+// install places the block in the requester's cache and completes.
+func (s *DirectorySystem) install(cpu int, a Access) {
+	block := s.blockOf(a.Addr)
+	l := s.findLine(cpu, block)
+	if l == nil {
+		l = s.victim(cpu, block)
+		if l.state == modified {
+			s.stats[cpu].Writebacks.Inc()
+			// eviction: remove ourselves from the directory for the old block
+			old := s.entry(l.tag)
+			if old.owner == cpu {
+				old.owner = -1
+			}
+			delete(old.sharers, cpu)
+		} else if l.state == shared {
+			delete(s.entry(l.tag).sharers, cpu)
+		}
+		l.tag = block
+		s.stats[cpu].Misses.Inc()
+	} else {
+		s.stats[cpu].Upgrades.Inc()
+	}
+	if a.Write {
+		l.state = modified
+	} else {
+		l.state = shared
+	}
+	s.lruTick++
+	l.lru = s.lruTick
+	s.busy[cpu] = false
+	s.finish(cpu, a)
+}
+
+// finish commits the data effect and pops the request.
+func (s *DirectorySystem) finish(cpu int, a Access) {
+	copy(s.reqs[cpu], s.reqs[cpu][1:])
+	s.reqs[cpu] = s.reqs[cpu][:len(s.reqs[cpu])-1]
+	s.pending--
+	if a.Write {
+		s.memory[a.Addr] = a.Value
+		if a.Done != nil {
+			a.Done(0)
+		}
+		return
+	}
+	if a.Done != nil {
+		a.Done(s.memory[a.Addr])
+	}
+}
+
+// CheckInvariant verifies the MSI single-writer invariant plus directory
+// consistency: the directory's owner/sharer records match cache states.
+func (s *DirectorySystem) CheckInvariant() error {
+	for cpu := range s.caches {
+		for i := range s.caches[cpu] {
+			l := &s.caches[cpu][i]
+			if l.state == invalid {
+				continue
+			}
+			e := s.dir[l.tag]
+			if e == nil {
+				return fmt.Errorf("cache: cpu %d holds block %d unknown to the directory", cpu, l.tag)
+			}
+			switch l.state {
+			case modified:
+				if e.owner != cpu {
+					return fmt.Errorf("cache: cpu %d modified block %d but directory owner is %d", cpu, l.tag, e.owner)
+				}
+			case shared:
+				if !e.sharers[cpu] && e.owner != cpu {
+					return fmt.Errorf("cache: cpu %d shares block %d without a directory record", cpu, l.tag)
+				}
+			}
+		}
+	}
+	for block, e := range s.dir {
+		if e.owner >= 0 {
+			for sh := range e.sharers {
+				if sh != e.owner {
+					return fmt.Errorf("cache: block %d has owner %d and sharer %d simultaneously", block, e.owner, sh)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// TotalInvalidations sums invalidations observed by caches.
+func (s *DirectorySystem) TotalInvalidations() uint64 {
+	var t uint64
+	for i := range s.stats {
+		t += s.stats[i].Invalidations.Value()
+	}
+	return t
+}

@@ -1,0 +1,43 @@
+// Package cli holds the small helpers shared by the command-line tools:
+// parsing user-supplied program arguments into token values.
+package cli
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/token"
+)
+
+// ParseArgs converts a space-separated argument string ("0 1.5 true") into
+// token values: integers, floats, and booleans.
+func ParseArgs(s string) ([]token.Value, error) {
+	fields := strings.Fields(s)
+	out := make([]token.Value, 0, len(fields))
+	for _, f := range fields {
+		v, err := ParseArg(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ParseArg converts one literal.
+func ParseArg(f string) (token.Value, error) {
+	switch f {
+	case "true":
+		return token.Bool(true), nil
+	case "false":
+		return token.Bool(false), nil
+	}
+	if i, err := strconv.ParseInt(f, 10, 64); err == nil {
+		return token.Int(i), nil
+	}
+	if fl, err := strconv.ParseFloat(f, 64); err == nil {
+		return token.Float(fl), nil
+	}
+	return token.Nil(), fmt.Errorf("cli: bad argument %q (want an integer, float, or boolean)", f)
+}

@@ -1,0 +1,41 @@
+package cli
+
+import (
+	"testing"
+
+	"repro/internal/token"
+)
+
+func TestParseArgs(t *testing.T) {
+	got, err := ParseArgs("1 -3 2.5 true false 1e2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []token.Value{
+		token.Int(1), token.Int(-3), token.Float(2.5),
+		token.Bool(true), token.Bool(false), token.Float(100),
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d values", len(got))
+	}
+	for i := range want {
+		if !got[i].Equal(want[i]) || got[i].Kind != want[i].Kind {
+			t.Fatalf("arg %d: %v (kind %v), want %v (kind %v)", i, got[i], got[i].Kind, want[i], want[i].Kind)
+		}
+	}
+}
+
+func TestParseArgsEmpty(t *testing.T) {
+	got, err := ParseArgs("   ")
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty input: %v, %v", got, err)
+	}
+}
+
+func TestParseArgsBad(t *testing.T) {
+	for _, s := range []string{"abc", "1 2 x", "--"} {
+		if _, err := ParseArgs(s); err == nil {
+			t.Errorf("ParseArgs(%q) should fail", s)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/id"
+	"repro/internal/token"
+)
+
+// Build a 4-PE tagged-token machine and run a compiled program on it.
+func ExampleNewMachine() {
+	prog, err := id.Compile(`
+def fib(n) = if n < 2 then n else fib(n - 1) + fib(n - 2);
+def main(n) = fib(n);
+`)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	m := core.NewMachine(core.Config{PEs: 4, NetLatency: 2}, prog)
+	res, err := m.Run(1_000_000, token.Int(10))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	s := m.Summarize()
+	fmt.Printf("fib(10) = %s\n", res[0])
+	fmt.Printf("every context reclaimed: %t\n", s.CtxAllocated == s.CtxFreed)
+	// Output:
+	// fib(10) = 55
+	// every context reclaimed: true
+}

@@ -1,0 +1,299 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/istructure"
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/token"
+)
+
+// Machine is a complete tagged-token dataflow machine: PEs, network,
+// I-structure modules, context manager, and structure allocator.
+type Machine struct {
+	cfg  Config
+	prog *graph.Program
+	pes  []*PE
+	net  network.Network
+	is   []*istructure.Module
+
+	// context manager state (conceptually distributed; centralized here
+	// with its cost charged through the PE controller's d=2 path)
+	nextCtx  token.Context
+	ctxs     map[token.Context]*ctxRecord
+	ctxFreed uint64
+	ctxPeak  int
+
+	// I-structure allocator: bump pointer over the interleaved space
+	nextAddr uint32
+	isLimit  uint32
+
+	results []token.Value
+	runErr  error
+	now     sim.Cycle
+	stats   MachineStats
+}
+
+type ctxRecord struct {
+	block       graph.BlockID
+	parent      token.ActivityName
+	parentBlock graph.BlockID
+	returnDests []graph.Dest
+	// reclamation state (see graph.Interp: non-strict calls may return
+	// before all arguments arrive)
+	argsSent int
+	returned bool
+}
+
+// isRequest is the payload of a d=1 network packet.
+type isRequest struct {
+	op      istructure.Op
+	addr    uint32
+	value   token.Value
+	replyTo replyTag
+}
+
+// replyTag addresses the consumer of a FETCH response.
+type replyTag struct {
+	activity token.ActivityName
+	port     uint8
+	nt       uint8
+}
+
+// NewMachine builds a machine for the given program.
+func NewMachine(cfg Config, prog *graph.Program) *Machine {
+	cfg = cfg.withDefaults()
+	m := &Machine{
+		cfg:     cfg,
+		prog:    prog,
+		nextCtx: 1,
+		ctxs:    map[token.Context]*ctxRecord{},
+		isLimit: cfg.ISCellsPerPE * uint32(cfg.PEs),
+	}
+	m.net = cfg.Net
+	if m.net == nil {
+		m.net = network.NewIdeal(cfg.PEs, cfg.NetLatency)
+	}
+	if m.net.Ports() != cfg.PEs {
+		panic(fmt.Sprintf("core: network has %d ports for %d PEs", m.net.Ports(), cfg.PEs))
+	}
+	m.net.SetDelivery(m.deliver)
+	m.pes = make([]*PE, cfg.PEs)
+	m.is = make([]*istructure.Module, cfg.PEs)
+	for i := 0; i < cfg.PEs; i++ {
+		m.pes[i] = newPE(m, i)
+		i := i
+		m.is[i] = istructure.New(istructure.Config{
+			Base:      0,
+			Size:      cfg.ISCellsPerPE,
+			ReadTime:  cfg.ISReadTime,
+			WriteTime: cfg.ISWriteTime,
+			Respond:   func(r istructure.Response) { m.isRespond(i, r) },
+		})
+	}
+	return m
+}
+
+// Program returns the loaded program.
+func (m *Machine) Program() *graph.Program { return m.prog }
+
+// Now returns the current cycle.
+func (m *Machine) Now() sim.Cycle { return m.now }
+
+// deliver routes a network packet arriving at its destination PE.
+func (m *Machine) deliver(p *network.Packet) {
+	switch payload := p.Payload.(type) {
+	case token.Token:
+		m.pes[p.Dst].accept(payload)
+	case isRequest:
+		m.enqueueIS(p.Dst, payload)
+	default:
+		panic(fmt.Sprintf("core: unknown network payload %T", p.Payload))
+	}
+}
+
+// homeModule maps a global I-structure address to its PE.
+func (m *Machine) homeModule(addr uint32) int { return int(addr) % m.cfg.PEs }
+
+// localAddr converts a global address to a module-local one.
+func (m *Machine) localAddr(addr uint32) uint32 { return addr / uint32(m.cfg.PEs) }
+
+// enqueueIS hands a d=1 request to the I-structure module at pe.
+func (m *Machine) enqueueIS(pe int, r isRequest) {
+	req := istructure.Request{
+		Op:    r.op,
+		Addr:  m.localAddr(r.addr),
+		Value: r.value,
+	}
+	if r.op == istructure.OpRead {
+		req.ReplyTo = r.replyTo
+	}
+	if err := m.is[pe].Enqueue(req); err != nil {
+		m.fail(fmt.Errorf("core: I-structure request failed: %v", err))
+	}
+}
+
+// isRespond forwards a FETCH response as a d=0 token from the module's PE.
+func (m *Machine) isRespond(pe int, r istructure.Response) {
+	rt := r.ReplyTo.(replyTag)
+	t := token.Token{
+		Class: token.Normal,
+		Tag:   token.Tag{Activity: rt.activity},
+		NT:    rt.nt,
+		Port:  rt.port,
+		Value: r.Value.(token.Value),
+	}
+	t.PE = t.Tag.HomePE(m.cfg.PEs)
+	m.pes[pe].emit(t)
+	m.stats.ISResponses++
+}
+
+// allocate reserves n I-structure cells and returns the base address.
+func (m *Machine) allocate(n uint32) (uint32, error) {
+	if m.nextAddr+n > m.isLimit || m.nextAddr+n < m.nextAddr {
+		return 0, fmt.Errorf("core: I-structure space exhausted (%d cells, limit %d)", n, m.isLimit)
+	}
+	base := m.nextAddr
+	m.nextAddr += n
+	return base, nil
+}
+
+// getContext allocates a fresh invocation context.
+func (m *Machine) getContext(target graph.BlockID, parent token.ActivityName, parentBlock graph.BlockID, returnDests []graph.Dest) token.Context {
+	u := m.nextCtx
+	m.nextCtx++
+	m.ctxs[u] = &ctxRecord{block: target, parent: parent, parentBlock: parentBlock, returnDests: returnDests}
+	if live := len(m.ctxs); live > m.ctxPeak {
+		m.ctxPeak = live
+	}
+	return u
+}
+
+// maybeFreeContext reclaims an invocation record once its return fired and
+// every callee entry received its argument.
+func (m *Machine) maybeFreeContext(u token.Context, rec *ctxRecord) {
+	if rec.returned && rec.argsSent >= len(m.prog.Block(rec.block).Entries) {
+		delete(m.ctxs, u)
+		m.ctxFreed++
+	}
+}
+
+// fail records the first execution fault; the run loop stops on it.
+func (m *Machine) fail(err error) {
+	if m.runErr == nil {
+		m.runErr = err
+	}
+}
+
+// quiescent reports whether no work remains anywhere in the machine.
+func (m *Machine) quiescent() bool {
+	if m.net.Pending() != 0 {
+		return false
+	}
+	for _, pe := range m.pes {
+		if !pe.idle() {
+			return false
+		}
+	}
+	for _, mod := range m.is {
+		if !mod.Idle() {
+			return false
+		}
+	}
+	return true
+}
+
+// step advances the machine one cycle: network, I-structure modules, then
+// PEs, in fixed order for determinism.
+func (m *Machine) step() {
+	m.net.Step(m.now)
+	for _, mod := range m.is {
+		mod.Step(m.now)
+	}
+	for _, pe := range m.pes {
+		pe.step(m.now)
+	}
+	for _, pe := range m.pes {
+		pe.sample()
+	}
+	m.now++
+}
+
+// Run injects the entry arguments and executes to quiescence. It returns
+// the program results (values returned in context 0).
+func (m *Machine) Run(limit sim.Cycle, args ...token.Value) ([]token.Value, error) {
+	entry := m.prog.Entry()
+	if len(args) != len(entry.Entries) {
+		return nil, fmt.Errorf("core: program %q wants %d arguments, got %d", m.prog.Name, len(entry.Entries), len(args))
+	}
+	if err := m.prog.Validate(); err != nil {
+		return nil, err
+	}
+	for j, v := range args {
+		act := token.ActivityName{Context: 0, CodeBlock: uint16(entry.ID), Statement: entry.Entries[j], Initiation: 1}
+		t := token.Token{
+			Class: token.Normal,
+			Tag:   token.Tag{Activity: act},
+			NT:    entry.Instr(entry.Entries[j]).NT,
+			Port:  0,
+			Value: v,
+		}
+		t.PE = t.Tag.HomePE(m.cfg.PEs)
+		m.pes[t.PE].accept(t)
+	}
+	start := m.now
+	for m.now-start < limit {
+		if m.runErr != nil {
+			return nil, m.runErr
+		}
+		if m.quiescent() {
+			if err := m.checkClean(); err != nil {
+				return nil, err
+			}
+			m.stats.Cycles = uint64(m.now - start)
+			return m.results, nil
+		}
+		m.step()
+	}
+	return nil, fmt.Errorf("core: program %q did not finish within %d cycles", m.prog.Name, limit)
+}
+
+// checkClean verifies quiescence is completion, not deadlock: no tokens
+// stranded in waiting-matching stores and no unsatisfied deferred reads.
+func (m *Machine) checkClean() error {
+	stranded := 0
+	for _, pe := range m.pes {
+		stranded += len(pe.waiting)
+	}
+	if stranded != 0 {
+		return fmt.Errorf("core: program %q halted with %d unmatched tokens in waiting-matching stores", m.prog.Name, stranded)
+	}
+	deferred := 0
+	for _, mod := range m.is {
+		deferred += mod.OutstandingDeferred()
+	}
+	if deferred != 0 {
+		return fmt.Errorf("core: program %q deadlocked: %d deferred reads never satisfied", m.prog.Name, deferred)
+	}
+	return nil
+}
+
+// Network returns the machine's interconnect (for statistics).
+func (m *Machine) Network() network.Network { return m.net }
+
+// ISModules returns the per-PE I-structure modules.
+func (m *Machine) ISModules() []*istructure.Module { return m.is }
+
+// PEStats returns per-PE statistics.
+func (m *Machine) PEStats() []*PEStats {
+	out := make([]*PEStats, len(m.pes))
+	for i, pe := range m.pes {
+		out[i] = &pe.stats
+	}
+	return out
+}
+
+// Stats returns machine-level statistics.
+func (m *Machine) Stats() *MachineStats { return &m.stats }

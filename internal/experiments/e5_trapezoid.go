@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/id"
+	"repro/internal/metrics"
+	"repro/internal/token"
+	"repro/internal/workload"
+)
+
+// E5Trapezoid reproduces Figure 2-2: the paper's trapezoidal-rule ID loop
+// is compiled by our MiniID front end into a tagged-token graph using L,
+// D, D⁻¹ and L⁻¹, verified against the closed form, and run across
+// machine sizes to show iterations unfolding over PEs.
+func E5Trapezoid(opt Options) Result {
+	r := Result{
+		ID:     "E5",
+		Title:  "Figure 2-2: the trapezoid loop, compiled and executed",
+		Anchor: "Section 2.2.1, Figure 2-2",
+		Claim:  "the ID loop compiles to a reentrant graph whose iterations unfold dynamically via tag manipulation",
+	}
+	prog, err := id.Compile(workload.TrapezoidID)
+	if err != nil {
+		r.Err = err
+		return r
+	}
+
+	// Static shape: the compiled graph must contain the paper's operators.
+	st := prog.Stats()
+	shape := metrics.NewTable("E5: compiled graph composition (the textual Figure 2-2)",
+		"metric", "value")
+	shape.AddRow("code blocks", len(prog.Blocks))
+	shape.AddRow("instructions", prog.NumInstructions())
+	shape.AddRow("L operators", st[graph.OpL])
+	shape.AddRow("D operators", st[graph.OpD])
+	shape.AddRow("D-1 operators", st[graph.OpDInv])
+	shape.AddRow("L-1 operators", st[graph.OpLInv])
+	shape.AddRow("SWITCH operators", st[graph.OpSwitch])
+	shape.AddRow("GETC (contexts)", st[graph.OpGetContext])
+	r.Tables = append(r.Tables, shape)
+
+	nIntervals := 200.0
+	if opt.Quick {
+		nIntervals = 60
+	}
+	args := []token.Value{token.Float(0), token.Float(1), token.Float(nIntervals)}
+	want := 1.0 / 3.0
+
+	pes := pick(opt, []int{1, 2, 4, 8, 16}, []int{1, 4})
+	var cyc, util metrics.Series
+	cyc.Name = "speedup"
+	util.Name = "ALU util"
+	var base uint64
+	var measured float64
+	for _, p := range pes {
+		m := core.NewMachine(core.Config{PEs: p}, prog)
+		res, err := m.Run(200_000_000, args...)
+		if err != nil {
+			r.Err = err
+			return r
+		}
+		measured = res[0].F
+		if math.Abs(measured-want) > 1e-3 {
+			r.Err = fmt.Errorf("E5: integral = %v, want ~%v", measured, want)
+			return r
+		}
+		s := m.Summarize()
+		if base == 0 {
+			base = s.Cycles
+		}
+		cyc.Add(float64(p), float64(base)/float64(s.Cycles))
+		util.Add(float64(p), s.ALUUtilization)
+	}
+	r.Tables = append(r.Tables, metrics.SeriesTable(
+		fmt.Sprintf("E5: trapezoid(0,1,n=%g) on the TTDA; integral measured %.6f (exact 1/3 - O(h^2))", nIntervals, measured),
+		"PEs", cyc, util))
+
+	// A second compiled-loop workload whose iterations are independent
+	// enough to unfold across the machine: the wavefront DP table, whose
+	// anti-diagonals run in parallel through I-structure synchronization.
+	wf, err := id.Compile(workload.WavefrontID)
+	if err != nil {
+		r.Err = err
+		return r
+	}
+	wfN := int64(12)
+	if opt.Quick {
+		wfN = 8
+	}
+	var wfSpeed metrics.Series
+	wfSpeed.Name = "wavefront speedup"
+	var wfBase uint64
+	for _, p := range pes {
+		m := core.NewMachine(core.Config{PEs: p}, wf)
+		res, err := m.Run(500_000_000, token.Int(wfN))
+		if err != nil {
+			r.Err = err
+			return r
+		}
+		if res[0].I != workload.WavefrontExpected(int(wfN)) {
+			r.Err = fmt.Errorf("E5: wavefront computed %s", res[0])
+			return r
+		}
+		s := m.Summarize()
+		if wfBase == 0 {
+			wfBase = s.Cycles
+		}
+		wfSpeed.Add(float64(p), float64(wfBase)/float64(s.Cycles))
+	}
+	r.Tables = append(r.Tables, metrics.SeriesTable(
+		fmt.Sprintf("E5: wavefront(%d) — loops with real parallelism unfold across PEs", wfN),
+		"PEs", wfSpeed))
+
+	r.Finding = fmt.Sprintf(
+		"the compiled loops compute correctly on every machine size; the serial trapezoid accumulation caps its speedup at %.2fx while the wavefront's unfolding iterations reach %.2fx at %d PEs",
+		cyc.Points[len(cyc.Points)-1].Y, wfSpeed.Points[len(wfSpeed.Points)-1].Y, pes[len(pes)-1])
+	return r
+}

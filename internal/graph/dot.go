@@ -1,0 +1,85 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dot renders the program as a Graphviz digraph, one cluster per code
+// block — Figure 2-2 as an actual picture. Solid edges are data arcs,
+// dashed edges the false branches of switches, dotted edges the
+// caller-side return paths recorded by GETC. Cross-block linkage (L,
+// SENDARG, RETURN) is drawn to the target block's entry nodes in bold.
+func (p *Program) Dot() string {
+	var b strings.Builder
+	b.WriteString("digraph ttda {\n")
+	b.WriteString("  rankdir=TB;\n  node [shape=box, fontname=\"monospace\", fontsize=10];\n")
+	nodeID := func(blk BlockID, s uint16) string { return fmt.Sprintf("b%d_s%d", blk, s) }
+	for _, blk := range p.Blocks {
+		fmt.Fprintf(&b, "  subgraph cluster_b%d {\n    label=\"block %d: %s\";\n", blk.ID, blk.ID, blk.Name)
+		entries := map[uint16]bool{}
+		for _, e := range blk.Entries {
+			entries[e] = true
+		}
+		for s := range blk.Instrs {
+			in := &blk.Instrs[s]
+			if in.Op == OpNop {
+				continue
+			}
+			label := fmt.Sprintf("s%d %s", s, in.Op)
+			if in.HasLiteral {
+				label += fmt.Sprintf("\\nlit=%s", in.Literal)
+			}
+			if in.Comment != "" {
+				label += fmt.Sprintf("\\n%s", escapeDot(in.Comment))
+			}
+			attrs := ""
+			switch {
+			case entries[uint16(s)]:
+				attrs = ", style=filled, fillcolor=lightblue"
+			case in.Op == OpSwitch:
+				attrs = ", shape=diamond"
+			case in.Op == OpGetContext || in.Op == OpSendArg || in.Op == OpL ||
+				in.Op == OpReturn || in.Op == OpLInv || in.Op == OpD || in.Op == OpDInv:
+				attrs = ", style=filled, fillcolor=lightyellow"
+			case in.Op == OpFetch || in.Op == OpStore || in.Op == OpAllocate:
+				attrs = ", style=filled, fillcolor=lightgrey"
+			}
+			fmt.Fprintf(&b, "    %s [label=\"%s\"%s];\n", nodeID(blk.ID, uint16(s)), label, attrs)
+		}
+		b.WriteString("  }\n")
+	}
+	for _, blk := range p.Blocks {
+		for s := range blk.Instrs {
+			in := &blk.Instrs[s]
+			if in.Op == OpNop {
+				continue
+			}
+			from := nodeID(blk.ID, uint16(s))
+			for _, d := range in.Dests {
+				fmt.Fprintf(&b, "  %s -> %s [label=\"%d\"];\n", from, nodeID(blk.ID, d.Stmt), d.Port)
+			}
+			for _, d := range in.DestsFalse {
+				fmt.Fprintf(&b, "  %s -> %s [style=dashed, label=\"F\"];\n", from, nodeID(blk.ID, d.Stmt))
+			}
+			for _, d := range in.ReturnDests {
+				fmt.Fprintf(&b, "  %s -> %s [style=dotted, label=\"ret\"];\n", from, nodeID(blk.ID, d.Stmt))
+			}
+			if (in.Op == OpSendArg || in.Op == OpL) && int(in.Target) < len(p.Blocks) {
+				tb := p.Blocks[in.Target]
+				if int(in.ArgIndex) < len(tb.Entries) {
+					fmt.Fprintf(&b, "  %s -> %s [style=bold, color=blue, label=\"arg%d\"];\n",
+						from, nodeID(in.Target, tb.Entries[in.ArgIndex]), in.ArgIndex)
+				}
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func escapeDot(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return s
+}

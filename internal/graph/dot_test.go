@@ -1,0 +1,50 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDotOutputWellFormed(t *testing.T) {
+	p := buildSumLoop(t)
+	d := p.Dot()
+	if !strings.HasPrefix(d, "digraph ttda {") || !strings.HasSuffix(d, "}\n") {
+		t.Fatalf("not a digraph:\n%s", d)
+	}
+	for _, want := range []string{"subgraph cluster_b0", "subgraph cluster_b1", "SWITCH", "style=dashed", "style=bold", "ret"} {
+		if !strings.Contains(d, want) {
+			t.Fatalf("dot missing %q", want)
+		}
+	}
+	// every edge endpoint must be a declared node
+	decl := map[string]bool{}
+	for _, line := range strings.Split(d, "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "b") && strings.Contains(line, "[label=") && !strings.Contains(line, "->") {
+			decl[line[:strings.Index(line, " ")]] = true
+		}
+	}
+	for _, line := range strings.Split(d, "\n") {
+		line = strings.TrimSpace(line)
+		if i := strings.Index(line, " -> "); i > 0 {
+			from := line[:i]
+			rest := line[i+4:]
+			to := rest
+			if j := strings.IndexAny(rest, " ["); j > 0 {
+				to = rest[:j]
+			}
+			if !decl[from] || !decl[to] {
+				t.Fatalf("edge references undeclared node: %q", line)
+			}
+		}
+	}
+}
+
+func TestDotSkipsNops(t *testing.T) {
+	p := buildWithIdentityChain(t)
+	Optimize(p)
+	d := p.Dot()
+	if strings.Contains(d, "NOP") {
+		t.Fatalf("NOP slots must not be drawn:\n%s", d)
+	}
+}

@@ -1,0 +1,64 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dump renders the program as readable text, one instruction per line with
+// its destination lists — the textual analogue of the paper's Figure 2-2.
+func (p *Program) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %q: %d code blocks, %d instructions\n",
+		p.Name, len(p.Blocks), p.NumInstructions())
+	for _, blk := range p.Blocks {
+		fmt.Fprintf(&b, "\nblock %d %q", blk.ID, blk.Name)
+		if len(blk.Entries) > 0 {
+			fmt.Fprintf(&b, "  entries=%v", blk.Entries)
+		}
+		b.WriteByte('\n')
+		for s := range blk.Instrs {
+			in := &blk.Instrs[s]
+			fmt.Fprintf(&b, "  s%-3d %-8s", s, in.Op)
+			if in.HasLiteral {
+				fmt.Fprintf(&b, " lit@%d=%s", in.LiteralPort, in.Literal)
+			}
+			if len(in.Dests) > 0 {
+				fmt.Fprintf(&b, " -> %s", destsString(in.Dests))
+			}
+			if len(in.DestsFalse) > 0 {
+				fmt.Fprintf(&b, " | false-> %s", destsString(in.DestsFalse))
+			}
+			if in.Op == OpGetContext {
+				fmt.Fprintf(&b, " target=b%d ret->%s", in.Target, destsString(in.ReturnDests))
+			}
+			if in.Op == OpSendArg || in.Op == OpL {
+				fmt.Fprintf(&b, " arg=%d", in.ArgIndex)
+			}
+			if in.Comment != "" {
+				fmt.Fprintf(&b, "   ; %s", in.Comment)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+func destsString(dests []Dest) string {
+	parts := make([]string, len(dests))
+	for i, d := range dests {
+		parts[i] = d.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// Stats summarizes the static composition of a program by opcode.
+func (p *Program) Stats() map[Opcode]int {
+	m := map[Opcode]int{}
+	for _, blk := range p.Blocks {
+		for s := range blk.Instrs {
+			m[blk.Instrs[s].Op]++
+		}
+	}
+	return m
+}

@@ -1,0 +1,135 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/token"
+)
+
+func roundTrip(t *testing.T, p *Program) *Program {
+	t.Helper()
+	data, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	q, err := UnmarshalProgram(data)
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	return q
+}
+
+func TestEncodeRoundTripPreservesDump(t *testing.T) {
+	for _, mk := range []func(*testing.T) *Program{buildArith, buildSquareCall} {
+		p := mk(t)
+		q := roundTrip(t, p)
+		if p.Dump() != q.Dump() {
+			t.Fatalf("round trip changed the program:\n--- original\n%s\n--- decoded\n%s", p.Dump(), q.Dump())
+		}
+	}
+}
+
+func TestEncodeRoundTripLoop(t *testing.T) {
+	p := buildSumLoop(t)
+	q := roundTrip(t, p)
+	if p.Dump() != q.Dump() {
+		t.Fatal("loop program changed across encode/decode")
+	}
+	res, err := NewInterp(q).Run(token.Int(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].I != 55 {
+		t.Fatalf("decoded program computed %s", res[0])
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	p := buildSumLoop(t)
+	a, _ := p.MarshalBinary()
+	b, _ := p.MarshalBinary()
+	if !bytes.Equal(a, b) {
+		t.Fatal("encoding must be deterministic")
+	}
+}
+
+func TestEncodeLiteralKinds(t *testing.T) {
+	b := NewBuilder("lits")
+	bb := b.NewBlock("main", 1)
+	f := bb.OpLit(OpAdd, token.Float(2.5), 1, "float lit")
+	ret := bb.Op(OpReturn, "")
+	bb.Connect(bb.Entry(0), f, 0)
+	bb.Connect(f, ret, 0)
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := roundTrip(t, p)
+	in := q.Entry().Instr(f)
+	if !in.HasLiteral || in.Literal.Kind != token.KindFloat || in.Literal.F != 2.5 {
+		t.Fatalf("literal lost: %+v", in)
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("XXXX"),
+		[]byte("TTD"),
+		[]byte("TTDA\xff\xff"), // bad version
+	}
+	for _, c := range cases {
+		if _, err := UnmarshalProgram(c); err == nil {
+			t.Fatalf("UnmarshalProgram(%q) succeeded", c)
+		}
+	}
+}
+
+func TestUnmarshalRejectsTruncation(t *testing.T) {
+	p := buildSumLoop(t)
+	data, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(data); cut += 7 {
+		if _, err := UnmarshalProgram(data[:cut]); err == nil {
+			t.Fatalf("truncation at %d of %d accepted", cut, len(data))
+		}
+	}
+}
+
+func TestUnmarshalRejectsTrailingBytes(t *testing.T) {
+	p := buildArith(t)
+	data, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalProgram(append(data, 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestUnmarshalValidatesSemantics(t *testing.T) {
+	// corrupt a destination statement to point out of range; the decoder
+	// must reject via validation rather than return a booby-trapped graph
+	p := buildArith(t)
+	data, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rejected := 0
+	for i := range data {
+		if i < 6 {
+			continue // magic/version
+		}
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x7F
+		if _, err := UnmarshalProgram(mut); err != nil {
+			rejected++
+		}
+	}
+	if rejected == 0 {
+		t.Fatal("no mutation was ever rejected — decoder not validating")
+	}
+}

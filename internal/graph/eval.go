@@ -1,0 +1,189 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/token"
+)
+
+// Eval computes a pure opcode on its operands. Arithmetic follows MiniID's
+// numeric tower: if either operand is a float the result is a float,
+// otherwise integer arithmetic is used (division truncates toward zero).
+// Eval is shared by the reference interpreter, the cycle-accurate machine's
+// ALU, and the emulator, so the three substrates cannot disagree on
+// arithmetic.
+func Eval(op Opcode, a, b token.Value) (token.Value, error) {
+	switch op {
+	case OpIdentity:
+		return a, nil
+	case OpConst:
+		return b, nil
+	case OpNeg, OpAbs, OpSqrt, OpFloor:
+		return evalUnary(op, a)
+	case OpNot:
+		v, err := a.AsBool()
+		if err != nil {
+			return token.Nil(), err
+		}
+		return token.Bool(!v), nil
+	case OpAnd, OpOr:
+		x, err := a.AsBool()
+		if err != nil {
+			return token.Nil(), err
+		}
+		y, err := b.AsBool()
+		if err != nil {
+			return token.Nil(), err
+		}
+		if op == OpAnd {
+			return token.Bool(x && y), nil
+		}
+		return token.Bool(x || y), nil
+	case OpEQ:
+		return token.Bool(a.Equal(b)), nil
+	case OpNE:
+		return token.Bool(!a.Equal(b)), nil
+	case OpLT, OpLE, OpGT, OpGE:
+		x, err := a.AsFloat()
+		if err != nil {
+			return token.Nil(), err
+		}
+		y, err := b.AsFloat()
+		if err != nil {
+			return token.Nil(), err
+		}
+		switch op {
+		case OpLT:
+			return token.Bool(x < y), nil
+		case OpLE:
+			return token.Bool(x <= y), nil
+		case OpGT:
+			return token.Bool(x > y), nil
+		default:
+			return token.Bool(x >= y), nil
+		}
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpMin, OpMax:
+		return evalArith(op, a, b)
+	case OpIAddr:
+		ref, err := a.AsRef()
+		if err != nil {
+			return token.Nil(), err
+		}
+		idx, err := b.AsInt()
+		if err != nil {
+			return token.Nil(), err
+		}
+		if idx < 0 || uint64(idx) >= uint64(ref.Len) {
+			return token.Nil(), fmt.Errorf("graph: index %d out of bounds for structure of %d elements", idx, ref.Len)
+		}
+		return token.Int(int64(ref.Base) + idx), nil
+	case OpLen:
+		ref, err := a.AsRef()
+		if err != nil {
+			return token.Nil(), err
+		}
+		return token.Int(int64(ref.Len)), nil
+	default:
+		return token.Nil(), fmt.Errorf("graph: Eval of non-pure opcode %s", op)
+	}
+}
+
+func evalUnary(op Opcode, a token.Value) (token.Value, error) {
+	if a.Kind == token.KindInt {
+		switch op {
+		case OpNeg:
+			return token.Int(-a.I), nil
+		case OpAbs:
+			if a.I < 0 {
+				return token.Int(-a.I), nil
+			}
+			return a, nil
+		case OpFloor:
+			return a, nil
+		}
+	}
+	x, err := a.AsFloat()
+	if err != nil {
+		return token.Nil(), err
+	}
+	switch op {
+	case OpNeg:
+		return token.Float(-x), nil
+	case OpAbs:
+		return token.Float(math.Abs(x)), nil
+	case OpSqrt:
+		if x < 0 {
+			return token.Nil(), fmt.Errorf("graph: sqrt of negative %g", x)
+		}
+		return token.Float(math.Sqrt(x)), nil
+	case OpFloor:
+		return token.Int(int64(math.Floor(x))), nil
+	}
+	return token.Nil(), fmt.Errorf("graph: bad unary opcode %s", op)
+}
+
+func evalArith(op Opcode, a, b token.Value) (token.Value, error) {
+	if a.Kind == token.KindInt && b.Kind == token.KindInt {
+		x, y := a.I, b.I
+		switch op {
+		case OpAdd:
+			return token.Int(x + y), nil
+		case OpSub:
+			return token.Int(x - y), nil
+		case OpMul:
+			return token.Int(x * y), nil
+		case OpDiv:
+			if y == 0 {
+				return token.Nil(), fmt.Errorf("graph: integer division by zero")
+			}
+			return token.Int(x / y), nil
+		case OpMod:
+			if y == 0 {
+				return token.Nil(), fmt.Errorf("graph: modulo by zero")
+			}
+			return token.Int(x % y), nil
+		case OpMin:
+			if x < y {
+				return token.Int(x), nil
+			}
+			return token.Int(y), nil
+		case OpMax:
+			if x > y {
+				return token.Int(x), nil
+			}
+			return token.Int(y), nil
+		}
+	}
+	x, err := a.AsFloat()
+	if err != nil {
+		return token.Nil(), err
+	}
+	y, err := b.AsFloat()
+	if err != nil {
+		return token.Nil(), err
+	}
+	switch op {
+	case OpAdd:
+		return token.Float(x + y), nil
+	case OpSub:
+		return token.Float(x - y), nil
+	case OpMul:
+		return token.Float(x * y), nil
+	case OpDiv:
+		if y == 0 {
+			return token.Nil(), fmt.Errorf("graph: division by zero")
+		}
+		return token.Float(x / y), nil
+	case OpMod:
+		if y == 0 {
+			return token.Nil(), fmt.Errorf("graph: modulo by zero")
+		}
+		return token.Float(math.Mod(x, y)), nil
+	case OpMin:
+		return token.Float(math.Min(x, y)), nil
+	case OpMax:
+		return token.Float(math.Max(x, y)), nil
+	}
+	return token.Nil(), fmt.Errorf("graph: bad arithmetic opcode %s", op)
+}

@@ -1,0 +1,169 @@
+package graph
+
+// Optimize performs machine-independent cleanup on a compiled program,
+// currently identity elision: OpIdentity instructions that exist only as
+// wiring artifacts (fan-out guards behind FETCH/ALLOCATE, if-merge points,
+// compiler-inserted pass-throughs) are bypassed by rewiring their
+// producers straight to their consumers. Entry statements are never
+// touched (they receive externally addressed tokens), and a FETCH or
+// ALLOCATE producer absorbs an identity only when the single-destination
+// constraint still holds afterwards.
+//
+// Elision is semantics-preserving: an identity forwards exactly the tokens
+// its producers send, so producers sending directly yields the same token
+// stream one hop (and one ALU firing) earlier. The elided slot becomes an
+// OpNop so statement numbering is unchanged.
+//
+// It returns statistics and leaves the program valid.
+func Optimize(p *Program) OptStats {
+	var stats OptStats
+	stats.Before = p.NumInstructions() - p.countNops()
+	for {
+		changed := false
+		for _, blk := range p.Blocks {
+			if p.elideIdentities(blk, &stats) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	stats.After = p.NumInstructions() - p.countNops()
+	return stats
+}
+
+// OptStats reports what Optimize did.
+type OptStats struct {
+	// Before and After count live (non-NOP) instructions.
+	Before, After int
+	// IdentitiesElided counts removed pass-throughs.
+	IdentitiesElided int
+}
+
+func (p *Program) countNops() int {
+	n := 0
+	for _, blk := range p.Blocks {
+		for s := range blk.Instrs {
+			if blk.Instrs[s].Op == OpNop {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// destRef locates one destination entry within some instruction's list.
+type destRef struct {
+	instr *Instruction
+	list  int // 0 = Dests, 1 = DestsFalse, 2 = ReturnDests
+	idx   int
+}
+
+func (d destRef) get() []Dest {
+	switch d.list {
+	case 0:
+		return d.instr.Dests
+	case 1:
+		return d.instr.DestsFalse
+	default:
+		return d.instr.ReturnDests
+	}
+}
+
+func (d destRef) set(v []Dest) {
+	switch d.list {
+	case 0:
+		d.instr.Dests = v
+	case 1:
+		d.instr.DestsFalse = v
+	default:
+		d.instr.ReturnDests = v
+	}
+}
+
+// elideIdentities performs one pass over a block; reports whether anything
+// changed.
+func (p *Program) elideIdentities(blk *CodeBlock, stats *OptStats) bool {
+	entry := map[uint16]bool{}
+	for _, e := range blk.Entries {
+		entry[e] = true
+	}
+	// producer index: for each statement, the dest-list slots feeding it
+	producers := map[uint16][]destRef{}
+	for s := range blk.Instrs {
+		in := &blk.Instrs[s]
+		for li, list := range [][]Dest{in.Dests, in.DestsFalse, in.ReturnDests} {
+			for di, d := range list {
+				producers[d.Stmt] = append(producers[d.Stmt], destRef{instr: in, list: li, idx: di})
+			}
+		}
+	}
+
+	changed := false
+	for s := range blk.Instrs {
+		id := &blk.Instrs[s]
+		if id.Op != OpIdentity || id.HasLiteral || entry[uint16(s)] {
+			continue
+		}
+		refs := producers[uint16(s)]
+		if len(refs) == 0 {
+			continue // unreachable identity; leave it (validation keeps it sunk)
+		}
+		// feasibility: single-destination producers can absorb only a
+		// single-destination identity
+		feasible := true
+		for _, ref := range refs {
+			op := ref.instr.Op
+			if (op == OpFetch || op == OpAllocate) && len(id.Dests) != 1 {
+				feasible = false
+				break
+			}
+		}
+		if !feasible || len(id.Dests) == 0 {
+			continue
+		}
+		// self-reference guard (cannot occur in compiled code, but cheap)
+		self := false
+		for _, d := range id.Dests {
+			if d.Stmt == uint16(s) {
+				self = true
+			}
+		}
+		if self {
+			continue
+		}
+		// rewire every producer slot to the identity's destinations
+		for _, ref := range refs {
+			list := ref.get()
+			// the slot index may have shifted if an earlier elision
+			// spliced this same list; locate the entry pointing at s
+			pos := -1
+			for i, d := range list {
+				if d.Stmt == uint16(s) && d.Port == 0 {
+					pos = i
+					break
+				}
+			}
+			if pos < 0 {
+				continue
+			}
+			newList := make([]Dest, 0, len(list)-1+len(id.Dests))
+			newList = append(newList, list[:pos]...)
+			newList = append(newList, id.Dests...)
+			newList = append(newList, list[pos+1:]...)
+			ref.set(newList)
+		}
+		id.Op = OpNop
+		id.Dests = nil
+		id.NT = 0
+		id.Comment = ""
+		stats.IdentitiesElided++
+		changed = true
+		if changed {
+			// producer index is stale after a splice; restart the block
+			return true
+		}
+	}
+	return false
+}

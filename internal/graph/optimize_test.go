@@ -1,0 +1,162 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/token"
+)
+
+// buildWithIdentityChain builds entry -> ID -> ID -> ADD(lit 1) -> RETURN.
+func buildWithIdentityChain(t *testing.T) *Program {
+	t.Helper()
+	b := NewBuilder("chain")
+	bb := b.NewBlock("main", 1)
+	id1 := bb.Op(OpIdentity, "a")
+	id2 := bb.Op(OpIdentity, "b")
+	add := bb.OpLit(OpAdd, token.Int(1), 1, "")
+	ret := bb.Op(OpReturn, "")
+	bb.Connect(bb.Entry(0), id1, 0)
+	bb.Connect(id1, id2, 0)
+	bb.Connect(id2, add, 0)
+	bb.Connect(add, ret, 0)
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestOptimizeElidesIdentityChains(t *testing.T) {
+	p := buildWithIdentityChain(t)
+	st := Optimize(p)
+	if st.IdentitiesElided != 2 {
+		t.Fatalf("elided %d identities, want 2", st.IdentitiesElided)
+	}
+	if st.After != st.Before-2 {
+		t.Fatalf("before=%d after=%d", st.Before, st.After)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := NewInterp(p).Run(token.Int(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].I != 7 {
+		t.Fatalf("optimized program computed %s", res[0])
+	}
+	// Entry identity must survive.
+	if p.Entry().Instr(p.Entry().Entries[0]).Op != OpIdentity {
+		t.Fatal("entry identity was elided")
+	}
+}
+
+func TestOptimizePreservesFetchSingleDest(t *testing.T) {
+	// fetch -> identity -> {two consumers}: the identity must stay because
+	// FETCH can hold only one destination.
+	b := NewBuilder("fetchfan")
+	bb := b.NewBlock("main", 1)
+	alloc := bb.Op(OpAllocate, "")
+	aid := bb.Op(OpIdentity, "ref")
+	addr := bb.OpLit(OpIAddr, token.Int(0), 1, "")
+	st := bb.OpLit(OpStore, token.Int(5), 1, "")
+	fetch := bb.Op(OpFetch, "")
+	fid := bb.Op(OpIdentity, "fan")
+	dbl := bb.Op(OpAdd, "x+x")
+	ret := bb.Op(OpReturn, "")
+	bb.Connect(bb.Entry(0), alloc, 0)
+	bb.Connect(alloc, aid, 0)
+	bb.Connect(aid, addr, 0)
+	bb.Connect(addr, st, 0)
+	bb.Connect(addr, fetch, 0)
+	bb.Connect(fetch, fid, 0)
+	bb.Connect(fid, dbl, 0)
+	bb.Connect(fid, dbl, 1)
+	bb.Connect(dbl, ret, 0)
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	Optimize(p)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("optimizer broke fetch constraint: %v", err)
+	}
+	res, err := NewInterp(p).Run(token.Int(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].I != 10 {
+		t.Fatalf("got %s, want 10", res[0])
+	}
+	// The two-consumer fan must still exist; the single-consumer alloc
+	// identity must be gone.
+	if p.Entry().Instr(fid).Op != OpIdentity {
+		t.Fatal("multi-consumer fetch fan must be preserved")
+	}
+	if p.Entry().Instr(aid).Op != OpNop {
+		t.Fatal("single-consumer allocate identity should be elided")
+	}
+}
+
+func TestOptimizeMergeIdentity(t *testing.T) {
+	// Two producers (if-branches) feeding one identity: eliding it makes
+	// each branch send directly; only one fires per activation, so the
+	// answer is unchanged.
+	b := NewBuilder("merge")
+	bb := b.NewBlock("main", 1)
+	ge := bb.OpLit(OpGE, token.Int(0), 1, "")
+	sw := bb.Op(OpSwitch, "")
+	neg := bb.Op(OpNeg, "")
+	merge := bb.Op(OpIdentity, "if-merge")
+	ret := bb.Op(OpReturn, "")
+	bb.Connect(bb.Entry(0), ge, 0)
+	bb.Connect(bb.Entry(0), sw, 0)
+	bb.Connect(ge, sw, 1)
+	bb.Connect(sw, merge, 0)
+	bb.ConnectFalse(sw, neg, 0)
+	bb.Connect(neg, merge, 0)
+	bb.Connect(merge, ret, 0)
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Optimize(p)
+	if st.IdentitiesElided == 0 {
+		t.Fatal("merge identity should be elidable")
+	}
+	for _, v := range []int64{-7, 7} {
+		res, err := NewInterp(p).Run(token.Int(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res[0].I != 7 {
+			t.Fatalf("|%d| = %s", v, res[0])
+		}
+	}
+}
+
+func TestOptimizeIsIdempotent(t *testing.T) {
+	p := buildWithIdentityChain(t)
+	Optimize(p)
+	st2 := Optimize(p)
+	if st2.IdentitiesElided != 0 {
+		t.Fatalf("second pass elided %d", st2.IdentitiesElided)
+	}
+}
+
+func TestOptimizeReducesFirings(t *testing.T) {
+	p1 := buildWithIdentityChain(t)
+	it1 := NewInterp(p1)
+	if _, err := it1.Run(token.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	p2 := buildWithIdentityChain(t)
+	Optimize(p2)
+	it2 := NewInterp(p2)
+	if _, err := it2.Run(token.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	if it2.Fired() >= it1.Fired() {
+		t.Fatalf("optimization should reduce firings: %d vs %d", it2.Fired(), it1.Fired())
+	}
+}

@@ -1,0 +1,46 @@
+package id
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/token"
+)
+
+// MainArity returns the number of arguments the compiled program's entry
+// block expects at run time. A zero-parameter main still expects one hidden
+// trigger token.
+func MainArity(p *graph.Program) int { return len(p.Entry().Entries) }
+
+// EntryArgs adapts user-level arguments to the entry block's runtime
+// arguments, supplying the hidden trigger for zero-parameter mains.
+func EntryArgs(p *graph.Program, args []token.Value) ([]token.Value, error) {
+	want := MainArity(p)
+	if len(args) == want {
+		return args, nil
+	}
+	if len(args) == 0 && want == 1 {
+		return []token.Value{token.Int(1)}, nil // hidden trigger
+	}
+	return nil, fmt.Errorf("minid: main takes %d arguments, got %d", want, len(args))
+}
+
+// Run compiles src and executes it on the reference interpreter. It returns
+// the program results and the interpreter (for statistics and I-structure
+// inspection).
+func Run(src string, args ...token.Value) ([]token.Value, *graph.Interp, error) {
+	prog, err := Compile(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	runArgs, err := EntryArgs(prog, args)
+	if err != nil {
+		return nil, nil, err
+	}
+	it := graph.NewInterp(prog)
+	res, err := it.Run(runArgs...)
+	if err != nil {
+		return nil, it, err
+	}
+	return res, it, nil
+}

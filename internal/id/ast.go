@@ -1,0 +1,197 @@
+// Package id implements MiniID, a compiler for the subset of the Irvine
+// Dataflow (ID) language used by the paper, targeting the tagged-token
+// dataflow graph IR of internal/graph.
+//
+// The surface syntax covers the paper's Figure 2-2 example verbatim:
+//
+//	def trapezoid(a, b, n, h) =
+//	  (initial s <- (f(a) + f(b))/2;
+//	           x <- a + h
+//	   for i from 1 to n-1 do
+//	     new x <- x + h;
+//	     new s <- s + f(x)
+//	   return s) * h;
+//
+// plus top-level function definitions (recursion allowed), conditional
+// expressions, let blocks, and I-structure arrays with element selection
+// (compiled to FETCH) and element assignment (compiled to STORE), per
+// Section 2.2.4.
+package id
+
+import "fmt"
+
+// Pos is a source position for error reporting.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Node is any AST node.
+type Node interface {
+	Pos() Pos
+}
+
+// Expr is an expression node.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Def is a top-level function definition.
+type Def struct {
+	At     Pos
+	Name   string
+	Params []string
+	Body   Expr
+}
+
+// Pos returns the definition's source position.
+func (d *Def) Pos() Pos { return d.At }
+
+// File is a parsed compilation unit.
+type File struct {
+	Defs []*Def
+}
+
+// NumberLit is an integer or floating literal.
+type NumberLit struct {
+	At      Pos
+	IsFloat bool
+	Int     int64
+	Float   float64
+}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	At    Pos
+	Value bool
+}
+
+// VarRef references a variable in scope.
+type VarRef struct {
+	At   Pos
+	Name string
+}
+
+// Unary is -e or not e.
+type Unary struct {
+	At Pos
+	Op string // "-", "not"
+	X  Expr
+}
+
+// Binary is a binary operator application.
+type Binary struct {
+	At   Pos
+	Op   string // + - * / % < <= > >= == != and or
+	L, R Expr
+}
+
+// Call applies a named top-level function or builtin.
+type Call struct {
+	At   Pos
+	Name string
+	Args []Expr
+}
+
+// If is a conditional expression; both arms are required.
+type If struct {
+	At         Pos
+	Cond       Expr
+	Then, Else Expr
+}
+
+// Index is e1[e2], an I-structure SELECT (compiled to FETCH).
+type Index struct {
+	At  Pos
+	Seq Expr
+	Idx Expr
+}
+
+// ArrayAlloc is array(n): allocate an I-structure of n elements.
+type ArrayAlloc struct {
+	At   Pos
+	Size Expr
+}
+
+// LetBinding is one binding or element-store statement in a let block.
+type LetBinding struct {
+	At   Pos
+	Name string // for x = e
+	// Element store a[i] <- e when IsStore
+	IsStore  bool
+	Seq, Idx Expr // for stores
+	Value    Expr
+}
+
+// Let is { b1; b2; ...; result }.
+type Let struct {
+	At       Pos
+	Bindings []*LetBinding
+	Body     Expr
+}
+
+// LoopStmt is one loop-body statement: new x <- e, or a[i] <- e.
+type LoopStmt struct {
+	At      Pos
+	Name    string // for new x <- e
+	IsStore bool
+	Seq     Expr // for stores
+	Idx     Expr
+	Value   Expr
+}
+
+// Loop is the ID loop expression, in its counted form
+//
+//	(initial v1 <- e1; ... for i from lo to hi [by step] do stmts return e)
+//
+// or its predicate form (Index empty, Cond set)
+//
+//	(initial v1 <- e1; ... while cond do stmts return e)
+type Loop struct {
+	At       Pos
+	Initial  []*LetBinding // name <- expr bindings (never stores)
+	Index    string        // empty for while loops
+	From, To Expr
+	By       Expr // nil means 1
+	Cond     Expr // while-loop predicate
+	Body     []*LoopStmt
+	Return   Expr
+}
+
+func (n *NumberLit) Pos() Pos  { return n.At }
+func (n *BoolLit) Pos() Pos    { return n.At }
+func (n *VarRef) Pos() Pos     { return n.At }
+func (n *Unary) Pos() Pos      { return n.At }
+func (n *Binary) Pos() Pos     { return n.At }
+func (n *Call) Pos() Pos       { return n.At }
+func (n *If) Pos() Pos         { return n.At }
+func (n *Index) Pos() Pos      { return n.At }
+func (n *ArrayAlloc) Pos() Pos { return n.At }
+func (n *Let) Pos() Pos        { return n.At }
+func (n *Loop) Pos() Pos       { return n.At }
+
+func (*NumberLit) exprNode()  {}
+func (*BoolLit) exprNode()    {}
+func (*VarRef) exprNode()     {}
+func (*Unary) exprNode()      {}
+func (*Binary) exprNode()     {}
+func (*Call) exprNode()       {}
+func (*If) exprNode()         {}
+func (*Index) exprNode()      {}
+func (*ArrayAlloc) exprNode() {}
+func (*Let) exprNode()        {}
+func (*Loop) exprNode()       {}
+
+// Error is a compile-time diagnostic with a source position.
+type Error struct {
+	At  Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("minid:%s: %s", e.At, e.Msg) }
+
+func errf(at Pos, format string, args ...interface{}) *Error {
+	return &Error{At: at, Msg: fmt.Sprintf(format, args...)}
+}

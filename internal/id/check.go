@@ -1,0 +1,362 @@
+package id
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Check performs static type analysis on a parsed file and returns the
+// type errors it can prove without running the program: boolean/numeric
+// confusion, indexing non-arrays, incompatible conditional arms, and
+// call-site/definition disagreements.
+//
+// The system is a monomorphic unification checker over the small lattice
+//
+//	Unknown ⊑ {Num, Bool, Array};  Int ⊑ Num;  Float ⊑ Num
+//
+// matching MiniID's dynamic semantics: ints and floats mix freely (the
+// numeric tower), booleans and references never coerce. Each function gets
+// one signature shared by every call site, so polymorphic reuse of a
+// helper at incompatible types is reported rather than specialized —
+// faithful to the single compiled code block each def becomes.
+//
+// Check is advisory: the engines enforce the same rules dynamically, and
+// Compile does not require a clean Check. cmd/idc -check surfaces it.
+func Check(f *File) []*Error {
+	c := &checker{
+		funcs: map[string]*signature{},
+	}
+	if err := injectPrelude(f); err != nil {
+		return []*Error{err.(*Error)}
+	}
+	// one shared signature per definition
+	for _, d := range f.Defs {
+		if _, dup := c.funcs[d.Name]; dup {
+			continue // compile reports duplicates; avoid double noise
+		}
+		sig := &signature{result: c.fresh()}
+		for range d.Params {
+			sig.params = append(sig.params, c.fresh())
+		}
+		c.funcs[d.Name] = sig
+	}
+	for _, d := range f.Defs {
+		sig := c.funcs[d.Name]
+		env := map[string]*tnode{}
+		for i, p := range d.Params {
+			env[p] = sig.params[i]
+		}
+		got := c.expr(d.Body, env)
+		c.unify(d.Body.Pos(), got, sig.result, "function result")
+	}
+	sort.Slice(c.errs, func(i, j int) bool {
+		a, b := c.errs[i].At, c.errs[j].At
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Col < b.Col
+	})
+	return c.errs
+}
+
+// kind is a resolved type constructor.
+type kind uint8
+
+const (
+	kUnknown kind = iota
+	kNum          // int or float, not yet determined
+	kInt
+	kFloat
+	kBool
+	kArray
+)
+
+func (k kind) String() string {
+	switch k {
+	case kUnknown:
+		return "unknown"
+	case kNum:
+		return "number"
+	case kInt:
+		return "int"
+	case kFloat:
+		return "float"
+	case kBool:
+		return "bool"
+	case kArray:
+		return "array"
+	default:
+		return "?"
+	}
+}
+
+// numeric reports whether the kind is in the Num sub-lattice.
+func (k kind) numeric() bool { return k == kNum || k == kInt || k == kFloat }
+
+// tnode is a union-find type variable.
+type tnode struct {
+	parent *tnode
+	k      kind
+}
+
+type signature struct {
+	params []*tnode
+	result *tnode
+}
+
+type checker struct {
+	funcs map[string]*signature
+	errs  []*Error
+}
+
+func (c *checker) fresh() *tnode { return &tnode{k: kUnknown} }
+
+func (c *checker) of(k kind) *tnode { return &tnode{k: k} }
+
+func find(t *tnode) *tnode {
+	for t.parent != nil {
+		if t.parent.parent != nil {
+			t.parent = t.parent.parent
+		}
+		t = t.parent
+	}
+	return t
+}
+
+// merge computes the meet of two resolved kinds; ok=false means they are
+// incompatible.
+func merge(a, b kind) (kind, bool) {
+	if a == b {
+		return a, true
+	}
+	if a == kUnknown {
+		return b, true
+	}
+	if b == kUnknown {
+		return a, true
+	}
+	if a.numeric() && b.numeric() {
+		// Int/Float under Num: mixing keeps the tower's float contagion at
+		// run time; statically the meet of int and float is "number"
+		if a == kNum {
+			return b, true
+		}
+		if b == kNum {
+			return a, true
+		}
+		return kNum, true
+	}
+	return kUnknown, false
+}
+
+func (c *checker) errf2(at Pos, format string, args ...interface{}) {
+	c.errs = append(c.errs, errf(at, format, args...))
+}
+
+// unify constrains two type nodes to agree, reporting a located error when
+// they cannot.
+func (c *checker) unify(at Pos, a, b *tnode, context string) {
+	ra, rb := find(a), find(b)
+	if ra == rb {
+		return
+	}
+	k, ok := merge(ra.k, rb.k)
+	if !ok {
+		c.errf2(at, "type error in %s: %s vs %s", context, ra.k, rb.k)
+		return
+	}
+	ra.parent = rb
+	rb.k = k
+}
+
+// require constrains a node to a kind.
+func (c *checker) require(at Pos, t *tnode, k kind, context string) {
+	c.unify(at, t, c.of(k), context)
+}
+
+// expr infers the type of e in env.
+func (c *checker) expr(e Expr, env map[string]*tnode) *tnode {
+	switch n := e.(type) {
+	case *NumberLit:
+		if n.IsFloat {
+			return c.of(kFloat)
+		}
+		return c.of(kInt)
+	case *BoolLit:
+		return c.of(kBool)
+	case *VarRef:
+		if t, ok := env[n.Name]; ok {
+			return t
+		}
+		// compile reports undefined variables; stay quiet here
+		return c.fresh()
+	case *Unary:
+		t := c.expr(n.X, env)
+		if n.Op == "not" {
+			c.require(n.At, t, kBool, "operand of not")
+			return c.of(kBool)
+		}
+		c.require(n.At, t, kNum, "operand of unary minus")
+		return t
+	case *Binary:
+		return c.binary(n, env)
+	case *Call:
+		return c.call(n, env)
+	case *If:
+		cond := c.expr(n.Cond, env)
+		c.require(n.Cond.Pos(), cond, kBool, "conditional test")
+		a := c.expr(n.Then, env)
+		b := c.expr(n.Else, env)
+		c.unify(n.At, a, b, "conditional arms")
+		return a
+	case *Index:
+		seq := c.expr(n.Seq, env)
+		c.require(n.Seq.Pos(), seq, kArray, "indexed expression")
+		idx := c.expr(n.Idx, env)
+		c.require(n.Idx.Pos(), idx, kNum, "index")
+		return c.fresh() // element types are dynamic
+	case *ArrayAlloc:
+		size := c.expr(n.Size, env)
+		c.require(n.Size.Pos(), size, kNum, "array size")
+		return c.of(kArray)
+	case *Let:
+		scope := env
+		for _, b := range n.Bindings {
+			if b.IsStore {
+				c.store(b.Seq, b.Idx, b.Value, scope)
+				continue
+			}
+			t := c.expr(b.Value, scope)
+			scope = extend(scope, b.Name, t)
+		}
+		return c.expr(n.Body, scope)
+	case *Loop:
+		return c.loop(n, env)
+	default:
+		return c.fresh()
+	}
+}
+
+func extend(env map[string]*tnode, name string, t *tnode) map[string]*tnode {
+	out := make(map[string]*tnode, len(env)+1)
+	for k, v := range env {
+		out[k] = v
+	}
+	out[name] = t
+	return out
+}
+
+func (c *checker) store(seq, idx, val Expr, env map[string]*tnode) {
+	s := c.expr(seq, env)
+	c.require(seq.Pos(), s, kArray, "element store target")
+	i := c.expr(idx, env)
+	c.require(idx.Pos(), i, kNum, "element store index")
+	c.expr(val, env)
+}
+
+func (c *checker) binary(n *Binary, env map[string]*tnode) *tnode {
+	l := c.expr(n.L, env)
+	r := c.expr(n.R, env)
+	switch n.Op {
+	case "and", "or":
+		c.require(n.At, l, kBool, "operand of "+n.Op)
+		c.require(n.At, r, kBool, "operand of "+n.Op)
+		return c.of(kBool)
+	case "<", "<=", ">", ">=":
+		c.require(n.At, l, kNum, "operand of "+n.Op)
+		c.require(n.At, r, kNum, "operand of "+n.Op)
+		return c.of(kBool)
+	case "==", "!=":
+		c.unify(n.At, l, r, "operands of "+n.Op)
+		return c.of(kBool)
+	default: // arithmetic
+		c.require(n.At, l, kNum, "operand of "+n.Op)
+		c.require(n.At, r, kNum, "operand of "+n.Op)
+		// result: float contagion is dynamic; statically join to Num
+		// unless both sides resolved identically
+		lk, rk := find(l).k, find(r).k
+		if lk == rk && (lk == kInt || lk == kFloat) {
+			return c.of(lk)
+		}
+		return c.of(kNum)
+	}
+}
+
+var builtinChecks = map[string]struct {
+	arity  int
+	arg    kind
+	result kind
+}{
+	"sqrt":  {1, kNum, kFloat},
+	"abs":   {1, kNum, kNum},
+	"floor": {1, kNum, kInt},
+	"len":   {1, kArray, kInt},
+	"min":   {2, kNum, kNum},
+	"max":   {2, kNum, kNum},
+}
+
+func (c *checker) call(n *Call, env map[string]*tnode) *tnode {
+	if bc, ok := builtinChecks[n.Name]; ok {
+		if _, shadowed := c.funcs[n.Name]; !shadowed {
+			if len(n.Args) == bc.arity {
+				for _, a := range n.Args {
+					t := c.expr(a, env)
+					c.require(a.Pos(), t, bc.arg, "argument of "+n.Name)
+				}
+			}
+			return c.of(bc.result)
+		}
+	}
+	sig, ok := c.funcs[n.Name]
+	if !ok || len(sig.params) != len(n.Args) {
+		// compile reports unknown functions and arity; avoid double noise
+		for _, a := range n.Args {
+			c.expr(a, env)
+		}
+		return c.fresh()
+	}
+	for i, a := range n.Args {
+		t := c.expr(a, env)
+		c.unify(a.Pos(), t, sig.params[i], fmt.Sprintf("argument %d of %s", i+1, n.Name))
+	}
+	return sig.result
+}
+
+func (c *checker) loop(n *Loop, env map[string]*tnode) *tnode {
+	scope := env
+	var circ []string
+	if n.Index != "" {
+		it := c.of(kNum)
+		from := c.expr(n.From, scope)
+		c.require(n.From.Pos(), from, kNum, "loop lower bound")
+		to := c.expr(n.To, scope)
+		c.require(n.To.Pos(), to, kNum, "loop upper bound")
+		if n.By != nil {
+			by := c.expr(n.By, scope)
+			c.require(n.By.Pos(), by, kNum, "loop step")
+		}
+		scope = extend(scope, n.Index, it)
+		circ = append(circ, n.Index)
+	}
+	for _, b := range n.Initial {
+		t := c.expr(b.Value, scope)
+		scope = extend(scope, b.Name, t)
+		circ = append(circ, b.Name)
+	}
+	if n.Cond != nil {
+		t := c.expr(n.Cond, scope)
+		c.require(n.Cond.Pos(), t, kBool, "while condition")
+	}
+	for _, st := range n.Body {
+		if st.IsStore {
+			c.store(st.Seq, st.Idx, st.Value, scope)
+			continue
+		}
+		t := c.expr(st.Value, scope)
+		if cur, ok := scope[st.Name]; ok {
+			c.unify(st.At, t, cur, fmt.Sprintf("new %s", st.Name))
+		}
+	}
+	_ = circ
+	return c.expr(n.Return, scope)
+}

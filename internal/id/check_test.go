@@ -1,0 +1,188 @@
+package id
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/token"
+	"repro/internal/workload"
+)
+
+func checkSrc(t *testing.T, src string) []*Error {
+	t.Helper()
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Check(f)
+}
+
+func assertClean(t *testing.T, src string) {
+	t.Helper()
+	if errs := checkSrc(t, src); len(errs) != 0 {
+		t.Fatalf("expected clean check, got: %v", errs)
+	}
+}
+
+func assertError(t *testing.T, src, want string) {
+	t.Helper()
+	errs := checkSrc(t, src)
+	for _, e := range errs {
+		if strings.Contains(e.Error(), want) {
+			return
+		}
+	}
+	t.Fatalf("no error containing %q in %v", want, errs)
+}
+
+func TestCheckCleanPrograms(t *testing.T) {
+	for name, src := range map[string]string{
+		"trapezoid": workload.TrapezoidID,
+		"fib":       workload.FibID,
+		"matmul":    workload.MatMulID,
+		"pc":        workload.ProducerConsumerID,
+		"wavefront": workload.WavefrontID,
+		"mergesort": workload.MergeSortID,
+		"collatz":   workload.CollatzID,
+		"sum":       workload.SumLoopID,
+	} {
+		f, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if errs := Check(f); len(errs) != 0 {
+			t.Errorf("%s: false positives: %v", name, errs)
+		}
+	}
+}
+
+func TestCheckBooleanCondition(t *testing.T) {
+	assertError(t, "def main(x) = if x + 1 then 2 else 3;", "conditional test")
+}
+
+func TestCheckArithmeticOnBool(t *testing.T) {
+	assertError(t, "def main(x) = (x > 0) + 1;", "operand of +")
+}
+
+func TestCheckNotOnNumber(t *testing.T) {
+	assertError(t, "def main(x) = not (x + 1);", "operand of not")
+}
+
+func TestCheckIndexNonArray(t *testing.T) {
+	// x[0] constrains x to array; the later x + ... then conflicts. Either
+	// located message is acceptable evidence.
+	errs := checkSrc(t, "def main(x) = x[0] + x;")
+	if len(errs) == 0 {
+		t.Fatal("indexing a number must be reported")
+	}
+	if !strings.Contains(errs[0].Error(), "array") {
+		t.Fatalf("error should mention array: %v", errs)
+	}
+	assertError(t, "def main(x) = (x + 1)[0];", "indexed expression")
+}
+
+func TestCheckIncompatibleArms(t *testing.T) {
+	assertError(t, "def main(x) = if x > 0 then 1 else x > 2;", "conditional arms")
+}
+
+func TestCheckArraySizeBool(t *testing.T) {
+	assertError(t, "def main(x) = len(array(x == 0));", "array size")
+}
+
+func TestCheckLenOnNumber(t *testing.T) {
+	assertError(t, "def main(x) = len(x + 1);", "argument of len")
+}
+
+func TestCheckCallSiteMismatch(t *testing.T) {
+	assertError(t, `
+def f(x) = x + 1;
+def main(a) = if f(a > 0) > 0 then 1 else 2;
+`, "argument 1 of f")
+}
+
+func TestCheckPolymorphicReuseReported(t *testing.T) {
+	// One code block, one signature: using f on a bool and a number at
+	// different sites must be reported.
+	assertError(t, `
+def f(x) = x;
+def main(a) = if f(a > 0) then f(a) else 0;
+`, "argument 1 of f")
+}
+
+func TestCheckWhileCondition(t *testing.T) {
+	assertError(t, `
+def main(n) =
+  (initial x <- n
+   while x - 1 do
+     new x <- x - 1
+   return x);
+`, "while condition")
+}
+
+func TestCheckNewBindingTypeDrift(t *testing.T) {
+	assertError(t, `
+def main(n) =
+  (initial s <- 0
+   for i from 1 to n do
+     new s <- i > 2
+   return s);
+`, "new s")
+}
+
+func TestCheckLoopBoundsBool(t *testing.T) {
+	assertError(t, `
+def main(n) =
+  (initial s <- 0
+   for i from 1 to n > 4 do
+     new s <- s + 1
+   return s);
+`, "loop upper bound")
+}
+
+func TestCheckNumericMixingIsFine(t *testing.T) {
+	assertClean(t, "def main(x) = x + 1.5 * 2;")
+	assertClean(t, "def main(x) = if x == 2.0 then floor(x) else 0;")
+}
+
+func TestCheckAppendPreludeClean(t *testing.T) {
+	assertClean(t, `
+def main(n) =
+  { a = array(n);
+    f = (initial z <- 0 for i from 0 to n - 1 do a[i] <- i; new z <- z return 0);
+    b = append(a, 1, 5);
+    b[0] + f };
+`)
+}
+
+func TestCheckErrorsAreOrdered(t *testing.T) {
+	errs := checkSrc(t, `
+def main(x) =
+  { a = not (x + 1);
+    b = if x then 1 else 2;
+    x };
+`)
+	if len(errs) < 2 {
+		t.Fatalf("want at least 2 errors, got %v", errs)
+	}
+	for i := 1; i < len(errs); i++ {
+		if errs[i].At.Line < errs[i-1].At.Line {
+			t.Fatalf("errors out of order: %v", errs)
+		}
+	}
+}
+
+func TestCheckedProgramsStillRunDynamically(t *testing.T) {
+	// Check is advisory: a program it flags can still compile and fault at
+	// run time with the same complaint.
+	src := "def main(x) = if x + 0 then 1 else 2;"
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := Check(f); len(errs) == 0 {
+		t.Fatal("checker should flag non-boolean condition")
+	}
+	if _, _, err := Run(src, token.Int(1)); err == nil {
+		t.Fatal("dynamic run should also fault")
+	}
+}

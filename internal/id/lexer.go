@@ -1,0 +1,225 @@
+package id
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokPunct // operators and delimiters
+)
+
+type lexToken struct {
+	kind tokenKind
+	text string
+	at   Pos
+	// number payload
+	isFloat bool
+	intVal  int64
+	fltVal  float64
+}
+
+var keywords = map[string]bool{
+	"def": true, "initial": true, "for": true, "from": true, "to": true,
+	"by": true, "do": true, "new": true, "return": true, "if": true, "while": true,
+	"then": true, "else": true, "true": true, "false": true,
+	"and": true, "or": true, "not": true, "array": true,
+}
+
+// lexer turns MiniID source into tokens. '#' starts a comment to end of
+// line. Multi-character operators: <- <= >= == != .
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (lx *lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func (lx *lexer) peekByte() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *lexer) skipSpace() {
+	for lx.off < len(lx.src) {
+		c := lx.peekByte()
+		if c == '#' {
+			for lx.off < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+			continue
+		}
+		if c == ' ' || c == '\t' || c == '\r' || c == '\n' {
+			lx.advance()
+			continue
+		}
+		break
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentCont(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+// next returns the next token.
+func (lx *lexer) next() (lexToken, error) {
+	lx.skipSpace()
+	at := lx.pos()
+	if lx.off >= len(lx.src) {
+		return lexToken{kind: tokEOF, at: at}, nil
+	}
+	c := lx.peekByte()
+	switch {
+	case isIdentStart(c):
+		start := lx.off
+		for lx.off < len(lx.src) && isIdentCont(lx.peekByte()) {
+			lx.advance()
+		}
+		return lexToken{kind: tokIdent, text: lx.src[start:lx.off], at: at}, nil
+	case unicode.IsDigit(rune(c)):
+		return lx.lexNumber(at)
+	}
+	// punctuation / operators
+	two := ""
+	if lx.off+1 < len(lx.src) {
+		two = lx.src[lx.off : lx.off+2]
+	}
+	switch two {
+	case "<-", "<=", ">=", "==", "!=":
+		lx.advance()
+		lx.advance()
+		return lexToken{kind: tokPunct, text: two, at: at}, nil
+	}
+	switch c {
+	case '+', '-', '*', '/', '%', '<', '>', '(', ')', '{', '}', '[', ']', ';', ',', '=':
+		lx.advance()
+		return lexToken{kind: tokPunct, text: string(c), at: at}, nil
+	}
+	return lexToken{}, errf(at, "unexpected character %q", string(c))
+}
+
+func (lx *lexer) lexNumber(at Pos) (lexToken, error) {
+	start := lx.off
+	seenDot, seenExp := false, false
+	for lx.off < len(lx.src) {
+		c := lx.peekByte()
+		if unicode.IsDigit(rune(c)) {
+			lx.advance()
+			continue
+		}
+		if c == '.' && !seenDot && !seenExp {
+			// distinguish 1.5 from a hypothetical 1.foo
+			if lx.off+1 < len(lx.src) && unicode.IsDigit(rune(lx.src[lx.off+1])) {
+				seenDot = true
+				lx.advance()
+				continue
+			}
+			break
+		}
+		if (c == 'e' || c == 'E') && !seenExp {
+			j := lx.off + 1
+			if j < len(lx.src) && (lx.src[j] == '+' || lx.src[j] == '-') {
+				j++
+			}
+			if j < len(lx.src) && unicode.IsDigit(rune(lx.src[j])) {
+				seenExp = true
+				lx.advance()
+				if lx.peekByte() == '+' || lx.peekByte() == '-' {
+					lx.advance()
+				}
+				continue
+			}
+			break
+		}
+		break
+	}
+	text := lx.src[start:lx.off]
+	if seenDot || seenExp {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return lexToken{}, errf(at, "bad number %q", text)
+		}
+		return lexToken{kind: tokNumber, text: text, at: at, isFloat: true, fltVal: f}, nil
+	}
+	i, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return lexToken{}, errf(at, "bad integer %q", text)
+	}
+	return lexToken{kind: tokNumber, text: text, at: at, intVal: i}, nil
+}
+
+// lexAll tokenizes the whole source, appending a final EOF token.
+func lexAll(src string) ([]lexToken, error) {
+	lx := newLexer(src)
+	var out []lexToken
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}
+
+func (t lexToken) describe() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		if keywords[t.text] {
+			return fmt.Sprintf("keyword %q", t.text)
+		}
+		return fmt.Sprintf("identifier %q", t.text)
+	case tokNumber:
+		return fmt.Sprintf("number %s", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// is reports whether the token is the given keyword or punctuation.
+func (t lexToken) is(text string) bool {
+	if t.kind == tokEOF {
+		return false
+	}
+	if keywords[text] {
+		return t.kind == tokIdent && t.text == text
+	}
+	return t.kind == tokPunct && t.text == text
+}
+
+// isIdent reports whether the token is a non-keyword identifier.
+func (t lexToken) isIdent() bool {
+	return t.kind == tokIdent && !keywords[t.text]
+}

@@ -1,0 +1,544 @@
+package id
+
+// parser is a recursive-descent parser for MiniID.
+//
+// Grammar (see the package comment for examples):
+//
+//	file     := def*
+//	def      := "def" IDENT "(" [IDENT ("," IDENT)*] ")" "=" expr ";"
+//	expr     := orExpr
+//	orExpr   := andExpr ("or" andExpr)*
+//	andExpr  := notExpr ("and" notExpr)*
+//	notExpr  := "not" notExpr | cmp
+//	cmp      := add [("<"|"<="|">"|">="|"=="|"!=") add]
+//	add      := mul (("+"|"-") mul)*
+//	mul      := unary (("*"|"/"|"%") unary)*
+//	unary    := "-" unary | postfix
+//	postfix  := primary ("[" expr "]")*
+//	primary  := NUMBER | "true" | "false" | IDENT | IDENT "(" args ")"
+//	          | "array" "(" expr ")" | "(" expr ")" | loop | if | let
+//	loop     := "(" "initial" binds "for" IDENT "from" expr "to" expr
+//	            ["by" expr] "do" stmts "return" expr ")"
+//	binds    := IDENT "<-" expr (";" IDENT "<-" expr)*
+//	stmts    := stmt (";" stmt)*
+//	stmt     := "new" IDENT "<-" expr | postfix "[" expr "]" "<-" expr
+//	if       := "if" expr "then" expr "else" expr
+//	let      := "{" (letbind ";")* expr "}"
+//	letbind  := IDENT "=" expr | IDENT "[" expr "]" "<-" expr
+type parser struct {
+	toks []lexToken
+	pos  int
+}
+
+// Parse parses a MiniID compilation unit.
+func Parse(src string) (*File, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f := &File{}
+	for !p.at(tokEOF) {
+		d, err := p.parseDef()
+		if err != nil {
+			return nil, err
+		}
+		f.Defs = append(f.Defs, d)
+	}
+	if len(f.Defs) == 0 {
+		return nil, errf(Pos{1, 1}, "empty program: at least one def required")
+	}
+	return f, nil
+}
+
+func (p *parser) cur() lexToken       { return p.toks[p.pos] }
+func (p *parser) at(k tokenKind) bool { return p.cur().kind == k }
+
+func (p *parser) peekIs(text string) bool { return p.cur().is(text) }
+
+// peekAheadIs looks n tokens ahead.
+func (p *parser) peekAheadIs(n int, text string) bool {
+	if p.pos+n >= len(p.toks) {
+		return false
+	}
+	return p.toks[p.pos+n].is(text)
+}
+
+func (p *parser) take() lexToken {
+	t := p.cur()
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(text string) (lexToken, error) {
+	if !p.peekIs(text) {
+		return lexToken{}, errf(p.cur().at, "expected %q, found %s", text, p.cur().describe())
+	}
+	return p.take(), nil
+}
+
+func (p *parser) expectIdent() (lexToken, error) {
+	if !p.cur().isIdent() {
+		return lexToken{}, errf(p.cur().at, "expected identifier, found %s", p.cur().describe())
+	}
+	return p.take(), nil
+}
+
+func (p *parser) parseDef() (*Def, error) {
+	kw, err := p.expect("def")
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var params []string
+	for !p.peekIs(")") {
+		if len(params) > 0 {
+			if _, err := p.expect(","); err != nil {
+				return nil, err
+			}
+		}
+		id, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		params = append(params, id.text)
+	}
+	p.take() // ")"
+	if _, err := p.expect("="); err != nil {
+		return nil, err
+	}
+	body, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return &Def{At: kw.at, Name: name.text, Params: params, Body: body}, nil
+}
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peekIs("or") {
+		op := p.take()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{At: op.at, Op: "or", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.peekIs("and") {
+		op := p.take()
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{At: op.at, Op: "and", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.peekIs("not") {
+		op := p.take()
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{At: op.at, Op: "not", X: x}, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range []string{"<=", ">=", "==", "!=", "<", ">"} {
+		if p.peekIs(op) {
+			t := p.take()
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return &Binary{At: t.at, Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.peekIs("+") || p.peekIs("-") {
+		t := p.take()
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{At: t.at, Op: t.text, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peekIs("*") || p.peekIs("/") || p.peekIs("%") {
+		t := p.take()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{At: t.at, Op: t.text, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.peekIs("-") {
+		t := p.take()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{At: t.at, Op: "-", X: x}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peekIs("[") {
+		t := p.take()
+		idx, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		e = &Index{At: t.at, Seq: e, Idx: idx}
+	}
+	return e, nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.take()
+		return &NumberLit{At: t.at, IsFloat: t.isFloat, Int: t.intVal, Float: t.fltVal}, nil
+	case t.is("true"), t.is("false"):
+		p.take()
+		return &BoolLit{At: t.at, Value: t.text == "true"}, nil
+	case t.is("array"):
+		p.take()
+		if _, err := p.expect("("); err != nil {
+			return nil, err
+		}
+		size, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return &ArrayAlloc{At: t.at, Size: size}, nil
+	case t.is("if"):
+		return p.parseIf()
+	case t.is("{"):
+		return p.parseLet()
+	case t.is("("):
+		if p.peekAheadIs(1, "initial") || p.peekAheadIs(1, "for") || p.peekAheadIs(1, "while") {
+			return p.parseLoop()
+		}
+		p.take()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.isIdent():
+		p.take()
+		if p.peekIs("(") {
+			p.take()
+			var args []Expr
+			for !p.peekIs(")") {
+				if len(args) > 0 {
+					if _, err := p.expect(","); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+			}
+			p.take() // ")"
+			return &Call{At: t.at, Name: t.text, Args: args}, nil
+		}
+		return &VarRef{At: t.at, Name: t.text}, nil
+	}
+	return nil, errf(t.at, "expected expression, found %s", t.describe())
+}
+
+func (p *parser) parseIf() (Expr, error) {
+	t := p.take() // "if"
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("then"); err != nil {
+		return nil, err
+	}
+	thn, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("else"); err != nil {
+		return nil, err
+	}
+	els, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &If{At: t.at, Cond: cond, Then: thn, Else: els}, nil
+}
+
+func (p *parser) parseLet() (Expr, error) {
+	open := p.take() // "{"
+	var bindings []*LetBinding
+	for {
+		// A binding looks like IDENT "=" or IDENT "["; otherwise the block
+		// body starts here.
+		if p.cur().isIdent() && (p.peekAheadIs(1, "=") || p.peekAheadIs(1, "[")) {
+			save := p.pos
+			b, err := p.parseLetBinding()
+			if err == nil {
+				bindings = append(bindings, b)
+				if _, err := p.expect(";"); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			// It was not a binding after all (e.g. the body is a[i] as an
+			// expression); back up and parse the body.
+			p.pos = save
+		}
+		break
+	}
+	body, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("}"); err != nil {
+		return nil, err
+	}
+	return &Let{At: open.at, Bindings: bindings, Body: body}, nil
+}
+
+func (p *parser) parseLetBinding() (*LetBinding, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if p.peekIs("=") {
+		p.take()
+		v, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &LetBinding{At: name.at, Name: name.text, Value: v}, nil
+	}
+	// element store: IDENT "[" expr "]" "<-" expr
+	if _, err := p.expect("["); err != nil {
+		return nil, err
+	}
+	idx, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("]"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("<-"); err != nil {
+		return nil, err
+	}
+	v, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &LetBinding{At: name.at, IsStore: true,
+		Seq: &VarRef{At: name.at, Name: name.text}, Idx: idx, Value: v}, nil
+}
+
+func (p *parser) parseLoop() (Expr, error) {
+	open := p.take() // "("
+	var initial []*LetBinding
+	if p.peekIs("initial") {
+		p.take()
+		for {
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect("<-"); err != nil {
+				return nil, err
+			}
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			initial = append(initial, &LetBinding{At: name.at, Name: name.text, Value: v})
+			if p.peekIs(";") {
+				p.take()
+				continue
+			}
+			break
+		}
+	}
+	loop := &Loop{At: open.at, Initial: initial}
+	if p.peekIs("while") {
+		p.take()
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		loop.Cond = cond
+	} else {
+		if _, err := p.expect("for"); err != nil {
+			return nil, err
+		}
+		idx, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		loop.Index = idx.text
+		if _, err := p.expect("from"); err != nil {
+			return nil, err
+		}
+		loop.From, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect("to"); err != nil {
+			return nil, err
+		}
+		loop.To, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peekIs("by") {
+			p.take()
+			loop.By, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if _, err := p.expect("do"); err != nil {
+		return nil, err
+	}
+	var body []*LoopStmt
+	for {
+		st, err := p.parseLoopStmt()
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, st)
+		if p.peekIs(";") {
+			p.take()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect("return"); err != nil {
+		return nil, err
+	}
+	ret, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	loop.Body = body
+	loop.Return = ret
+	return loop, nil
+}
+
+func (p *parser) parseLoopStmt() (*LoopStmt, error) {
+	if p.peekIs("new") {
+		t := p.take()
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect("<-"); err != nil {
+			return nil, err
+		}
+		v, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &LoopStmt{At: t.at, Name: name.text, Value: v}, nil
+	}
+	// element store: IDENT "[" expr "]" "<-" expr
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, errf(p.cur().at, "expected loop statement (new x <- e, or a[i] <- e), found %s", p.cur().describe())
+	}
+	if _, err := p.expect("["); err != nil {
+		return nil, err
+	}
+	idx, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("]"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("<-"); err != nil {
+		return nil, err
+	}
+	v, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &LoopStmt{At: name.at, IsStore: true,
+		Seq: &VarRef{At: name.at, Name: name.text}, Idx: idx, Value: v}, nil
+}

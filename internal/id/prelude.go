@@ -1,0 +1,116 @@
+package id
+
+// Section 2.2.4 names two data-structure operations: SELECT (a FETCH) and
+// APPEND, which "generates a new data structure which differs from the
+// input structure in one selected position" — and footnote 4 notes that an
+// APPEND can cause a new copy of the structure to be created. MiniID
+// exposes APPEND as the builtin-looking function
+//
+//	append(a, i, v)
+//
+// compiled from the prelude below: allocate a fresh I-structure, start a
+// copy loop, and return the new reference immediately. The copy loop's
+// reads defer element-by-element on the source's presence bits and its
+// writes fill the new structure's presence bits, so consumers of the new
+// structure synchronize with the copy exactly as with any producer — the
+// reference is usable before the copy completes. The element at position i
+// comes from v; the conditional's gating ensures the superseded source
+// element is not even fetched.
+//
+// A user definition of append shadows the prelude.
+const preludeAppend = `
+def append(a, i, v) =
+  { b = array(len(a));
+    fill = (initial z <- 0
+            for j from 0 to len(a) - 1 do
+              b[j] <- if j == i then v else a[j];
+              new z <- z
+            return 0);
+    b };
+`
+
+// usesCall reports whether any expression in the file calls the named
+// function.
+func usesCall(f *File, name string) bool {
+	found := false
+	for _, d := range f.Defs {
+		walkExpr(d.Body, func(e Expr) {
+			if c, ok := e.(*Call); ok && c.Name == name {
+				found = true
+			}
+		})
+	}
+	return found
+}
+
+// defines reports whether the file defines the named function.
+func defines(f *File, name string) bool {
+	for _, d := range f.Defs {
+		if d.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// injectPrelude appends prelude definitions for referenced-but-undefined
+// library functions.
+func injectPrelude(f *File) error {
+	if usesCall(f, "append") && !defines(f, "append") {
+		pf, err := Parse(preludeAppend)
+		if err != nil {
+			return err
+		}
+		f.Defs = append(f.Defs, pf.Defs...)
+	}
+	return nil
+}
+
+// walkExpr visits e and every sub-expression.
+func walkExpr(e Expr, visit func(Expr)) {
+	if e == nil {
+		return
+	}
+	visit(e)
+	switch n := e.(type) {
+	case *Unary:
+		walkExpr(n.X, visit)
+	case *Binary:
+		walkExpr(n.L, visit)
+		walkExpr(n.R, visit)
+	case *Call:
+		for _, a := range n.Args {
+			walkExpr(a, visit)
+		}
+	case *If:
+		walkExpr(n.Cond, visit)
+		walkExpr(n.Then, visit)
+		walkExpr(n.Else, visit)
+	case *Index:
+		walkExpr(n.Seq, visit)
+		walkExpr(n.Idx, visit)
+	case *ArrayAlloc:
+		walkExpr(n.Size, visit)
+	case *Let:
+		for _, b := range n.Bindings {
+			walkExpr(b.Seq, visit)
+			walkExpr(b.Idx, visit)
+			walkExpr(b.Value, visit)
+		}
+		walkExpr(n.Body, visit)
+	case *Loop:
+		for _, b := range n.Initial {
+			walkExpr(b.Value, visit)
+		}
+		walkExpr(n.From, visit)
+		walkExpr(n.To, visit)
+		walkExpr(n.By, visit)
+		walkExpr(n.Cond, visit)
+		for _, st := range n.Body {
+			walkExpr(st.Seq, visit)
+			walkExpr(st.Idx, visit)
+			walkExpr(st.Value, visit)
+		}
+		walkExpr(n.Return, visit)
+	}
+}

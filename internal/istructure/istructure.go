@@ -1,0 +1,260 @@
+// Package istructure implements I-structure storage (Section 2.1, Figure
+// 2-1): memory whose cells carry presence bits and whose controller defers
+// read requests that arrive before the corresponding write, forwarding the
+// datum to every deferred reader when the write lands.
+//
+// The package also provides a Denelcor-HEP-style full/empty memory
+// (footnote 2 of the paper) in which unsatisfiable reads are NACKed and the
+// requester must busy-wait, for the E4 comparison between deferral and
+// retry.
+package istructure
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// CellState is the presence-bit state of one storage cell.
+type CellState uint8
+
+// Cell states, as in Figure 2-1.
+const (
+	Empty    CellState = iota // never written, no waiting readers
+	Deferred                  // never written, readers waiting
+	Present                   // written
+)
+
+func (s CellState) String() string {
+	switch s {
+	case Empty:
+		return "empty"
+	case Deferred:
+		return "deferred"
+	case Present:
+		return "present"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// Op is the request type handled by the controller.
+type Op uint8
+
+// Controller operations.
+const (
+	OpRead Op = iota
+	OpWrite
+	OpClear // reset a cell to empty (structure reuse; errors if readers wait)
+)
+
+// Request is one packet-carried operation on I-structure storage. ReplyTo
+// is an opaque continuation (the machine puts a token tag here) returned
+// verbatim on the response.
+type Request struct {
+	Op      Op
+	Addr    uint32
+	Value   interface{}
+	ReplyTo interface{}
+}
+
+// Response carries a fetched value back to the requester.
+type Response struct {
+	Addr    uint32
+	Value   interface{}
+	ReplyTo interface{}
+}
+
+// cell is one word of I-structure storage plus its presence bits and
+// deferred read list.
+type cell struct {
+	state   CellState
+	value   interface{}
+	waiters []interface{} // ReplyTo continuations of deferred readers
+}
+
+// Stats aggregates controller measurements.
+type Stats struct {
+	Reads          metrics.Counter
+	Writes         metrics.Counter
+	DeferredReads  metrics.Counter // reads that arrived before the write
+	ImmediateReads metrics.Counter
+	Errors         metrics.Counter
+	// DeferListLen observes the deferred-list length consumed by each
+	// write that found waiters.
+	DeferListLen *metrics.Histogram
+	// Outstanding tracks currently-deferred reads (peak = storage the
+	// controller must dedicate to the deferred lists).
+	Outstanding metrics.Gauge
+	// Busy counts controller-occupied cycles.
+	Busy metrics.Counter
+}
+
+// Module is a cycle-stepped I-structure storage controller serving the
+// address range [Base, Base+Size). Requests queue at the controller; a
+// read occupies it for ReadTime cycles and a write for WriteTime cycles
+// ("write operations take twice as long ... due to the prefetching of
+// presence bits").
+type Module struct {
+	base, size uint32
+	cells      []cell
+	respond    func(Response)
+
+	readTime, writeTime sim.Cycle
+	queue               []Request
+	busyUntil           sim.Cycle
+	stats               Stats
+	strict              bool
+}
+
+// Config parameterizes a module.
+type Config struct {
+	Base uint32
+	Size uint32
+	// ReadTime and WriteTime are the controller occupancy per operation;
+	// zero values default to 1 and 2 (the paper's ratio).
+	ReadTime  sim.Cycle
+	WriteTime sim.Cycle
+	// Respond receives fetched values (immediate or previously deferred).
+	Respond func(Response)
+	// Strict makes double writes an error (single-assignment discipline);
+	// when false, rewrites are counted but overwrite silently.
+	Strict bool
+}
+
+// New returns an I-structure module.
+func New(cfg Config) *Module {
+	if cfg.ReadTime == 0 {
+		cfg.ReadTime = 1
+	}
+	if cfg.WriteTime == 0 {
+		cfg.WriteTime = 2
+	}
+	m := &Module{
+		base:      cfg.Base,
+		size:      cfg.Size,
+		cells:     make([]cell, cfg.Size),
+		respond:   cfg.Respond,
+		readTime:  cfg.ReadTime,
+		writeTime: cfg.WriteTime,
+		strict:    cfg.Strict,
+	}
+	m.stats.DeferListLen = metrics.NewHistogram(1, 2, 4, 8, 16, 32, 64, 128)
+	return m
+}
+
+// Base returns the first address served.
+func (m *Module) Base() uint32 { return m.base }
+
+// Size returns the number of cells.
+func (m *Module) Size() uint32 { return m.size }
+
+// Stats returns the controller's measurements.
+func (m *Module) Stats() *Stats { return &m.stats }
+
+// QueueLen returns the number of requests waiting for the controller.
+func (m *Module) QueueLen() int { return len(m.queue) }
+
+// OutstandingDeferred returns the number of reads currently deferred.
+func (m *Module) OutstandingDeferred() int { return int(m.stats.Outstanding.Level()) }
+
+// Enqueue hands a request to the controller. The caller is responsible for
+// routing: Addr must be in range.
+func (m *Module) Enqueue(r Request) error {
+	if r.Addr < m.base || r.Addr >= m.base+m.size {
+		return fmt.Errorf("istructure: address %d outside module [%d,%d)", r.Addr, m.base, m.base+m.size)
+	}
+	m.queue = append(m.queue, r)
+	return nil
+}
+
+// Idle reports whether the controller has no queued work.
+func (m *Module) Idle() bool { return len(m.queue) == 0 }
+
+// Step advances one cycle, servicing at most one request when the
+// controller is free.
+func (m *Module) Step(now sim.Cycle) {
+	if now < m.busyUntil {
+		m.stats.Busy.Inc()
+		return
+	}
+	if len(m.queue) == 0 {
+		return
+	}
+	r := m.queue[0]
+	copy(m.queue, m.queue[1:])
+	m.queue = m.queue[:len(m.queue)-1]
+	m.stats.Busy.Inc()
+	switch r.Op {
+	case OpRead:
+		m.busyUntil = now + m.readTime
+		m.read(r)
+	case OpWrite:
+		m.busyUntil = now + m.writeTime
+		m.write(r)
+	case OpClear:
+		m.busyUntil = now + m.writeTime
+		m.clear(r)
+	}
+}
+
+// read services a read request per Figure 2-1: present cells respond
+// immediately; empty cells defer the request on the cell's deferred list.
+func (m *Module) read(r Request) {
+	c := &m.cells[r.Addr-m.base]
+	m.stats.Reads.Inc()
+	switch c.state {
+	case Present:
+		m.stats.ImmediateReads.Inc()
+		m.respond(Response{Addr: r.Addr, Value: c.value, ReplyTo: r.ReplyTo})
+	default:
+		c.state = Deferred
+		c.waiters = append(c.waiters, r.ReplyTo)
+		m.stats.DeferredReads.Inc()
+		m.stats.Outstanding.Add(1)
+	}
+}
+
+// write services a write: store the datum, set the presence bits, and
+// satisfy every deferred reader.
+func (m *Module) write(r Request) {
+	c := &m.cells[r.Addr-m.base]
+	m.stats.Writes.Inc()
+	if c.state == Present {
+		m.stats.Errors.Inc()
+		if m.strict {
+			panic(fmt.Sprintf("istructure: double write to address %d (single-assignment violation)", r.Addr))
+		}
+	}
+	if len(c.waiters) > 0 {
+		m.stats.DeferListLen.Observe(uint64(len(c.waiters)))
+		for _, w := range c.waiters {
+			m.respond(Response{Addr: r.Addr, Value: r.Value, ReplyTo: w})
+		}
+		m.stats.Outstanding.Add(-int64(len(c.waiters)))
+		c.waiters = nil
+	}
+	c.state = Present
+	c.value = r.Value
+}
+
+// clear resets a cell for structure reuse.
+func (m *Module) clear(r Request) {
+	c := &m.cells[r.Addr-m.base]
+	if len(c.waiters) > 0 {
+		m.stats.Errors.Inc()
+		if m.strict {
+			panic(fmt.Sprintf("istructure: clear of address %d with %d deferred readers", r.Addr, len(c.waiters)))
+		}
+	}
+	c.state = Empty
+	c.value = nil
+	c.waiters = nil
+}
+
+// State reports a cell's presence state (for tests and dumps).
+func (m *Module) State(addr uint32) CellState { return m.cells[addr-m.base].state }
+
+// Value reports a written cell's value, or nil.
+func (m *Module) Value(addr uint32) interface{} { return m.cells[addr-m.base].value }

@@ -1,0 +1,230 @@
+// Package cmmp models C.mmp (Section 1.2.1): up to 16 minicomputer-class
+// processors connected to shared memory banks through a crossbar switch.
+// Processors run the blocking vn core (one outstanding memory reference);
+// synchronization uses TAS spinlocks, the Hydra-style semaphore whose cost
+// relative to an ALU operation the paper calls "rather high".
+//
+// The two measurable claims reproduced from the paper's discussion:
+//
+//   - the crossbar's cost grows at least quadratically with port count
+//     (network.CrossbarCost), while its latency is flat until contention;
+//   - semaphore acquire/release costs tens of ALU-operation equivalents,
+//     and grows with contention.
+package cmmp
+
+import (
+	"fmt"
+
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/vn"
+)
+
+// Config sizes the machine.
+type Config struct {
+	Processors int
+	Banks      int
+	// BankWords is the address space per bank; addresses interleave
+	// word-by-word across banks.
+	BankWords uint32
+	// SwitchDelay is the crossbar transit time.
+	SwitchDelay sim.Cycle
+	// BankService is the per-request bank occupancy.
+	BankService sim.Cycle
+}
+
+func (c Config) withDefaults() Config {
+	if c.Processors == 0 {
+		c.Processors = 16
+	}
+	if c.Banks == 0 {
+		c.Banks = 16
+	}
+	if c.BankWords == 0 {
+		c.BankWords = 1 << 16
+	}
+	if c.SwitchDelay == 0 {
+		c.SwitchDelay = 2
+	}
+	if c.BankService == 0 {
+		c.BankService = 2
+	}
+	return c
+}
+
+// Machine is the assembled C.mmp model.
+type Machine struct {
+	cfg   Config
+	cores []*vn.Core
+	xbar  *network.Crossbar
+	banks []*vn.BankedMemory
+
+	// per-port retry queues for refused crossbar sends
+	retry [][]*network.Packet
+	now   sim.Cycle
+}
+
+// memMsg is a request or response crossing the crossbar.
+type memMsg struct {
+	req      vn.MemRequest
+	isReply  bool
+	value    vn.Word
+	origDone func(vn.Word)
+}
+
+// port numbering: 0..P-1 processors, P..P+B-1 banks.
+func (m *Machine) bankPort(b int) int { return m.cfg.Processors + b }
+
+// New builds the machine and loads the same program into every core with k
+// hardware contexts each (k=1 for the historical blocking configuration).
+func New(cfg Config, prog *vn.Program, contextsPerCore int) *Machine {
+	cfg = cfg.withDefaults()
+	m := &Machine{cfg: cfg}
+	ports := cfg.Processors + cfg.Banks
+	m.xbar = network.NewCrossbar(ports, cfg.SwitchDelay, 64)
+	m.retry = make([][]*network.Packet, ports)
+	m.banks = make([]*vn.BankedMemory, cfg.Banks)
+	for b := range m.banks {
+		m.banks[b] = vn.NewBankedMemory(1, cfg.BankService)
+	}
+	m.xbar.SetDelivery(m.deliver)
+	for p := 0; p < cfg.Processors; p++ {
+		port := &cpuPort{m: m, cpu: p}
+		m.cores = append(m.cores, vn.NewCore(prog, port, contextsPerCore))
+	}
+	return m
+}
+
+// cpuPort adapts a core's memory interface to crossbar packets.
+type cpuPort struct {
+	m   *Machine
+	cpu int
+}
+
+// Request routes the memory operation to its bank through the crossbar.
+func (p *cpuPort) Request(r vn.MemRequest) {
+	bank := int(r.Addr) % p.m.cfg.Banks
+	pkt := &network.Packet{
+		Src:     p.cpu,
+		Dst:     p.m.bankPort(bank),
+		Payload: &memMsg{req: r},
+	}
+	p.m.send(pkt)
+}
+
+// send transmits with per-source retry on backpressure.
+func (m *Machine) send(pkt *network.Packet) {
+	if len(m.retry[pkt.Src]) > 0 || !m.xbar.Send(pkt) {
+		m.retry[pkt.Src] = append(m.retry[pkt.Src], pkt)
+	}
+}
+
+// deliver handles packets reaching their crossbar output.
+func (m *Machine) deliver(pkt *network.Packet) {
+	msg := pkt.Payload.(*memMsg)
+	if msg.isReply {
+		msg.origDone(msg.value)
+		return
+	}
+	// arrived at a bank: perform the access, then send the reply back
+	bank := pkt.Dst - m.cfg.Processors
+	cpu := pkt.Src
+	req := msg.req
+	orig := req.Done
+	localAddr := req.Addr / uint32(m.cfg.Banks)
+	req.Addr = localAddr
+	req.Done = func(v vn.Word) {
+		reply := &network.Packet{
+			Src:     m.bankPort(bank),
+			Dst:     cpu,
+			Payload: &memMsg{isReply: true, value: v, origDone: orig},
+		}
+		m.send(reply)
+	}
+	m.banks[bank].Request(req)
+}
+
+// Step advances the whole machine one cycle.
+func (m *Machine) Step(now sim.Cycle) {
+	m.now = now
+	for src := range m.retry {
+		for len(m.retry[src]) > 0 {
+			if !m.xbar.Send(m.retry[src][0]) {
+				break
+			}
+			copy(m.retry[src], m.retry[src][1:])
+			m.retry[src] = m.retry[src][:len(m.retry[src])-1]
+		}
+	}
+	m.xbar.Step(now)
+	for _, b := range m.banks {
+		b.Step(now)
+	}
+	for _, c := range m.cores {
+		c.Step(now)
+	}
+}
+
+// Halted reports whether every core halted.
+func (m *Machine) Halted() bool {
+	for _, c := range m.cores {
+		if !c.Halted() {
+			return false
+		}
+	}
+	return true
+}
+
+// drainPending reports outstanding traffic.
+func (m *Machine) drainPending() bool {
+	if m.xbar.Pending() > 0 {
+		return true
+	}
+	for _, b := range m.banks {
+		if b.Pending() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Run steps until every core halts and the memory system drains.
+func (m *Machine) Run(limit sim.Cycle) (sim.Cycle, error) {
+	start := m.now
+	for m.now-start < limit {
+		if m.Halted() && !m.drainPending() {
+			return m.now - start, nil
+		}
+		m.Step(m.now)
+		m.now++
+	}
+	return m.now - start, fmt.Errorf("cmmp: did not halt within %d cycles", limit)
+}
+
+// Core returns processor p.
+func (m *Machine) Core(p int) *vn.Core { return m.cores[p] }
+
+// Bank returns bank b (for Poke/Peek with bank-local addresses).
+func (m *Machine) Bank(b int) *vn.BankedMemory { return m.banks[b] }
+
+// Poke writes a global address directly.
+func (m *Machine) Poke(addr uint32, v vn.Word) {
+	m.banks[int(addr)%m.cfg.Banks].Poke(addr/uint32(m.cfg.Banks), v)
+}
+
+// Peek reads a global address directly.
+func (m *Machine) Peek(addr uint32) vn.Word {
+	return m.banks[int(addr)%m.cfg.Banks].Peek(addr / uint32(m.cfg.Banks))
+}
+
+// Crossbar exposes the switch for statistics.
+func (m *Machine) Crossbar() *network.Crossbar { return m.xbar }
+
+// MeanUtilization averages core utilization.
+func (m *Machine) MeanUtilization() float64 {
+	u := 0.0
+	for _, c := range m.cores {
+		u += c.Stats().Utilization()
+	}
+	return u / float64(len(m.cores))
+}

@@ -1,0 +1,150 @@
+package cmmp
+
+import (
+	"testing"
+
+	"repro/internal/vn"
+)
+
+// counterProgram increments a shared counter n times under a TAS spinlock.
+// r10 = lock address, r11 = counter address, r5 = iterations (set per
+// context before the run).
+const counterProgram = `
+        li   r10, 0       ; lock at global address 0
+        li   r11, 1       ; counter at global address 1
+outer:  beq  r5, r0, done
+spin:   tas  r3, r10
+        bne  r3, r0, spin
+        ld   r4, r11, 0
+        addi r4, r4, 1
+        st   r4, r11, 0
+        st   r0, r10, 0   ; release
+        addi r5, r5, -1
+        j    outer
+done:   halt
+`
+
+// localProgram does the same number of pure ALU iterations with no shared
+// memory at all — the cost baseline.
+const localProgram = `
+outer:  beq  r5, r0, done
+        addi r4, r4, 1
+        addi r5, r5, -1
+        j    outer
+done:   halt
+`
+
+func build(t *testing.T, src string, cfg Config, iters int64) *Machine {
+	t.Helper()
+	prog, err := vn.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(cfg, prog, 1)
+	for p := 0; p < cfg.Processors; p++ {
+		m.Core(p).Context(0).SetReg(5, iters)
+	}
+	return m
+}
+
+func TestSharedCounterExact(t *testing.T) {
+	cfg := Config{Processors: 4, Banks: 4}
+	m := build(t, counterProgram, cfg, 25)
+	if _, err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Peek(1); got != 100 {
+		t.Fatalf("counter = %d, want 100 (lock broken)", got)
+	}
+	if got := m.Peek(0); got != 0 {
+		t.Fatalf("lock left held: %d", got)
+	}
+}
+
+func TestSemaphoreCostExceedsALUOp(t *testing.T) {
+	// The paper: semaphore synchronization cost "relative to, say, an ALU
+	// operation is rather high". Compare cycles/iteration.
+	cfg := Config{Processors: 4, Banks: 4}
+	sync := build(t, counterProgram, cfg, 50)
+	syncCycles, err := sync.Run(2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := build(t, localProgram, cfg, 50)
+	localCycles, err := local.Run(2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if syncCycles < 5*localCycles {
+		t.Fatalf("semaphore loop (%d cycles) should cost >> ALU loop (%d cycles)", syncCycles, localCycles)
+	}
+}
+
+func TestLockSerializationPreventsSpeedup(t *testing.T) {
+	// Adding processors to a lock-protected counter buys no speedup: total
+	// work grows with p but the critical section serializes everything.
+	cyclesFor := func(p int) float64 {
+		cfg := Config{Processors: p, Banks: 4}
+		m := build(t, counterProgram, cfg, 20)
+		cycles, err := m.Run(10_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := m.Peek(1); got != vn.Word(20*p) {
+			t.Fatalf("p=%d: counter = %d, want %d", p, got, 20*p)
+		}
+		return float64(cycles)
+	}
+	c1, c8 := cyclesFor(1), cyclesFor(8)
+	if c8 < 5*c1 {
+		t.Fatalf("8 processors on one lock should take ~8x the time of 1 (serialized): 1p=%v 8p=%v", c1, c8)
+	}
+}
+
+func TestIndependentWorkScalesOnCrossbar(t *testing.T) {
+	// With disjoint data, the crossbar gives near-linear scaling — the
+	// machine's latency problem is circumvented, not solved, as the paper
+	// says: the switch is as fast as local memory.
+	prog := `
+        ; r1 = private base, r5 = iterations
+loop:   beq  r5, r0, done
+        ld   r2, r1, 0
+        add  r3, r3, r2
+        addi r1, r1, 1
+        addi r5, r5, -1
+        j    loop
+done:   halt
+`
+	run := func(p int) (cycles float64, util float64) {
+		cfg := Config{Processors: p, Banks: 16}
+		m := build(t, prog, cfg, 100)
+		for q := 0; q < p; q++ {
+			m.Core(q).Context(0).SetReg(1, vn.Word(1000+1000*q))
+		}
+		c, err := m.Run(1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(c), m.MeanUtilization()
+	}
+	c1, _ := run(1)
+	c8, u8 := run(8)
+	if c8 > c1*1.5 {
+		t.Fatalf("independent work should not slow down much: 1p=%v 8p=%v", c1, c8)
+	}
+	if u8 < 0.3 {
+		t.Fatalf("utilization collapsed on independent work: %v", u8)
+	}
+}
+
+func TestPokePeekRoundTrip(t *testing.T) {
+	m := build(t, localProgram, Config{Processors: 2, Banks: 4}, 1)
+	for a := uint32(0); a < 64; a++ {
+		m.Poke(a, vn.Word(a*3))
+	}
+	for a := uint32(0); a < 64; a++ {
+		if m.Peek(a) != vn.Word(a*3) {
+			t.Fatalf("addr %d: %d", a, m.Peek(a))
+		}
+	}
+}

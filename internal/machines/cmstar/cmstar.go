@@ -1,0 +1,220 @@
+// Package cmstar models Cm* (Section 1.2.2): clusters of LSI-11-class
+// processors, each cluster with its own memory and map bus, joined by
+// Kmap communication controllers into a hierarchy. The Kmap itself could
+// context-switch across outstanding remote references, but the processors
+// could not: a non-local memory reference idles the issuing processor for
+// the whole round trip. Greater inter-cluster distance therefore means
+// longer reference times and lower processor utilization — the behaviour
+// (Deminet's measurements) that, as the paper says, "demonstrated quite
+// clearly the importance of Issue 1".
+package cmstar
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/vn"
+)
+
+// Config sizes the machine.
+type Config struct {
+	Clusters        int
+	CoresPerCluster int
+	// ClusterWords is the memory per cluster; global address a lives in
+	// cluster a/ClusterWords.
+	ClusterWords uint32
+	// BusService is the cluster map-bus occupancy per request; BusLatency
+	// the access time.
+	BusService, BusLatency sim.Cycle
+	// KmapService is the Kmap occupancy per remote request (charged at
+	// the source); HopLatency is the per-cluster-hop transit time over
+	// the intercluster links (clusters form a chain: distance |i-j|).
+	KmapService, HopLatency sim.Cycle
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clusters == 0 {
+		c.Clusters = 4
+	}
+	if c.CoresPerCluster == 0 {
+		c.CoresPerCluster = 4
+	}
+	if c.ClusterWords == 0 {
+		c.ClusterWords = 1 << 16
+	}
+	if c.BusService == 0 {
+		c.BusService = 1
+	}
+	if c.BusLatency == 0 {
+		c.BusLatency = 3
+	}
+	if c.KmapService == 0 {
+		c.KmapService = 4
+	}
+	if c.HopLatency == 0 {
+		c.HopLatency = 12
+	}
+	return c
+}
+
+// Stats aggregates machine-level reference counts.
+type Stats struct {
+	LocalRefs  metrics.Counter
+	RemoteRefs metrics.Counter
+	// RemoteLatency observes round-trip times of remote references.
+	RemoteLatency *metrics.Histogram
+}
+
+// Machine is the assembled Cm* model.
+type Machine struct {
+	cfg    Config
+	cores  []*vn.Core // flattened: cluster c core k = cores[c*CoresPerCluster+k]
+	buses  []*vn.BankedMemory
+	events *sim.EventQueue
+	// kmapBusy serializes each cluster's outgoing remote references.
+	kmapBusy []sim.Cycle
+	now      sim.Cycle
+	stats    Stats
+}
+
+// New builds the machine, loading prog into every core (blocking, one
+// context: the LSI-11 could not micro-task).
+func New(cfg Config, prog *vn.Program) *Machine {
+	cfg = cfg.withDefaults()
+	m := &Machine{
+		cfg:      cfg,
+		events:   sim.NewEventQueue(),
+		kmapBusy: make([]sim.Cycle, cfg.Clusters),
+	}
+	m.stats.RemoteLatency = metrics.NewHistogram(4, 8, 16, 32, 64, 128, 256, 512)
+	for c := 0; c < cfg.Clusters; c++ {
+		m.buses = append(m.buses, vn.NewBankedMemory(cfg.BusLatency, cfg.BusService))
+		for k := 0; k < cfg.CoresPerCluster; k++ {
+			port := &clusterPort{m: m, cluster: c}
+			m.cores = append(m.cores, vn.NewCore(prog, port, 1))
+		}
+	}
+	return m
+}
+
+// clusterPort is the memory interface seen by cores of one cluster.
+type clusterPort struct {
+	m       *Machine
+	cluster int
+}
+
+// Request routes locally over the map bus or remotely through the Kmap.
+func (p *clusterPort) Request(r vn.MemRequest) {
+	m := p.m
+	target := int(r.Addr / m.cfg.ClusterWords)
+	if target >= m.cfg.Clusters {
+		panic(fmt.Sprintf("cmstar: address %d beyond cluster space", r.Addr))
+	}
+	local := r.Addr % m.cfg.ClusterWords
+	if target == p.cluster {
+		m.stats.LocalRefs.Inc()
+		r.Addr = local
+		m.buses[target].Request(r)
+		return
+	}
+	// Remote: source Kmap serializes, then the request transits |i-j|
+	// hops, queues at the remote bus, and the reply transits back.
+	m.stats.RemoteRefs.Inc()
+	dist := target - p.cluster
+	if dist < 0 {
+		dist = -dist
+	}
+	transit := m.cfg.HopLatency * sim.Cycle(dist)
+	start := m.now
+	if m.kmapBusy[p.cluster] > start {
+		start = m.kmapBusy[p.cluster]
+	}
+	m.kmapBusy[p.cluster] = start + m.cfg.KmapService
+	issued := m.now
+	orig := r.Done
+	remote := r
+	remote.Addr = local
+	remote.Done = func(v vn.Word) {
+		// reply transits back; deliver to the core after the return trip
+		m.events.At(m.events.Now()+transit, func() {
+			m.stats.RemoteLatency.Observe(uint64(m.now - issued))
+			orig(v)
+		})
+	}
+	m.events.At(start+m.cfg.KmapService+transit, func() {
+		m.buses[target].Request(remote)
+	})
+}
+
+// Step advances the machine one cycle.
+func (m *Machine) Step(now sim.Cycle) {
+	m.now = now
+	m.events.RunUntil(now)
+	for _, b := range m.buses {
+		b.Step(now)
+	}
+	for _, c := range m.cores {
+		c.Step(now)
+	}
+}
+
+// Halted reports whether every core halted.
+func (m *Machine) Halted() bool {
+	for _, c := range m.cores {
+		if !c.Halted() {
+			return false
+		}
+	}
+	return true
+}
+
+// Run steps until all cores halt and traffic drains.
+func (m *Machine) Run(limit sim.Cycle) (sim.Cycle, error) {
+	start := m.now
+	for m.now-start < limit {
+		busy := m.events.Len() > 0
+		for _, b := range m.buses {
+			if b.Pending() > 0 {
+				busy = true
+			}
+		}
+		if m.Halted() && !busy {
+			return m.now - start, nil
+		}
+		m.Step(m.now)
+		m.now++
+	}
+	return m.now - start, fmt.Errorf("cmstar: did not halt within %d cycles", limit)
+}
+
+// Core returns the k-th core of cluster c.
+func (m *Machine) Core(c, k int) *vn.Core { return m.cores[c*m.cfg.CoresPerCluster+k] }
+
+// NumCores returns the total processor count.
+func (m *Machine) NumCores() int { return len(m.cores) }
+
+// CoreAt returns core i in flattened order.
+func (m *Machine) CoreAt(i int) *vn.Core { return m.cores[i] }
+
+// Poke writes a global address directly.
+func (m *Machine) Poke(addr uint32, v vn.Word) {
+	m.buses[addr/m.cfg.ClusterWords].Poke(addr%m.cfg.ClusterWords, v)
+}
+
+// Peek reads a global address directly.
+func (m *Machine) Peek(addr uint32) vn.Word {
+	return m.buses[addr/m.cfg.ClusterWords].Peek(addr % m.cfg.ClusterWords)
+}
+
+// Stats returns machine-level reference statistics.
+func (m *Machine) Stats() *Stats { return &m.stats }
+
+// MeanUtilization averages processor utilization.
+func (m *Machine) MeanUtilization() float64 {
+	u := 0.0
+	for _, c := range m.cores {
+		u += c.Stats().Utilization()
+	}
+	return u / float64(len(m.cores))
+}

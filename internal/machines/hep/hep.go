@@ -1,0 +1,207 @@
+// Package hep models the Denelcor HEP (paper footnote 2; Smith 1978): a
+// pipelined MIMD machine whose processors multiplex many hardware process
+// contexts, synchronizing through full/empty bits on shared memory cells.
+// An unsatisfiable access — consuming an empty cell, producing into a full
+// one — is not deferred: the hardware retries it, burning memory bandwidth
+// until it succeeds ("there is no such thing as a deferred read list").
+//
+// The model assembles k-context vn cores over a shared full/empty memory
+// whose retry traffic is counted, making the contrast with I-structure
+// deferral (internal/istructure) directly measurable.
+package hep
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/vn"
+)
+
+// Config sizes the machine.
+type Config struct {
+	Processors      int
+	ContextsPerCore int
+	// MemLatency is the response time after service; MemService the bank
+	// occupancy per attempt (including failed, retried attempts).
+	MemLatency, MemService sim.Cycle
+}
+
+func (c Config) withDefaults() Config {
+	if c.Processors == 0 {
+		c.Processors = 1
+	}
+	if c.ContextsPerCore == 0 {
+		c.ContextsPerCore = 8
+	}
+	if c.MemLatency == 0 {
+		c.MemLatency = 2
+	}
+	if c.MemService == 0 {
+		c.MemService = 1
+	}
+	return c
+}
+
+// FullEmptyMemory is shared memory with a full/empty bit per word. CNS and
+// PRD requests that find the wrong state go to the back of the queue and
+// try again — hardware busy-waiting, visible in Retries.
+type FullEmptyMemory struct {
+	latency, service sim.Cycle
+	words            map[uint32]vn.Word
+	full             map[uint32]bool
+	queue            []vn.MemRequest
+	busyUntil        sim.Cycle
+	due              map[sim.Cycle][]completed
+	pending          int
+
+	// Served counts service slots consumed (including failed attempts);
+	// Retries counts the failed attempts themselves.
+	Served  metrics.Counter
+	Retries metrics.Counter
+}
+
+type completed struct {
+	r vn.MemRequest
+	v vn.Word
+}
+
+// NewFullEmptyMemory returns an empty memory (all cells empty).
+func NewFullEmptyMemory(latency, service sim.Cycle) *FullEmptyMemory {
+	return &FullEmptyMemory{
+		latency: latency, service: service,
+		words: map[uint32]vn.Word{}, full: map[uint32]bool{},
+		due: map[sim.Cycle][]completed{},
+	}
+}
+
+// Request queues a memory operation.
+func (m *FullEmptyMemory) Request(r vn.MemRequest) {
+	m.queue = append(m.queue, r)
+	m.pending++
+}
+
+// Pending reports queued plus in-flight requests.
+func (m *FullEmptyMemory) Pending() int { return m.pending }
+
+// Poke stores a value and marks the cell full.
+func (m *FullEmptyMemory) Poke(addr uint32, v vn.Word) {
+	m.words[addr] = v
+	m.full[addr] = true
+}
+
+// Peek reads a value regardless of state.
+func (m *FullEmptyMemory) Peek(addr uint32) vn.Word { return m.words[addr] }
+
+// Full reports a cell's state.
+func (m *FullEmptyMemory) Full(addr uint32) bool { return m.full[addr] }
+
+// Step services one attempt per service time and delivers due responses.
+func (m *FullEmptyMemory) Step(now sim.Cycle) {
+	for _, c := range m.due[now] {
+		m.pending--
+		if c.r.Done != nil {
+			c.r.Done(c.v)
+		}
+	}
+	delete(m.due, now)
+	if now < m.busyUntil || len(m.queue) == 0 {
+		return
+	}
+	r := m.queue[0]
+	copy(m.queue, m.queue[1:])
+	m.queue = m.queue[:len(m.queue)-1]
+	m.busyUntil = now + m.service
+	m.Served.Inc()
+
+	var v vn.Word
+	switch r.Op {
+	case vn.MemConsume:
+		if !m.full[r.Addr] {
+			m.Retries.Inc()
+			m.queue = append(m.queue, r) // busy-wait: go around again
+			return
+		}
+		v = m.words[r.Addr]
+		m.full[r.Addr] = false
+	case vn.MemProduce:
+		if m.full[r.Addr] {
+			m.Retries.Inc()
+			m.queue = append(m.queue, r)
+			return
+		}
+		m.words[r.Addr] = r.Value
+		m.full[r.Addr] = true
+	case vn.MemRead:
+		v = m.words[r.Addr]
+	case vn.MemWrite:
+		m.words[r.Addr] = r.Value
+		m.full[r.Addr] = true
+	case vn.MemFetchAdd:
+		v = m.words[r.Addr]
+		m.words[r.Addr] = v + r.Value
+		m.full[r.Addr] = true
+	case vn.MemTestSet:
+		v = m.words[r.Addr]
+		m.words[r.Addr] = 1
+		m.full[r.Addr] = true
+	}
+	m.due[now+m.latency] = append(m.due[now+m.latency], completed{r: r, v: v})
+}
+
+// Machine is the assembled HEP model: every core shares one full/empty
+// memory (the HEP's data memory was likewise shared through its switch).
+type Machine struct {
+	cfg   Config
+	cores []*vn.Core
+	mem   *FullEmptyMemory
+	now   sim.Cycle
+}
+
+// New builds the machine, loading prog into every context of every core.
+func New(cfg Config, prog *vn.Program) *Machine {
+	cfg = cfg.withDefaults()
+	m := &Machine{cfg: cfg, mem: NewFullEmptyMemory(cfg.MemLatency, cfg.MemService)}
+	for p := 0; p < cfg.Processors; p++ {
+		m.cores = append(m.cores, vn.NewCore(prog, m.mem, cfg.ContextsPerCore))
+	}
+	return m
+}
+
+// Core returns processor p.
+func (m *Machine) Core(p int) *vn.Core { return m.cores[p] }
+
+// Memory returns the shared full/empty memory.
+func (m *Machine) Memory() *FullEmptyMemory { return m.mem }
+
+// Halted reports whether every context of every core halted.
+func (m *Machine) Halted() bool {
+	for _, c := range m.cores {
+		if !c.Halted() {
+			return false
+		}
+	}
+	return true
+}
+
+// Step advances one cycle.
+func (m *Machine) Step(now sim.Cycle) {
+	m.now = now
+	m.mem.Step(now)
+	for _, c := range m.cores {
+		c.Step(now)
+	}
+}
+
+// Run steps until everything halts and memory drains.
+func (m *Machine) Run(limit sim.Cycle) (sim.Cycle, error) {
+	start := m.now
+	for m.now-start < limit {
+		if m.Halted() && m.mem.Pending() == 0 {
+			return m.now - start, nil
+		}
+		m.Step(m.now)
+		m.now++
+	}
+	return m.now - start, fmt.Errorf("hep: did not halt within %d cycles", limit)
+}

@@ -1,0 +1,281 @@
+// Package ultra models the NYU Ultracomputer (Section 1.2.3): n blocking
+// processors connected to n memory modules through an omega network whose
+// switches combine FETCH-AND-ADD requests to the same address. Combining
+// removes the hot-spot serial bottleneck at the memory module, at the cost
+// of adders and decombine state in every switch — "one memory reference
+// may involve as many as log2 n additions, and implies substantial
+// hardware complexity".
+package ultra
+
+import (
+	"fmt"
+
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/vn"
+)
+
+// Config sizes the machine.
+type Config struct {
+	// LogProcessors is log2 of the processor (and memory module) count.
+	LogProcessors int
+	// Combining enables switch-level FETCH-AND-ADD combining.
+	Combining bool
+	// BankService is the memory-module occupancy per request.
+	BankService sim.Cycle
+	// QueueCap bounds each switch queue.
+	QueueCap int
+	// ContextsPerCore gives each processor k hardware contexts.
+	ContextsPerCore int
+}
+
+func (c Config) withDefaults() Config {
+	if c.LogProcessors == 0 {
+		c.LogProcessors = 4
+	}
+	if c.BankService == 0 {
+		c.BankService = 2
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 8
+	}
+	if c.ContextsPerCore == 0 {
+		c.ContextsPerCore = 1
+	}
+	return c
+}
+
+// faaReq is a combinable FETCH-AND-ADD request payload.
+type faaReq struct {
+	addr  uint32
+	delta vn.Word
+	done  func(vn.Word)
+}
+
+// reply carries a completed operation's value back to its continuation.
+type reply struct {
+	val  vn.Word
+	done func(vn.Word)
+}
+
+// CombineKey combines only with requests for the same address.
+func (f faaReq) CombineKey() (uint64, bool) { return uint64(f.addr), true }
+
+// Combine merges with the arriving request o. The queued request (f)
+// continues forward carrying the summed delta; on the way back the switch
+// splits the fetched value v into v (for f) and v+f.delta (for o) — the
+// Ultracomputer's serialization semantics.
+func (f faaReq) Combine(other network.Combinable) (network.Combinable, network.SplitFunc) {
+	o := other.(faaReq)
+	merged := faaReq{addr: f.addr, delta: f.delta + o.delta, done: f.done}
+	split := func(r interface{}) (interface{}, interface{}) {
+		v := r.(reply)
+		return reply{val: v.val, done: f.done}, reply{val: v.val + f.delta, done: o.done}
+	}
+	return merged, split
+}
+
+// plainReq is a non-combinable memory operation.
+type plainReq struct {
+	req vn.MemRequest
+}
+
+// bank is one memory module on the omega network's memory side.
+type bank struct {
+	words     map[uint32]vn.Word
+	queue     []*network.Packet
+	busyUntil sim.Cycle
+	// pendingReplies holds replies refused by a full reverse queue.
+	pendingReplies []pendingReply
+	served         uint64
+}
+
+type pendingReply struct {
+	pkt     *network.Packet
+	payload interface{}
+}
+
+// Machine is the assembled Ultracomputer model.
+type Machine struct {
+	cfg   Config
+	n     int
+	cores []*vn.Core
+	net   *network.Omega
+	banks []*bank
+	now   sim.Cycle
+	// sendRetry holds injections refused by network backpressure.
+	sendRetry []*network.Packet
+}
+
+// New builds the machine running prog on every core.
+func New(cfg Config, prog *vn.Program) *Machine {
+	cfg = cfg.withDefaults()
+	n := 1 << cfg.LogProcessors
+	m := &Machine{cfg: cfg, n: n}
+	m.net = network.NewOmega(cfg.LogProcessors, cfg.QueueCap, cfg.Combining)
+	m.banks = make([]*bank, n)
+	for i := range m.banks {
+		m.banks[i] = &bank{words: map[uint32]vn.Word{}}
+	}
+	m.net.SetDelivery(m.arriveAtBank)
+	m.net.SetReplyDelivery(m.arriveAtCore)
+	for p := 0; p < n; p++ {
+		port := &cpuPort{m: m, cpu: p}
+		m.cores = append(m.cores, vn.NewCore(prog, port, cfg.ContextsPerCore))
+	}
+	return m
+}
+
+// cpuPort adapts a core's memory interface to omega packets.
+type cpuPort struct {
+	m   *Machine
+	cpu int
+}
+
+// Request injects the operation toward its memory module; address a lives
+// on module a mod n.
+func (p *cpuPort) Request(r vn.MemRequest) {
+	dst := int(r.Addr) % p.m.n
+	var payload interface{}
+	if r.Op == vn.MemFetchAdd {
+		payload = faaReq{addr: r.Addr, delta: r.Value, done: r.Done}
+	} else {
+		payload = plainReq{req: r}
+	}
+	pkt := &network.Packet{Src: p.cpu, Dst: dst, Payload: payload}
+	if !p.m.net.Send(pkt) {
+		p.m.sendRetry = append(p.m.sendRetry, pkt)
+	}
+}
+
+// arriveAtBank queues a request at its memory module.
+func (m *Machine) arriveAtBank(p *network.Packet) {
+	m.banks[p.Dst].queue = append(m.banks[p.Dst].queue, p)
+}
+
+// arriveAtCore completes a memory operation at the issuing processor.
+func (m *Machine) arriveAtCore(p *network.Packet) {
+	r := p.Payload.(reply)
+	if r.done != nil {
+		r.done(r.val)
+	}
+}
+
+// stepBank services one request per BankService cycles and retries refused
+// replies.
+func (m *Machine) stepBank(b *bank, now sim.Cycle) {
+	if len(b.pendingReplies) > 0 {
+		rest := b.pendingReplies[:0]
+		for _, pr := range b.pendingReplies {
+			if !m.net.Reply(pr.pkt, pr.payload) {
+				rest = append(rest, pr)
+			}
+		}
+		b.pendingReplies = rest
+	}
+	if now < b.busyUntil || len(b.queue) == 0 {
+		return
+	}
+	pkt := b.queue[0]
+	copy(b.queue, b.queue[1:])
+	b.queue = b.queue[:len(b.queue)-1]
+	b.busyUntil = now + m.cfg.BankService
+	b.served++
+	var payload interface{}
+	switch req := pkt.Payload.(type) {
+	case faaReq:
+		old := b.words[req.addr]
+		b.words[req.addr] = old + req.delta
+		payload = reply{val: old, done: req.done}
+	case plainReq:
+		r := req.req
+		var v vn.Word
+		switch r.Op {
+		case vn.MemRead:
+			v = b.words[r.Addr]
+		case vn.MemWrite:
+			b.words[r.Addr] = r.Value
+		case vn.MemTestSet:
+			v = b.words[r.Addr]
+			b.words[r.Addr] = 1
+		case vn.MemFetchAdd:
+			v = b.words[r.Addr]
+			b.words[r.Addr] = v + r.Value
+		}
+		payload = reply{val: v, done: r.Done}
+	default:
+		panic(fmt.Sprintf("ultra: unknown bank payload %T", pkt.Payload))
+	}
+	if !m.net.Reply(pkt, payload) {
+		b.pendingReplies = append(b.pendingReplies, pendingReply{pkt: pkt, payload: payload})
+	}
+}
+
+// Step advances the machine one cycle.
+func (m *Machine) Step(now sim.Cycle) {
+	m.now = now
+	if len(m.sendRetry) > 0 {
+		rest := m.sendRetry[:0]
+		for _, pkt := range m.sendRetry {
+			if !m.net.Send(pkt) {
+				rest = append(rest, pkt)
+			}
+		}
+		m.sendRetry = rest
+	}
+	m.net.Step(now)
+	for _, b := range m.banks {
+		m.stepBank(b, now)
+	}
+	for _, c := range m.cores {
+		c.Step(now)
+	}
+}
+
+// Halted reports whether every core halted.
+func (m *Machine) Halted() bool {
+	for _, c := range m.cores {
+		if !c.Halted() {
+			return false
+		}
+	}
+	return true
+}
+
+// Run steps until every core halts and traffic drains.
+func (m *Machine) Run(limit sim.Cycle) (sim.Cycle, error) {
+	start := m.now
+	for m.now-start < limit {
+		busy := m.net.Pending() > 0 || len(m.sendRetry) > 0
+		for _, b := range m.banks {
+			if len(b.queue) > 0 || len(b.pendingReplies) > 0 {
+				busy = true
+			}
+		}
+		if m.Halted() && !busy {
+			return m.now - start, nil
+		}
+		m.Step(m.now)
+		m.now++
+	}
+	return m.now - start, fmt.Errorf("ultra: did not halt within %d cycles", limit)
+}
+
+// Core returns processor p.
+func (m *Machine) Core(p int) *vn.Core { return m.cores[p] }
+
+// NumProcessors returns n.
+func (m *Machine) NumProcessors() int { return m.n }
+
+// Poke writes a global address directly.
+func (m *Machine) Poke(addr uint32, v vn.Word) { m.banks[int(addr)%m.n].words[addr] = v }
+
+// Peek reads a global address directly.
+func (m *Machine) Peek(addr uint32) vn.Word { return m.banks[int(addr)%m.n].words[addr] }
+
+// BankServed returns how many requests memory module b processed — the
+// hot-spot serialization count combining is meant to reduce.
+func (m *Machine) BankServed(b int) uint64 { return m.banks[b].served }
+
+// Network exposes the omega network for statistics.
+func (m *Machine) Network() *network.Omega { return m.net }

@@ -1,0 +1,187 @@
+package ultra
+
+import (
+	"testing"
+
+	"repro/internal/vn"
+)
+
+// hotspot: every processor FETCH-AND-ADDs the same cell once and records
+// the fetched ticket at a private address.
+const hotspot = `
+        li  r1, 0        ; hot cell (module 0)
+        li  r2, 1
+        faa r3, r1, r2
+        st  r3, r4, 0    ; r4 = private recording address
+        halt
+`
+
+func build(t *testing.T, cfg Config, src string) *Machine {
+	t.Helper()
+	prog, err := vn.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(cfg, prog)
+}
+
+func setupHotspot(t *testing.T, combining bool, logP int) *Machine {
+	t.Helper()
+	m := build(t, Config{LogProcessors: logP, Combining: combining}, hotspot)
+	n := m.NumProcessors()
+	for p := 0; p < n; p++ {
+		// record at address 1000+p*n+p%n... any private address on module
+		// (1000+p) mod n; use 1000 + p so they spread
+		m.Core(p).Context(0).SetReg(4, vn.Word(1000+p))
+	}
+	return m
+}
+
+func checkPermutation(t *testing.T, m *Machine) {
+	t.Helper()
+	n := m.NumProcessors()
+	if got := m.Peek(0); got != vn.Word(n) {
+		t.Fatalf("hot cell = %d, want %d", got, n)
+	}
+	seen := map[vn.Word]bool{}
+	for p := 0; p < n; p++ {
+		v := m.Peek(uint32(1000 + p))
+		if v < 0 || v >= vn.Word(n) || seen[v] {
+			t.Fatalf("fetched tickets not a permutation: processor %d got %d", p, v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestHotspotCorrectWithoutCombining(t *testing.T) {
+	m := setupHotspot(t, false, 4)
+	if _, err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	checkPermutation(t, m)
+}
+
+func TestHotspotCorrectWithCombining(t *testing.T) {
+	m := setupHotspot(t, true, 4)
+	if _, err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	checkPermutation(t, m)
+	if m.Network().CombineOps.Value() == 0 {
+		t.Fatal("hot-spot burst should combine in the switches")
+	}
+}
+
+func TestCombiningRelievesHotSpotSerialization(t *testing.T) {
+	// Without combining, the hot module serves one request per processor;
+	// with combining it serves far fewer, and the burst completes sooner.
+	plain := setupHotspot(t, false, 5)
+	plainCycles, err := plain.Run(2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comb := setupHotspot(t, true, 5)
+	combCycles, err := comb.Run(2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := uint64(plain.NumProcessors())
+	if plain.BankServed(0) < n {
+		t.Fatalf("without combining the hot bank must serve >= %d, served %d", n, plain.BankServed(0))
+	}
+	if comb.BankServed(0) >= plain.BankServed(0) {
+		t.Fatalf("combining must cut hot-bank traffic: %d vs %d",
+			comb.BankServed(0), plain.BankServed(0))
+	}
+	if combCycles >= plainCycles {
+		t.Fatalf("combining should finish the burst faster: %d vs %d cycles", combCycles, plainCycles)
+	}
+}
+
+func TestCombiningCostsSwitchAdditions(t *testing.T) {
+	// The flip side the paper stresses: combining performs additions in
+	// the network — up to n-1 of them for an n-way burst.
+	m := setupHotspot(t, true, 4)
+	if _, err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	ops := m.Network().CombineOps.Value()
+	n := uint64(m.NumProcessors())
+	if ops == 0 || ops > n-1 {
+		t.Fatalf("combine ops = %d, want in [1, %d]", ops, n-1)
+	}
+	if m.Network().DecombineTable.Max() == 0 {
+		t.Fatal("decombine state never held — switches did no bookkeeping?")
+	}
+}
+
+func TestUniformTrafficUnaffectedByCombining(t *testing.T) {
+	// Reads to distinct addresses never combine.
+	prog := `
+        ; r1 = private address
+        ld  r2, r1, 0
+        st  r2, r1, 64
+        halt
+`
+	m := build(t, Config{LogProcessors: 3, Combining: true}, prog)
+	for p := 0; p < 8; p++ {
+		m.Core(p).Context(0).SetReg(1, vn.Word(p*8))
+		m.Poke(uint32(p*8), vn.Word(100+p))
+	}
+	if _, err := m.Run(100_000); err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 8; p++ {
+		if got := m.Peek(uint32(p*8 + 64)); got != vn.Word(100+p) {
+			t.Fatalf("processor %d copied %d", p, got)
+		}
+	}
+	if m.Network().CombineOps.Value() != 0 {
+		t.Fatal("distinct addresses must not combine")
+	}
+}
+
+func TestParallelQueueAllocation(t *testing.T) {
+	// The Ultracomputer's motivating idiom: FETCH-AND-ADD as a parallel
+	// queue-slot allocator. Every processor claims 4 slots; slots must be
+	// disjoint and cover exactly [0, 4n).
+	prog := `
+        li  r1, 0        ; shared tail pointer
+        li  r2, 4
+        faa r3, r1, r2   ; claim 4 slots
+        ; write our id into each claimed slot (slot array at 2000)
+        li  r6, 4
+        li  r7, 2000
+        add r7, r7, r3
+fill:   beq r6, r0, done
+        st  r8, r7, 0
+        addi r7, r7, 1
+        addi r6, r6, -1
+        j   fill
+done:   halt
+`
+	m := build(t, Config{LogProcessors: 3, Combining: true}, prog)
+	n := m.NumProcessors()
+	for p := 0; p < n; p++ {
+		m.Core(p).Context(0).SetReg(8, vn.Word(p+1))
+	}
+	if _, err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Peek(0); got != vn.Word(4*n) {
+		t.Fatalf("tail = %d, want %d", got, 4*n)
+	}
+	counts := map[vn.Word]int{}
+	for s := 0; s < 4*n; s++ {
+		v := m.Peek(uint32(2000 + s))
+		if v == 0 {
+			t.Fatalf("slot %d never written", s)
+		}
+		counts[v]++
+	}
+	for p := 1; p <= n; p++ {
+		if counts[vn.Word(p)] != 4 {
+			t.Fatalf("processor %d wrote %d slots, want 4", p, counts[vn.Word(p)])
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Package vliw models the horizontally microprogrammed machines of Section
+// 1.2.4 (ELI-512, the Polycyclic processor, the AP-120B): a compiler packs
+// many operations into each wide instruction and plans memory references in
+// advance. The machine issues one bundle per cycle, in order, in lockstep —
+// which is exactly its weakness: any memory reference that takes longer
+// than the schedule assumed stalls the entire machine, and there is no way
+// to switch to other work. E12 measures effective operations per cycle as
+// dynamic memory behaviour departs from the compiler's static assumptions.
+package vliw
+
+import (
+	"repro/internal/sim"
+)
+
+// Load is one memory reference scheduled inside a bundle. The compiler
+// placed its first consumer Slack bundles later, assuming the reference
+// completes within that window.
+type Load struct {
+	// Slack is the scheduled distance (in bundles) to the first use.
+	Slack int
+}
+
+// Bundle is one wide instruction: Ops parallel ALU operations plus any
+// number of scheduled memory references.
+type Bundle struct {
+	Ops   int
+	Loads []Load
+}
+
+// Config sets the dynamic memory behaviour the static schedule meets.
+type Config struct {
+	// HitLatency is the reference time the compiler scheduled for.
+	HitLatency sim.Cycle
+	// MissLatency is the time a reference actually takes when it misses.
+	MissLatency sim.Cycle
+	// MissRate is the probability a reference misses.
+	MissRate float64
+	// Seed drives the reproducible miss pattern.
+	Seed uint64
+}
+
+// Result summarizes one run.
+type Result struct {
+	Cycles      sim.Cycle
+	TotalOps    uint64
+	StallCycles sim.Cycle
+	Misses      uint64
+	Loads       uint64
+}
+
+// OpsPerCycle is the effective issue rate, the figure of merit that
+// collapses when stalls dominate.
+func (r Result) OpsPerCycle() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.TotalOps) / float64(r.Cycles)
+}
+
+// Run executes the static schedule against the dynamic memory model.
+// Bundles issue in order, one per cycle; before a bundle issues, every
+// load whose scheduled consumer is this bundle (or earlier) must have
+// completed — otherwise the whole machine stalls until it has.
+func Run(schedule []Bundle, cfg Config) Result {
+	if cfg.HitLatency < 1 {
+		cfg.HitLatency = 1
+	}
+	if cfg.MissLatency < cfg.HitLatency {
+		cfg.MissLatency = cfg.HitLatency
+	}
+	rng := sim.NewRNG(cfg.Seed)
+	var res Result
+	now := sim.Cycle(0)
+	// outstanding[i] = completion time of loads whose consumer is bundle i
+	outstanding := map[int][]sim.Cycle{}
+	for i, b := range schedule {
+		// wait for every load due at or before this bundle
+		for j := 0; j <= i; j++ {
+			for _, ready := range outstanding[j] {
+				if ready > now {
+					res.StallCycles += ready - now
+					now = ready
+				}
+			}
+			delete(outstanding, j)
+		}
+		// issue
+		res.TotalOps += uint64(b.Ops)
+		for _, ld := range b.Loads {
+			res.Loads++
+			lat := cfg.HitLatency
+			if rng.Float64() < cfg.MissRate {
+				lat = cfg.MissLatency
+				res.Misses++
+			}
+			consumer := i + ld.Slack
+			outstanding[consumer] = append(outstanding[consumer], now+lat)
+		}
+		now++
+	}
+	// Loads still outstanding here have their scheduled consumers beyond
+	// the end of the schedule; nothing waits for them.
+	res.Cycles = now
+	return res
+}
+
+// SyntheticSchedule builds a regular schedule: n bundles of opsPerBundle
+// operations, a load every loadEvery bundles, each scheduled with the
+// given slack — a stand-in for the compiler's trace-scheduled inner loop.
+func SyntheticSchedule(n, opsPerBundle, loadEvery, slack int) []Bundle {
+	sched := make([]Bundle, n)
+	for i := range sched {
+		sched[i].Ops = opsPerBundle
+		if loadEvery > 0 && i%loadEvery == 0 {
+			sched[i].Loads = []Load{{Slack: slack}}
+		}
+	}
+	return sched
+}

@@ -1,0 +1,90 @@
+package vliw
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPerfectScheduleNoStalls(t *testing.T) {
+	// When every load hits and the slack covers the hit latency, the
+	// machine issues one bundle per cycle.
+	sched := SyntheticSchedule(100, 4, 2, 3)
+	res := Run(sched, Config{HitLatency: 3, MissLatency: 50, MissRate: 0, Seed: 1})
+	if res.StallCycles != 0 {
+		t.Fatalf("stalls = %d on a perfect schedule", res.StallCycles)
+	}
+	if res.Cycles != 100 {
+		t.Fatalf("cycles = %d, want 100", res.Cycles)
+	}
+	if got := res.OpsPerCycle(); got != 4 {
+		t.Fatalf("ops/cycle = %v, want 4", got)
+	}
+}
+
+func TestEveryMissStallsEverything(t *testing.T) {
+	// With a 100% miss rate the lockstep machine pays the full miss
+	// penalty on every reference.
+	sched := SyntheticSchedule(100, 4, 2, 3)
+	res := Run(sched, Config{HitLatency: 3, MissLatency: 53, MissRate: 1, Seed: 1})
+	if res.Misses != 50 {
+		t.Fatalf("misses = %d, want 50", res.Misses)
+	}
+	if res.StallCycles == 0 {
+		t.Fatal("misses must stall the machine")
+	}
+	// each miss costs ~50 extra cycles; effective rate collapses
+	if got := res.OpsPerCycle(); got > 0.5 {
+		t.Fatalf("ops/cycle = %v, should collapse under misses", got)
+	}
+}
+
+func TestOpsRateFallsMonotonicallyWithMissRate(t *testing.T) {
+	sched := SyntheticSchedule(1000, 4, 2, 3)
+	prev := 1e9
+	for _, mr := range []float64{0, 0.05, 0.2, 0.5, 1.0} {
+		res := Run(sched, Config{HitLatency: 3, MissLatency: 40, MissRate: mr, Seed: 7})
+		got := res.OpsPerCycle()
+		if got > prev+1e-9 {
+			t.Fatalf("ops/cycle rose from %v to %v at miss rate %v", prev, got, mr)
+		}
+		prev = got
+	}
+}
+
+func TestSlackAbsorbsOnlyScheduledLatency(t *testing.T) {
+	// Bigger slack tolerates longer latency — but only up to the slack the
+	// compiler managed to find, and only for the *expected* case.
+	mk := func(slack int) Result {
+		sched := SyntheticSchedule(500, 4, 1, slack)
+		return Run(sched, Config{HitLatency: 8, MissLatency: 8, MissRate: 0, Seed: 1})
+	}
+	tight := mk(2) // slack 2 < latency 8: stalls every bundle
+	loose := mk(10)
+	if tight.StallCycles == 0 {
+		t.Fatal("insufficient slack must stall")
+	}
+	if loose.StallCycles != 0 {
+		t.Fatalf("slack 10 should cover latency 8, stalled %d", loose.StallCycles)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	sched := SyntheticSchedule(200, 2, 3, 2)
+	a := Run(sched, Config{HitLatency: 2, MissLatency: 30, MissRate: 0.3, Seed: 42})
+	b := Run(sched, Config{HitLatency: 2, MissLatency: 30, MissRate: 0.3, Seed: 42})
+	if a != b {
+		t.Fatalf("same seed, different results: %+v vs %+v", a, b)
+	}
+}
+
+func TestTotalOpsConserved(t *testing.T) {
+	if err := quick.Check(func(seed uint64, mrRaw uint8) bool {
+		mr := float64(mrRaw) / 255
+		sched := SyntheticSchedule(100, 3, 2, 2)
+		res := Run(sched, Config{HitLatency: 2, MissLatency: 20, MissRate: mr, Seed: seed})
+		// ops never lost, cycles at least the bundle count
+		return res.TotalOps == 300 && res.Cycles >= 100 && res.Loads == 50
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

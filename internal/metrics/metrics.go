@@ -1,0 +1,303 @@
+// Package metrics provides the measurement plumbing shared by the
+// simulators: counters, gauges with high-water marks, histograms, busy/idle
+// utilization tracking, and plain-text table rendering for the experiment
+// harness.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	n uint64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d uint64) { c.n += d }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Gauge tracks an instantaneous level plus its high-water mark and a
+// time-weighted running sum for averaging.
+type Gauge struct {
+	level   int64
+	max     int64
+	sum     uint64 // sum of level over samples
+	samples uint64
+}
+
+// Set assigns the current level.
+func (g *Gauge) Set(v int64) {
+	g.level = v
+	if v > g.max {
+		g.max = v
+	}
+}
+
+// Add adjusts the current level by d.
+func (g *Gauge) Add(d int64) { g.Set(g.level + d) }
+
+// Sample accumulates the current level into the running average. Call once
+// per cycle for a time-weighted mean.
+func (g *Gauge) Sample() {
+	if g.level > 0 {
+		g.sum += uint64(g.level)
+	}
+	g.samples++
+}
+
+// Level returns the current level.
+func (g *Gauge) Level() int64 { return g.level }
+
+// Max returns the high-water mark.
+func (g *Gauge) Max() int64 { return g.max }
+
+// Mean returns the average sampled level, or 0 with no samples.
+func (g *Gauge) Mean() float64 {
+	if g.samples == 0 {
+		return 0
+	}
+	return float64(g.sum) / float64(g.samples)
+}
+
+// Utilization tracks busy vs idle cycles for a resource such as an ALU.
+type Utilization struct {
+	busy  uint64
+	total uint64
+}
+
+// Tick records one cycle; busy says whether the resource did useful work.
+func (u *Utilization) Tick(busy bool) {
+	u.total++
+	if busy {
+		u.busy++
+	}
+}
+
+// Busy returns the busy-cycle count.
+func (u *Utilization) Busy() uint64 { return u.busy }
+
+// Total returns the observed cycle count.
+func (u *Utilization) Total() uint64 { return u.total }
+
+// Fraction returns busy/total in [0,1], or 0 when nothing was observed.
+func (u *Utilization) Fraction() float64 {
+	if u.total == 0 {
+		return 0
+	}
+	return float64(u.busy) / float64(u.total)
+}
+
+// Histogram accumulates integer observations into power-of-two-ish linear
+// buckets chosen at construction.
+type Histogram struct {
+	bounds []uint64 // upper bounds, ascending; last bucket is unbounded
+	counts []uint64
+	sum    uint64
+	n      uint64
+	max    uint64
+}
+
+// NewHistogram returns a histogram with the given ascending bucket upper
+// bounds. An observation v lands in the first bucket with v <= bound, or in
+// the overflow bucket.
+func NewHistogram(bounds ...uint64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("metrics: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v uint64) {
+	h.sum += v
+	h.n++
+	if v > h.max {
+		h.max = v
+	}
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.bounds)]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Mean returns the mean observation, or 0 with none.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Buckets returns (upper-bound, count) pairs; the final pair has bound
+// math.MaxUint64 for the overflow bucket.
+func (h *Histogram) Buckets() []struct {
+	Bound uint64
+	Count uint64
+} {
+	out := make([]struct {
+		Bound uint64
+		Count uint64
+	}, 0, len(h.counts))
+	for i, c := range h.counts {
+		b := uint64(math.MaxUint64)
+		if i < len(h.bounds) {
+			b = h.bounds[i]
+		}
+		out = append(out, struct {
+			Bound uint64
+			Count uint64
+		}{b, c})
+	}
+	return out
+}
+
+// Series is a named sequence of (x, y) points, the unit of experiment
+// output: one Series per curve in a figure, one row per sweep point.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Point is one measurement in a parameter sweep.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{x, y}) }
+
+// Table renders aligned columns of experiment results as plain text, the
+// textual analogue of the paper's figures.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// FormatFloat renders a float compactly: integers without a point,
+// otherwise three significant decimals.
+func FormatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	if math.Abs(v) >= 100 {
+		return fmt.Sprintf("%.1f", v)
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	rule := make([]string, len(t.Headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(rule)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// SeriesTable renders several series sharing x values as one table. Series
+// are matched on exact x; missing cells render blank.
+func SeriesTable(title, xlabel string, series ...Series) *Table {
+	xsSet := map[float64]bool{}
+	for _, s := range series {
+		for _, p := range s.Points {
+			xsSet[p.X] = true
+		}
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	headers := append([]string{xlabel}, make([]string, len(series))...)
+	for i, s := range series {
+		headers[i+1] = s.Name
+	}
+	t := NewTable(title, headers...)
+	for _, x := range xs {
+		row := make([]interface{}, len(series)+1)
+		row[0] = FormatFloat(x)
+		for i, s := range series {
+			row[i+1] = ""
+			for _, p := range s.Points {
+				if p.X == x {
+					row[i+1] = FormatFloat(p.Y)
+					break
+				}
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -1,0 +1,155 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("Value() = %d, want 5", c.Value())
+	}
+}
+
+func TestGaugeHighWaterAndMean(t *testing.T) {
+	var g Gauge
+	g.Set(3)
+	g.Sample()
+	g.Add(4) // 7
+	g.Sample()
+	g.Add(-5) // 2
+	g.Sample()
+	if g.Level() != 2 || g.Max() != 7 {
+		t.Fatalf("level=%d max=%d, want 2/7", g.Level(), g.Max())
+	}
+	if want := (3.0 + 7 + 2) / 3; g.Mean() != want {
+		t.Fatalf("Mean() = %g, want %g", g.Mean(), want)
+	}
+}
+
+func TestGaugeEmptyMean(t *testing.T) {
+	var g Gauge
+	if g.Mean() != 0 {
+		t.Fatal("empty gauge mean must be 0")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	var u Utilization
+	for i := 0; i < 10; i++ {
+		u.Tick(i < 3)
+	}
+	if u.Fraction() != 0.3 || u.Busy() != 3 || u.Total() != 10 {
+		t.Fatalf("fraction=%g busy=%d total=%d", u.Fraction(), u.Busy(), u.Total())
+	}
+	var empty Utilization
+	if empty.Fraction() != 0 {
+		t.Fatal("empty utilization must be 0")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(1, 10, 100)
+	for _, v := range []uint64{0, 1, 5, 10, 50, 1000} {
+		h.Observe(v)
+	}
+	b := h.Buckets()
+	wantCounts := []uint64{2, 2, 1, 1}
+	for i, w := range wantCounts {
+		if b[i].Count != w {
+			t.Fatalf("bucket %d count = %d, want %d (buckets %v)", i, b[i].Count, w, b)
+		}
+	}
+	if b[3].Bound != math.MaxUint64 {
+		t.Fatal("overflow bucket must be unbounded")
+	}
+	if h.Count() != 6 || h.Max() != 1000 {
+		t.Fatalf("count=%d max=%d", h.Count(), h.Max())
+	}
+	if want := float64(0+1+5+10+50+1000) / 6; h.Mean() != want {
+		t.Fatalf("Mean() = %g, want %g", h.Mean(), want)
+	}
+}
+
+func TestHistogramBadBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-ascending bounds must panic")
+		}
+	}()
+	NewHistogram(10, 10)
+}
+
+func TestHistogramMeanProperty(t *testing.T) {
+	if err := quick.Check(func(vals []uint16) bool {
+		h := NewHistogram(10, 100, 1000)
+		var sum uint64
+		for _, v := range vals {
+			h.Observe(uint64(v))
+			sum += uint64(v)
+		}
+		if len(vals) == 0 {
+			return h.Mean() == 0
+		}
+		return math.Abs(h.Mean()-float64(sum)/float64(len(vals))) < 1e-9
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("demo", "x", "long-header")
+	tb.AddRow(1, 2.5)
+	tb.AddRow("wide-cell-content", 3)
+	s := tb.String()
+	if !strings.Contains(s, "demo") || !strings.Contains(s, "long-header") {
+		t.Fatalf("missing title/header:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), s)
+	}
+	if !strings.Contains(s, "2.500") {
+		t.Fatalf("float formatting missing:\n%s", s)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		3:      "3",
+		-12:    "-12",
+		2.5:    "2.500",
+		123.45: "123.5",
+		0.001:  "0.001",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSeriesTableAlignsOnX(t *testing.T) {
+	var a, b Series
+	a.Name, b.Name = "A", "B"
+	a.Add(1, 10)
+	a.Add(2, 20)
+	b.Add(2, 200)
+	b.Add(3, 300)
+	tb := SeriesTable("t", "x", a, b)
+	if len(tb.Rows) != 3 {
+		t.Fatalf("want 3 x-rows, got %d", len(tb.Rows))
+	}
+	// x=1 has no B value
+	if tb.Rows[0][2] != "" {
+		t.Fatalf("missing cell should be blank, got %q", tb.Rows[0][2])
+	}
+	if tb.Rows[1][1] != "20" || tb.Rows[1][2] != "200" {
+		t.Fatalf("x=2 row wrong: %v", tb.Rows[1])
+	}
+}

@@ -1,0 +1,108 @@
+package network
+
+import "repro/internal/sim"
+
+// Crossbar models the C.mmp-style n×n crossbar switch: every input has an
+// injection queue, every output accepts one packet per cycle, and transit
+// takes SwitchDelay cycles once an input wins arbitration. Contention
+// appears only when two inputs address the same output in the same cycle.
+//
+// The paper's point about C.mmp is economic rather than architectural: a
+// crossbar's cost grows at least quadratically. Cost reports the standard
+// crosspoint count so experiments can plot it.
+type Crossbar struct {
+	ports       int
+	switchDelay sim.Cycle
+	deliver     Delivery
+
+	in       []*queue
+	rr       []int // per-output round-robin arbitration pointer
+	inflight map[sim.Cycle][]*Packet
+	pending  int
+	now      sim.Cycle
+	stats    *Stats
+}
+
+// NewCrossbar returns an n-port crossbar. switchDelay is the input-to-
+// output transit time in cycles (minimum 1); queueCap bounds each input's
+// injection queue.
+func NewCrossbar(ports int, switchDelay sim.Cycle, queueCap int) *Crossbar {
+	if switchDelay < 1 {
+		switchDelay = 1
+	}
+	c := &Crossbar{
+		ports:       ports,
+		switchDelay: switchDelay,
+		in:          make([]*queue, ports),
+		rr:          make([]int, ports),
+		inflight:    map[sim.Cycle][]*Packet{},
+		stats:       NewStats(),
+	}
+	for i := range c.in {
+		c.in[i] = newQueue(queueCap)
+	}
+	return c
+}
+
+// Cost returns the crosspoint count of an n-port crossbar, the quadratic
+// cost growth the paper calls out for C.mmp.
+func CrossbarCost(ports int) int { return ports * ports }
+
+// Ports returns the endpoint count.
+func (c *Crossbar) Ports() int { return c.ports }
+
+// SetDelivery registers the destination callback.
+func (c *Crossbar) SetDelivery(d Delivery) { c.deliver = d }
+
+// Send enqueues at the source's input queue.
+func (c *Crossbar) Send(p *Packet) bool {
+	if !c.in[p.Src].push(p) {
+		c.stats.Refused.Inc()
+		return false
+	}
+	p.InjectedAt = c.now
+	c.pending++
+	c.stats.Injected.Inc()
+	return true
+}
+
+// Step arbitrates each output among requesting inputs (round-robin) and
+// delivers packets whose transit completes this cycle.
+func (c *Crossbar) Step(now sim.Cycle) {
+	c.now = now
+	for _, p := range c.inflight[now] {
+		c.pending--
+		c.stats.delivered(p, now)
+		c.deliver(p)
+	}
+	delete(c.inflight, now)
+
+	// For each output, scan inputs starting at the round-robin pointer and
+	// grant the first whose head-of-line packet wants this output.
+	for out := 0; out < c.ports; out++ {
+		granted := -1
+		for k := 0; k < c.ports; k++ {
+			i := (c.rr[out] + k) % c.ports
+			if h := c.in[i].head(); h != nil && h.Dst == out {
+				granted = i
+				break
+			}
+		}
+		if granted < 0 {
+			continue
+		}
+		p := c.in[granted].pop()
+		p.Hops = 1
+		due := now + c.switchDelay
+		c.inflight[due] = append(c.inflight[due], p)
+		c.rr[out] = (granted + 1) % c.ports
+	}
+}
+
+// Pending reports packets queued or in transit.
+func (c *Crossbar) Pending() int { return c.pending }
+
+// Stats returns traffic counters.
+func (c *Crossbar) Stats() *Stats { return c.stats }
+
+var _ Network = (*Crossbar)(nil)

@@ -1,0 +1,75 @@
+package network
+
+import "repro/internal/sim"
+
+// Ideal is a contention-free fabric: every packet arrives exactly Latency
+// cycles after injection, regardless of load. It is the control case for
+// experiments (infinite bandwidth, fixed latency) and the memory-latency
+// knob for E1: raising Latency models a deeper machine.
+type Ideal struct {
+	ports    int
+	latency  sim.Cycle
+	deliver  Delivery
+	inflight map[sim.Cycle][]*Packet
+	pending  int
+	now      sim.Cycle
+	stats    *Stats
+}
+
+// NewIdeal returns an ideal network with the given port count and fixed
+// latency in cycles (minimum 1).
+func NewIdeal(ports int, latency sim.Cycle) *Ideal {
+	if latency < 1 {
+		latency = 1
+	}
+	return &Ideal{
+		ports:    ports,
+		latency:  latency,
+		inflight: map[sim.Cycle][]*Packet{},
+		stats:    NewStats(),
+	}
+}
+
+// Ports returns the endpoint count.
+func (n *Ideal) Ports() int { return n.ports }
+
+// SetDelivery registers the destination callback.
+func (n *Ideal) SetDelivery(d Delivery) { n.deliver = d }
+
+// Latency returns the configured delivery latency.
+func (n *Ideal) Latency() sim.Cycle { return n.latency }
+
+// Send schedules delivery Latency cycles after the current cycle. The
+// ideal network never refuses a packet.
+func (n *Ideal) Send(p *Packet) bool {
+	p.InjectedAt = n.now
+	p.Hops = 1
+	due := n.now + n.latency
+	n.inflight[due] = append(n.inflight[due], p)
+	n.pending++
+	n.stats.Injected.Inc()
+	return true
+}
+
+// Step delivers every packet due this cycle.
+func (n *Ideal) Step(now sim.Cycle) {
+	n.now = now
+	due := n.inflight[now]
+	if len(due) == 0 {
+		return
+	}
+	delete(n.inflight, now)
+	for _, p := range due {
+		n.pending--
+		n.stats.delivered(p, now)
+		n.deliver(p)
+	}
+}
+
+// Pending reports packets in flight.
+func (n *Ideal) Pending() int { return n.pending }
+
+// Stats returns traffic counters.
+func (n *Ideal) Stats() *Stats { return n.stats }
+
+var _ Network = (*Ideal)(nil)

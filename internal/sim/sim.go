@@ -1,0 +1,183 @@
+// Package sim provides the deterministic simulation kernel shared by every
+// machine model in this repository: a cycle-stepped scheduler for
+// synchronous hardware models, an event heap for discrete-event models, and
+// a seeded pseudo-random number generator so that all experiments are
+// reproducible run-to-run.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Cycle is a point in simulated time, measured in machine cycles.
+type Cycle uint64
+
+// Component is a piece of synchronous hardware. On every cycle the
+// scheduler calls Step exactly once with the current time. Components must
+// not assume any particular ordering relative to other components within a
+// cycle; anything that needs strict phase ordering should be registered as
+// separate components in the desired order.
+type Component interface {
+	Step(now Cycle)
+}
+
+// ComponentFunc adapts an ordinary function to the Component interface.
+type ComponentFunc func(now Cycle)
+
+// Step calls f(now).
+func (f ComponentFunc) Step(now Cycle) { f(now) }
+
+// Scheduler drives a set of Components in lockstep. Components are stepped
+// in registration order, which is part of the simulation's deterministic
+// contract: the same program on the same machine configuration always
+// produces the same cycle counts.
+type Scheduler struct {
+	components []Component
+	now        Cycle
+}
+
+// NewScheduler returns an empty scheduler at cycle 0.
+func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// Register adds c to the step list. Registration order is evaluation order.
+func (s *Scheduler) Register(c Component) { s.components = append(s.components, c) }
+
+// Now reports the current cycle.
+func (s *Scheduler) Now() Cycle { return s.now }
+
+// Tick advances simulated time by one cycle, stepping every component.
+func (s *Scheduler) Tick() {
+	for _, c := range s.components {
+		c.Step(s.now)
+	}
+	s.now++
+}
+
+// Run advances until the predicate done reports true or limit cycles have
+// elapsed, and returns the number of cycles executed along with whether the
+// predicate was satisfied. done is evaluated before each cycle, so a
+// simulation that is already finished costs zero cycles.
+func (s *Scheduler) Run(done func() bool, limit Cycle) (elapsed Cycle, ok bool) {
+	start := s.now
+	for s.now-start < limit {
+		if done() {
+			return s.now - start, true
+		}
+		s.Tick()
+	}
+	return s.now - start, done()
+}
+
+// ErrLimit is returned by MustRun when the cycle limit is exhausted before
+// the completion predicate holds.
+type ErrLimit struct {
+	Limit Cycle
+}
+
+func (e ErrLimit) Error() string {
+	return fmt.Sprintf("sim: cycle limit %d exhausted before completion", e.Limit)
+}
+
+// MustRun is Run, but converts a limit overrun into an error value, for
+// callers that treat non-termination as failure.
+func (s *Scheduler) MustRun(done func() bool, limit Cycle) (Cycle, error) {
+	elapsed, ok := s.Run(done, limit)
+	if !ok {
+		return elapsed, ErrLimit{Limit: limit}
+	}
+	return elapsed, nil
+}
+
+// Event is a scheduled callback in a discrete-event simulation.
+type Event struct {
+	At  Cycle
+	Seq uint64 // tie-break so same-cycle events fire in schedule order
+	Fn  func()
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].Seq < h[j].Seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// EventQueue is a discrete-event kernel: callbacks scheduled at absolute
+// cycles, dispatched in (time, schedule-order) order.
+type EventQueue struct {
+	h   eventHeap
+	now Cycle
+	seq uint64
+}
+
+// NewEventQueue returns an empty queue at cycle 0.
+func NewEventQueue() *EventQueue { return &EventQueue{} }
+
+// Now reports the time of the most recently dispatched event.
+func (q *EventQueue) Now() Cycle { return q.now }
+
+// Len reports the number of pending events.
+func (q *EventQueue) Len() int { return q.h.Len() }
+
+// At schedules fn to run at absolute cycle t. Scheduling in the past
+// (t < Now) is a programming error and panics.
+func (q *EventQueue) At(t Cycle, fn func()) {
+	if t < q.now {
+		panic(fmt.Sprintf("sim: event scheduled at %d, now is %d", t, q.now))
+	}
+	q.seq++
+	heap.Push(&q.h, &Event{At: t, Seq: q.seq, Fn: fn})
+}
+
+// After schedules fn to run d cycles from now.
+func (q *EventQueue) After(d Cycle, fn func()) { q.At(q.now+d, fn) }
+
+// RunOne dispatches the next event, if any, and reports whether one ran.
+func (q *EventQueue) RunOne() bool {
+	if q.h.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&q.h).(*Event)
+	q.now = e.At
+	e.Fn()
+	return true
+}
+
+// RunUntil dispatches events until the queue is empty or simulated time
+// would pass the deadline. It returns the number of events dispatched.
+func (q *EventQueue) RunUntil(deadline Cycle) int {
+	n := 0
+	for q.h.Len() > 0 && q.h[0].At <= deadline {
+		q.RunOne()
+		n++
+	}
+	return n
+}
+
+// Drain dispatches every pending event and returns the count dispatched. A
+// limit guards against runaway self-scheduling models; Drain panics if more
+// than limit events fire.
+func (q *EventQueue) Drain(limit int) int {
+	n := 0
+	for q.RunOne() {
+		n++
+		if n > limit {
+			panic(fmt.Sprintf("sim: event queue did not drain within %d events", limit))
+		}
+	}
+	return n
+}

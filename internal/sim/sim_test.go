@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSchedulerTickOrder(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.Register(ComponentFunc(func(now Cycle) { order = append(order, i) }))
+	}
+	s.Tick()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("components stepped out of registration order: %v", order)
+		}
+	}
+	if s.Now() != 1 {
+		t.Fatalf("Now() = %d after one tick", s.Now())
+	}
+}
+
+func TestSchedulerRunStopsOnPredicate(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	s.Register(ComponentFunc(func(now Cycle) { count++ }))
+	elapsed, ok := s.Run(func() bool { return count >= 10 }, 1000)
+	if !ok || elapsed != 10 || count != 10 {
+		t.Fatalf("elapsed=%d ok=%t count=%d, want 10/true/10", elapsed, ok, count)
+	}
+}
+
+func TestSchedulerRunAlreadyDone(t *testing.T) {
+	s := NewScheduler()
+	elapsed, ok := s.Run(func() bool { return true }, 100)
+	if !ok || elapsed != 0 {
+		t.Fatalf("elapsed=%d ok=%t, want 0/true", elapsed, ok)
+	}
+}
+
+func TestSchedulerRunHitsLimit(t *testing.T) {
+	s := NewScheduler()
+	elapsed, ok := s.Run(func() bool { return false }, 42)
+	if ok || elapsed != 42 {
+		t.Fatalf("elapsed=%d ok=%t, want 42/false", elapsed, ok)
+	}
+	if _, err := s.MustRun(func() bool { return false }, 5); err == nil {
+		t.Fatal("MustRun should report limit exhaustion")
+	}
+}
+
+func TestEventQueueOrdering(t *testing.T) {
+	q := NewEventQueue()
+	var got []int
+	q.At(30, func() { got = append(got, 3) })
+	q.At(10, func() { got = append(got, 1) })
+	q.At(20, func() { got = append(got, 2) })
+	q.At(10, func() { got = append(got, 11) }) // same time: schedule order
+	q.Drain(100)
+	want := []int{1, 11, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event order %v, want %v", got, want)
+		}
+	}
+	if q.Now() != 30 {
+		t.Fatalf("Now() = %d, want 30", q.Now())
+	}
+}
+
+func TestEventQueueSelfScheduling(t *testing.T) {
+	q := NewEventQueue()
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n < 5 {
+			q.After(7, step)
+		}
+	}
+	q.At(0, step)
+	q.Drain(100)
+	if n != 5 {
+		t.Fatalf("fired %d times, want 5", n)
+	}
+	if q.Now() != 28 {
+		t.Fatalf("Now() = %d, want 28", q.Now())
+	}
+}
+
+func TestEventQueueRunUntil(t *testing.T) {
+	q := NewEventQueue()
+	fired := 0
+	for i := Cycle(0); i < 10; i++ {
+		q.At(i*10, func() { fired++ })
+	}
+	if n := q.RunUntil(45); n != 5 || fired != 5 {
+		t.Fatalf("RunUntil dispatched %d (fired %d), want 5", n, fired)
+	}
+	if q.Len() != 5 {
+		t.Fatalf("pending %d, want 5", q.Len())
+	}
+}
+
+func TestEventQueuePastSchedulingPanics(t *testing.T) {
+	q := NewEventQueue()
+	q.At(10, func() {})
+	q.RunOne()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past should panic")
+		}
+	}()
+	q.At(5, func() {})
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(12345), NewRNG(12345)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	c := NewRNG(54321)
+	same := 0
+	a2 := NewRNG(12345)
+	for i := 0; i < 1000; i++ {
+		if a2.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds collided %d times in 1000", same)
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed must not produce the degenerate all-zero stream")
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	seen := map[int]bool{}
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("Intn(10) only produced %d distinct values", len(seen))
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := NewRNG(seed)
+		for i := 0; i < 100; i++ {
+			f := r.Float64()
+			if f < 0 || f >= 1 {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := NewRNG(seed)
+		p := r.Perm(20)
+		seen := make([]bool, 20)
+		for _, v := range p {
+			if v < 0 || v >= 20 || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

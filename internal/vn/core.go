@@ -1,0 +1,288 @@
+package vn
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// MemOp is a data-memory operation kind.
+type MemOp uint8
+
+// Memory operation kinds.
+const (
+	MemRead MemOp = iota
+	MemWrite
+	MemFetchAdd
+	MemTestSet
+	// MemConsume and MemProduce are the HEP full/empty operations; only
+	// memories with full/empty bits (machines/hep) accept them.
+	MemConsume
+	MemProduce
+)
+
+// MemRequest is one asynchronous memory operation. Done fires when the
+// operation completes, carrying the loaded/old value (reads, FAA, TAS) or
+// zero (writes).
+type MemRequest struct {
+	Op    MemOp
+	Addr  uint32
+	Value Word
+	Done  func(Word)
+}
+
+// MemPort issues memory requests on behalf of a core. Implementations
+// model latency, contention, caches, or network transport.
+type MemPort interface {
+	Request(r MemRequest)
+}
+
+// CoreStats measures one core's cycle budget.
+type CoreStats struct {
+	// Busy counts cycles an instruction issued; Idle counts cycles the
+	// core had no runnable context (all waiting on memory); Done counts
+	// cycles after every context halted.
+	Busy, Idle metrics.Counter
+	// MemOps counts issued memory operations; MemWait accumulates total
+	// context-cycles spent waiting on memory.
+	MemOps  metrics.Counter
+	MemWait metrics.Counter
+	// Switches counts hardware context switches taken.
+	Switches metrics.Counter
+	Retired  metrics.Counter
+}
+
+// Utilization is busy / (busy + idle): the fraction of cycles the
+// processor did useful work before halting.
+func (s *CoreStats) Utilization() float64 {
+	total := s.Busy.Value() + s.Idle.Value()
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Busy.Value()) / float64(total)
+}
+
+// context is one hardware register set (the duplicated processor state of
+// Section 1.1's low-level context switching).
+type context struct {
+	regs    [NumRegs]Word
+	pc      int
+	waiting bool
+	halted  bool
+}
+
+// Core is a cycle-stepped processor with k hardware contexts. k=1 is the
+// classic blocking von Neumann core: a load stalls the processor for the
+// full memory round trip. k>1 switches to another runnable context on
+// every memory issue (HEP style), hiding latency as long as some context
+// is runnable — the paper's point is that k must grow with machine size.
+type Core struct {
+	prog  *Program
+	mem   MemPort
+	ctxs  []*context
+	next  int // round-robin pointer
+	stats CoreStats
+}
+
+// NewCore returns a core running prog with k hardware contexts, all
+// started at pc 0 and runnable. Use Context to adjust initial state.
+func NewCore(prog *Program, mem MemPort, k int) *Core {
+	if k < 1 {
+		k = 1
+	}
+	c := &Core{prog: prog, mem: mem}
+	for i := 0; i < k; i++ {
+		c.ctxs = append(c.ctxs, &context{})
+	}
+	return c
+}
+
+// Context exposes context i's register file and pc for initialization:
+// SetReg/SetPC before the run, Reg after.
+func (c *Core) Context(i int) *ContextHandle { return &ContextHandle{ctx: c.ctxs[i]} }
+
+// NumContexts returns k.
+func (c *Core) NumContexts() int { return len(c.ctxs) }
+
+// ContextHandle provides controlled access to one hardware context.
+type ContextHandle struct{ ctx *context }
+
+// SetReg sets a register (r0 writes are ignored).
+func (h *ContextHandle) SetReg(r uint8, v Word) {
+	if r != 0 {
+		h.ctx.regs[r] = v
+	}
+}
+
+// Reg reads a register.
+func (h *ContextHandle) Reg(r uint8) Word { return h.ctx.regs[r] }
+
+// SetPC sets the program counter.
+func (h *ContextHandle) SetPC(pc int) { h.ctx.pc = pc }
+
+// Halted reports whether the context executed HALT.
+func (h *ContextHandle) Halted() bool { return h.ctx.halted }
+
+// Halted reports whether every context has halted.
+func (c *Core) Halted() bool {
+	for _, ctx := range c.ctxs {
+		if !ctx.halted {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats returns the core's measurements.
+func (c *Core) Stats() *CoreStats { return &c.stats }
+
+// Step advances the core one cycle: pick the next runnable context
+// (round-robin), execute one instruction. Memory operations issue and mark
+// the context waiting; with k=1 that stalls the whole core.
+func (c *Core) Step(now sim.Cycle) {
+	if c.Halted() {
+		return
+	}
+	// account waiting contexts
+	for _, ctx := range c.ctxs {
+		if ctx.waiting {
+			c.stats.MemWait.Inc()
+		}
+	}
+	k := len(c.ctxs)
+	sel := -1
+	for i := 0; i < k; i++ {
+		idx := (c.next + i) % k
+		ctx := c.ctxs[idx]
+		if !ctx.waiting && !ctx.halted {
+			sel = idx
+			break
+		}
+	}
+	if sel < 0 {
+		c.stats.Idle.Inc()
+		return
+	}
+	if sel != c.next {
+		c.stats.Switches.Inc()
+	}
+	// switch-on-every-cycle round robin: advance past the selected context
+	c.next = (sel + 1) % k
+	c.stats.Busy.Inc()
+	c.stats.Retired.Inc()
+	c.execute(c.ctxs[sel])
+}
+
+func (c *Core) execute(ctx *context) {
+	if ctx.pc < 0 || ctx.pc >= len(c.prog.Instrs) {
+		ctx.halted = true
+		return
+	}
+	in := c.prog.Instrs[ctx.pc]
+	ctx.pc++
+	rd, rs, rt := in.Rd, in.Rs, in.Rt
+	set := func(r uint8, v Word) {
+		if r != 0 {
+			ctx.regs[r] = v
+		}
+	}
+	switch in.Op {
+	case NOP:
+	case HALT:
+		ctx.halted = true
+	case LI:
+		set(rd, in.Imm)
+	case ADDI:
+		set(rd, ctx.regs[rs]+in.Imm)
+	case ADD:
+		set(rd, ctx.regs[rs]+ctx.regs[rt])
+	case SUB:
+		set(rd, ctx.regs[rs]-ctx.regs[rt])
+	case MUL:
+		set(rd, ctx.regs[rs]*ctx.regs[rt])
+	case DIV:
+		if ctx.regs[rt] == 0 {
+			ctx.halted = true
+			return
+		}
+		set(rd, ctx.regs[rs]/ctx.regs[rt])
+	case AND:
+		set(rd, ctx.regs[rs]&ctx.regs[rt])
+	case OR:
+		set(rd, ctx.regs[rs]|ctx.regs[rt])
+	case XOR:
+		set(rd, ctx.regs[rs]^ctx.regs[rt])
+	case SLT:
+		set(rd, b2w(ctx.regs[rs] < ctx.regs[rt]))
+	case SLE:
+		set(rd, b2w(ctx.regs[rs] <= ctx.regs[rt]))
+	case SEQ:
+		set(rd, b2w(ctx.regs[rs] == ctx.regs[rt]))
+	case BEQ:
+		if ctx.regs[rs] == ctx.regs[rt] {
+			ctx.pc = int(in.Imm)
+		}
+	case BNE:
+		if ctx.regs[rs] != ctx.regs[rt] {
+			ctx.pc = int(in.Imm)
+		}
+	case BLT:
+		if ctx.regs[rs] < ctx.regs[rt] {
+			ctx.pc = int(in.Imm)
+		}
+	case BGE:
+		if ctx.regs[rs] >= ctx.regs[rt] {
+			ctx.pc = int(in.Imm)
+		}
+	case J:
+		ctx.pc = int(in.Imm)
+	case JAL:
+		set(rd, Word(ctx.pc))
+		ctx.pc = int(in.Imm)
+	case JR:
+		ctx.pc = int(ctx.regs[rs])
+	case LD:
+		c.issueMem(ctx, MemRequest{Op: MemRead, Addr: memAddr(ctx.regs[rs], in.Imm)}, rd)
+	case ST:
+		c.issueMem(ctx, MemRequest{Op: MemWrite, Addr: memAddr(ctx.regs[rs], in.Imm), Value: ctx.regs[rt]}, 0)
+	case FAA:
+		c.issueMem(ctx, MemRequest{Op: MemFetchAdd, Addr: memAddr(ctx.regs[rs], 0), Value: ctx.regs[rt]}, rd)
+	case TAS:
+		c.issueMem(ctx, MemRequest{Op: MemTestSet, Addr: memAddr(ctx.regs[rs], 0)}, rd)
+	case CNS:
+		c.issueMem(ctx, MemRequest{Op: MemConsume, Addr: memAddr(ctx.regs[rs], 0)}, rd)
+	case PRD:
+		c.issueMem(ctx, MemRequest{Op: MemProduce, Addr: memAddr(ctx.regs[rs], 0), Value: ctx.regs[rt]}, 0)
+	default:
+		panic(fmt.Sprintf("vn: cannot execute %s", in.Op))
+	}
+}
+
+// issueMem sends a memory request and parks the context until completion.
+func (c *Core) issueMem(ctx *context, req MemRequest, rd uint8) {
+	c.stats.MemOps.Inc()
+	ctx.waiting = true
+	req.Done = func(v Word) {
+		if rd != 0 {
+			ctx.regs[rd] = v
+		}
+		ctx.waiting = false
+	}
+	c.mem.Request(req)
+}
+
+func memAddr(base Word, off Word) uint32 {
+	a := base + off
+	if a < 0 {
+		panic(fmt.Sprintf("vn: negative memory address %d", a))
+	}
+	return uint32(a)
+}
+
+func b2w(b bool) Word {
+	if b {
+		return 1
+	}
+	return 0
+}

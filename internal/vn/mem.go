@@ -1,0 +1,167 @@
+package vn
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// backing is the shared word-array with atomic read-modify-write ops.
+type backing struct {
+	words map[uint32]Word
+}
+
+func newBacking() *backing { return &backing{words: map[uint32]Word{}} }
+
+func (b *backing) apply(r MemRequest) Word {
+	switch r.Op {
+	case MemRead:
+		return b.words[r.Addr]
+	case MemWrite:
+		b.words[r.Addr] = r.Value
+		return 0
+	case MemFetchAdd:
+		old := b.words[r.Addr]
+		b.words[r.Addr] = old + r.Value
+		return old
+	case MemTestSet:
+		old := b.words[r.Addr]
+		b.words[r.Addr] = 1
+		return old
+	default:
+		return 0
+	}
+}
+
+// LatencyMemory is an infinite-bandwidth memory with a fixed round-trip
+// latency: the E1/E2 knob for "how far away is memory in a machine of this
+// size". Step must be called once per cycle.
+type LatencyMemory struct {
+	store   *backing
+	latency sim.Cycle
+	now     sim.Cycle
+	due     map[sim.Cycle][]MemRequest
+	pending int
+}
+
+// NewLatencyMemory returns a fixed-latency memory (minimum 1 cycle).
+func NewLatencyMemory(latency sim.Cycle) *LatencyMemory {
+	if latency < 1 {
+		latency = 1
+	}
+	return &LatencyMemory{store: newBacking(), latency: latency, due: map[sim.Cycle][]MemRequest{}}
+}
+
+// Request issues r; its Done callback fires after the fixed latency.
+func (m *LatencyMemory) Request(r MemRequest) {
+	m.due[m.now+m.latency] = append(m.due[m.now+m.latency], r)
+	m.pending++
+}
+
+// Step completes requests due this cycle. Operations apply at completion
+// time, in issue order, which serializes read-modify-writes.
+func (m *LatencyMemory) Step(now sim.Cycle) {
+	m.now = now
+	reqs := m.due[now]
+	if len(reqs) == 0 {
+		return
+	}
+	delete(m.due, now)
+	for _, r := range reqs {
+		v := m.store.apply(r)
+		m.pending -= 1
+		if r.Done != nil {
+			r.Done(v)
+		}
+	}
+}
+
+// Pending reports outstanding requests.
+func (m *LatencyMemory) Pending() int { return m.pending }
+
+// Poke writes a word directly (test setup).
+func (m *LatencyMemory) Poke(addr uint32, v Word) { m.store.words[addr] = v }
+
+// Peek reads a word directly (test inspection).
+func (m *LatencyMemory) Peek(addr uint32) Word { return m.store.words[addr] }
+
+// BankedMemory is a memory module with finite bandwidth: one request
+// completes per ServiceTime cycles, plus a fixed access latency. It models
+// a shared memory bank where contention queues requests — the serialization
+// that makes hot spots expensive.
+type BankedMemory struct {
+	store       *backing
+	latency     sim.Cycle
+	serviceTime sim.Cycle
+	queue       []MemRequest
+	busyUntil   sim.Cycle
+	due         map[sim.Cycle][]completed
+	pending     int
+
+	// QueueLen observes the waiting-queue length each cycle.
+	QueueLen metrics.Gauge
+	// Served counts completed requests.
+	Served metrics.Counter
+}
+
+type completed struct {
+	r MemRequest
+	v Word
+}
+
+// NewBankedMemory returns a module that accepts one request per
+// serviceTime cycles and responds latency cycles after service.
+func NewBankedMemory(latency, serviceTime sim.Cycle) *BankedMemory {
+	if latency < 1 {
+		latency = 1
+	}
+	if serviceTime < 1 {
+		serviceTime = 1
+	}
+	return &BankedMemory{
+		store: newBacking(), latency: latency, serviceTime: serviceTime,
+		due: map[sim.Cycle][]completed{},
+	}
+}
+
+// Request queues r at the bank.
+func (m *BankedMemory) Request(r MemRequest) {
+	m.queue = append(m.queue, r)
+	m.pending++
+}
+
+// Step services at most one queued request and delivers due responses.
+func (m *BankedMemory) Step(now sim.Cycle) {
+	for _, c := range m.due[now] {
+		m.pending--
+		m.Served.Inc()
+		if c.r.Done != nil {
+			c.r.Done(c.v)
+		}
+	}
+	delete(m.due, now)
+	m.QueueLen.Set(int64(len(m.queue)))
+	m.QueueLen.Sample()
+	if now < m.busyUntil || len(m.queue) == 0 {
+		return
+	}
+	r := m.queue[0]
+	copy(m.queue, m.queue[1:])
+	m.queue = m.queue[:len(m.queue)-1]
+	m.busyUntil = now + m.serviceTime
+	v := m.store.apply(r) // applied at service time: atomic and serialized
+	m.due[now+m.latency] = append(m.due[now+m.latency], completed{r: r, v: v})
+}
+
+// Pending reports queued plus in-flight requests.
+func (m *BankedMemory) Pending() int { return m.pending }
+
+// Poke writes a word directly (test setup).
+func (m *BankedMemory) Poke(addr uint32, v Word) { m.store.words[addr] = v }
+
+// Peek reads a word directly (test inspection).
+func (m *BankedMemory) Peek(addr uint32) Word { return m.store.words[addr] }
+
+var (
+	_ MemPort = (*LatencyMemory)(nil)
+	_ MemPort = (*BankedMemory)(nil)
+)

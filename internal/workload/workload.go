@@ -1,0 +1,314 @@
+// Package workload collects the programs driven through the simulators by
+// the experiments, the benchmarks, and the examples: MiniID sources for the
+// dataflow machines and assembly kernels for the von Neumann baselines.
+// Keeping them here guarantees every substrate is measured on the same
+// computations.
+package workload
+
+import "fmt"
+
+// TrapezoidID is the paper's Figure 2-2 program: integrate f(x)=x² over
+// [a,b] with n intervals by the trapezoidal rule. main(a, b, n).
+const TrapezoidID = `
+def f(x) = x * x;
+def main(a, b, n) =
+  { h = (b - a) / n;
+    (initial s <- (f(a) + f(b)) / 2;
+             x <- a + h
+     for i from 1 to n - 1 do
+       new x <- x + h;
+       new s <- s + f(x)
+     return s) * h };
+`
+
+// FibID is the doubly recursive Fibonacci — a procedure-call stress test
+// whose parallelism is a binary tree of contexts. main(n).
+const FibID = `
+def fib(n) = if n < 2 then n else fib(n - 1) + fib(n - 2);
+def main(n) = fib(n);
+`
+
+// SumLoopID is the minimal sequential loop: sum 1..n. main(n).
+const SumLoopID = `
+def main(n) =
+  (initial s <- 0
+   for i from 1 to n do
+     new s <- s + i
+   return s);
+`
+
+// ProducerConsumerID fills an n-element I-structure in one loop and
+// consumes it in another. No barrier separates them: I-structure presence
+// bits synchronize element-by-element, so production and consumption
+// overlap — the paper's answer to Issue 2. main(n) returns
+// sum(i*2+1 for i in 0..n-1) = n².
+const ProducerConsumerID = `
+def main(n) =
+  { a = array(n);
+    p = (initial z <- 0
+         for i from 0 to n - 1 do
+           a[i] <- 2 * i + 1;
+           new z <- z
+         return 0);
+    (initial s <- p
+     for i from 0 to n - 1 do
+       new s <- s + a[i]
+     return s) };
+`
+
+// MatMulID multiplies two n×n matrices held in I-structures and returns a
+// checksum. Initialization, multiplication, and checksum are separate
+// loops with no barriers: presence bits order everything. main(n).
+const MatMulID = `
+def main(n) =
+  { a = array(n * n);
+    b = array(n * n);
+    c = array(n * n);
+    init = (initial z <- 0
+            for k from 0 to n * n - 1 do
+              a[k] <- k % 7 + 1;
+              b[k] <- k % 5 + 1;
+              new z <- z
+            return 0);
+    mul = (initial z <- init
+           for i from 0 to n - 1 do
+             new z <- z + (initial y <- 0
+                           for j from 0 to n - 1 do
+                             c[i * n + j] <- (initial dot <- 0
+                                              for k from 0 to n - 1 do
+                                                new dot <- dot + a[i * n + k] * b[k * n + j]
+                                              return dot);
+                             new y <- y
+                           return 0)
+           return z);
+    (initial s <- mul
+     for k from 0 to n * n - 1 do
+       new s <- s + c[k]
+     return s) };
+`
+
+// MatMulChecksum computes the expected MatMulID result in plain Go.
+func MatMulChecksum(n int) int64 {
+	a := make([]int64, n*n)
+	b := make([]int64, n*n)
+	for k := range a {
+		a[k] = int64(k%7 + 1)
+		b[k] = int64(k%5 + 1)
+	}
+	var sum int64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var dot int64
+			for k := 0; k < n; k++ {
+				dot += a[i*n+k] * b[k*n+j]
+			}
+			sum += dot
+		}
+	}
+	return sum
+}
+
+// CollatzID bounds-checks 200 iterations of the Collatz map and counts the
+// steps to reach 1 — a control-heavy serial workload. main(n).
+const CollatzID = `
+def f(x) = if x % 2 == 0 then x / 2 else 3 * x + 1;
+def main(n) =
+  (initial x <- n; c <- 0
+   for i from 1 to 200 do
+     new x <- if x == 1 then 1 else f(x);
+     new c <- if x == 1 then c else c + 1
+   return c);
+`
+
+// WavefrontID computes a dynamic-programming table t[i][j] =
+// t[i-1][j] + t[i][j-1] over an n×n I-structure, seeded with ones in row
+// and column zero. Parallelism is an anti-diagonal wavefront — a shape
+// only per-element synchronization exploits. main(n) returns t[n-1][n-1].
+const WavefrontID = `
+def main(n) =
+  { t = array(n * n);
+    seed = (initial z <- 0
+            for k from 0 to n - 1 do
+              t[k] <- 1;
+              new z <- z
+            return 0);
+    seedc = (initial z <- seed
+             for k from 1 to n - 1 do
+               t[k * n] <- 1;
+               new z <- z
+             return 0);
+    fill = (initial z <- seedc
+            for i from 1 to n - 1 do
+              new z <- z + (initial y <- 0
+                            for j from 1 to n - 1 do
+                              t[i * n + j] <- t[(i - 1) * n + j] + t[i * n + j - 1];
+                              new y <- y
+                            return 0)
+            return z);
+    t[n * n - 1] + fill * 0 };
+`
+
+// WavefrontExpected computes the expected WavefrontID result: the value of
+// the (n-1, n-1) cell, which is C(2(n-1)-..) — computed directly.
+func WavefrontExpected(n int) int64 {
+	t := make([]int64, n*n)
+	for k := 0; k < n; k++ {
+		t[k] = 1
+		t[k*n] = 1
+	}
+	for i := 1; i < n; i++ {
+		for j := 1; j < n; j++ {
+			t[i*n+j] = t[(i-1)*n+j] + t[i*n+j-1]
+		}
+	}
+	return t[n*n-1]
+}
+
+// MemLoopASM is the E1/E2 von Neumann kernel: one load plus four register
+// operations per iteration. Before running, set r1 = data base and r4 =
+// iteration count.
+const MemLoopASM = `
+loop:   ld   r2, r1, 0
+        add  r3, r3, r2
+        addi r1, r1, 1
+        addi r4, r4, -1
+        bne  r4, r0, loop
+        halt
+`
+
+// CounterLockASM increments a shared counter under a TAS spinlock: lock at
+// address 0, counter at address 1, iterations in r5.
+const CounterLockASM = `
+        li   r10, 0
+        li   r11, 1
+outer:  beq  r5, r0, done
+spin:   tas  r3, r10
+        bne  r3, r0, spin
+        ld   r4, r11, 0
+        addi r4, r4, 1
+        st   r4, r11, 0
+        st   r0, r10, 0
+        addi r5, r5, -1
+        j    outer
+done:   halt
+`
+
+// HotspotASM performs one FETCH-AND-ADD on the shared cell at address 0
+// and records the ticket at the private address in r4.
+const HotspotASM = `
+        li  r1, 0
+        li  r2, 1
+        faa r3, r1, r2
+        st  r3, r4, 0
+        halt
+`
+
+// RelaxASM is the Cm* chaotic-relaxation sweep kernel: r1 = chunk base,
+// r2 = cells, r6 = sweeps; each cell becomes the mean of its neighbours.
+const RelaxASM = `
+sweep:  beq  r6, r0, done
+        add  r7, r1, r0
+        add  r8, r2, r0
+cell:   beq  r8, r0, endsweep
+        ld   r3, r7, -1
+        ld   r4, r7, 1
+        add  r5, r3, r4
+        li   r9, 2
+        div  r5, r5, r9
+        st   r5, r7, 0
+        addi r7, r7, 1
+        addi r8, r8, -1
+        j    cell
+endsweep: addi r6, r6, -1
+        j    sweep
+done:   halt
+`
+
+// MergeSortID is a recursive merge sort over I-structure arrays: sub-sorts
+// of the two halves run as independent contexts (tree parallelism), every
+// merge fills a fresh single-assignment array through a data-dependent
+// while loop, and the conditional gating ensures out-of-range elements are
+// never even fetched. main(n) sorts the array [i*37 mod 101 : i in 0..n-1]
+// and returns a checksum of position-weighted elements; MergeSortChecksum
+// computes the expected value.
+const MergeSortID = `
+def copyRange(a, off, m) =
+  { b = array(m);
+    f = (initial z <- 0
+         for q from 0 to m - 1 do
+           b[q] <- a[off + q];
+           new z <- z
+         return 0);
+    b };
+
+def pickX(x, y, i, j, nx, ny) =
+  if j >= ny then true
+  else if i >= nx then false
+  else x[i] <= y[j];
+
+def merge(x, nx, y, ny) =
+  { out = array(nx + ny);
+    f = (initial i <- 0; j <- 0
+         while i + j < nx + ny do
+           out[i + j] <- if pickX(x, y, i, j, nx, ny) then x[i] else y[j];
+           new i <- if pickX(x, y, i, j, nx, ny) then i + 1 else i;
+           new j <- if pickX(x, y, i, j, nx, ny) then j else j + 1
+         return 0);
+    out };
+
+def msort(a, n) =
+  if n <= 1 then a
+  else { h = n / 2;
+         merge(msort(copyRange(a, 0, h), h), h,
+               msort(copyRange(a, h, n - h), n - h), n - h) };
+
+def main(n) =
+  { a = array(n);
+    f = (initial z <- 0
+         for q from 0 to n - 1 do
+           a[q] <- q * 37 % 101;
+           new z <- z
+         return 0);
+    s = msort(a, n);
+    (initial c <- f
+     for q from 0 to n - 1 do
+       new c <- c + s[q] * (q + 1)
+     return c) };
+`
+
+// MergeSortChecksum computes MergeSortID's expected result in plain Go.
+func MergeSortChecksum(n int) int64 {
+	vals := make([]int64, n)
+	for q := 0; q < n; q++ {
+		vals[q] = int64(q * 37 % 101)
+	}
+	// insertion sort (n is small in tests)
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && vals[j] < vals[j-1]; j-- {
+			vals[j], vals[j-1] = vals[j-1], vals[j]
+		}
+	}
+	var c int64
+	for q := 0; q < n; q++ {
+		c += vals[q] * int64(q+1)
+	}
+	return c
+}
+
+// FillConsumeID builds the E4/E5 fill-then-sum workload with a
+// parameterizable element expression, used by the experiment sweeps.
+func FillConsumeID(elementExpr string) string {
+	return fmt.Sprintf(`
+def main(n) =
+  { a = array(n);
+    p = (initial z <- 0
+         for i from 0 to n - 1 do
+           a[i] <- %s;
+           new z <- z
+         return 0);
+    (initial s <- p
+     for i from 0 to n - 1 do
+       new s <- s + a[i]
+     return s) };
+`, elementExpr)
+}

@@ -1,0 +1,215 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/id"
+	"repro/internal/token"
+	"repro/internal/vn"
+)
+
+func newInterp(t *testing.T, prog *graph.Program) *graph.Interp {
+	t.Helper()
+	return graph.NewInterp(prog)
+}
+
+func runID(t *testing.T, src string, args ...token.Value) token.Value {
+	t.Helper()
+	res, _, err := id.Run(src, args...)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("got %d results", len(res))
+	}
+	return res[0]
+}
+
+func TestTrapezoidCompilesAndRuns(t *testing.T) {
+	got := runID(t, TrapezoidID, token.Float(0), token.Float(2), token.Float(40))
+	// integral of x^2 on [0,2] is 8/3
+	if got.F < 2.6 || got.F > 2.75 {
+		t.Fatalf("trapezoid = %v", got.F)
+	}
+}
+
+func TestFib(t *testing.T) {
+	if got := runID(t, FibID, token.Int(12)); got.I != 144 {
+		t.Fatalf("fib(12) = %s", got)
+	}
+}
+
+func TestSumLoop(t *testing.T) {
+	if got := runID(t, SumLoopID, token.Int(50)); got.I != 1275 {
+		t.Fatalf("sum = %s", got)
+	}
+}
+
+func TestProducerConsumerIsNSquared(t *testing.T) {
+	for _, n := range []int64{1, 4, 10, 25} {
+		if got := runID(t, ProducerConsumerID, token.Int(n)); got.I != n*n {
+			t.Fatalf("pc(%d) = %s, want %d", n, got, n*n)
+		}
+	}
+}
+
+func TestMatMulChecksumMatchesGo(t *testing.T) {
+	for _, n := range []int{1, 2, 4} {
+		want := MatMulChecksum(n)
+		if got := runID(t, MatMulID, token.Int(int64(n))); got.I != want {
+			t.Fatalf("matmul(%d) = %s, want %d", n, got, want)
+		}
+	}
+}
+
+func TestCollatz(t *testing.T) {
+	if got := runID(t, CollatzID, token.Int(27)); got.I != 111 {
+		t.Fatalf("collatz(27) = %s, want 111", got)
+	}
+}
+
+func TestWavefrontMatchesGo(t *testing.T) {
+	for _, n := range []int{2, 4, 7} {
+		want := WavefrontExpected(n)
+		if got := runID(t, WavefrontID, token.Int(int64(n))); got.I != want {
+			t.Fatalf("wavefront(%d) = %s, want %d", n, got, want)
+		}
+	}
+}
+
+func TestWavefrontHasDiagonalParallelism(t *testing.T) {
+	prog, err := id.Compile(WavefrontID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wavefront must unfold: ideal max parallelism grows with n.
+	widths := map[int]int{}
+	for _, n := range []int{4, 8} {
+		it := newInterp(t, prog)
+		if _, err := it.Run(token.Int(int64(n))); err != nil {
+			t.Fatal(err)
+		}
+		widths[n] = it.MaxParallelism()
+	}
+	if widths[8] <= widths[4] {
+		t.Fatalf("wavefront parallelism did not grow: %v", widths)
+	}
+}
+
+func TestFillConsumeParameterized(t *testing.T) {
+	src := FillConsumeID("i * i")
+	if got := runID(t, src, token.Int(5)); got.I != 0+1+4+9+16 {
+		t.Fatalf("fill/consume = %s", got)
+	}
+}
+
+func TestASMKernelsAssemble(t *testing.T) {
+	for name, src := range map[string]string{
+		"MemLoopASM":     MemLoopASM,
+		"CounterLockASM": CounterLockASM,
+		"HotspotASM":     HotspotASM,
+		"RelaxASM":       RelaxASM,
+	} {
+		if _, err := vn.Assemble(src); err != nil {
+			t.Errorf("%s does not assemble: %v", name, err)
+		}
+	}
+}
+
+func TestMergeSortChecksumOracle(t *testing.T) {
+	// spot check: n=4 values are 0,37,74,111%101=10 -> sorted 0,10,37,74
+	if got := MergeSortChecksum(4); got != 0*1+10*2+37*3+74*4 {
+		t.Fatalf("oracle = %d", got)
+	}
+}
+
+func TestMergeSortSmall(t *testing.T) {
+	for _, n := range []int64{1, 2, 3, 8} {
+		want := MergeSortChecksum(int(n))
+		if got := runID(t, MergeSortID, token.Int(n)); got.I != want {
+			t.Fatalf("msort(%d) = %s, want %d", n, got, want)
+		}
+	}
+}
+
+func TestMergeSortSortedOutput(t *testing.T) {
+	// Inspect the sorted structure directly via the interpreter.
+	src := `
+def copyRange(a, off, m) =
+  { b = array(m);
+    f = (initial z <- 0
+         for q from 0 to m - 1 do
+           b[q] <- a[off + q];
+           new z <- z
+         return 0);
+    b };
+def pickX(x, y, i, j, nx, ny) =
+  if j >= ny then true
+  else if i >= nx then false
+  else x[i] <= y[j];
+def merge(x, nx, y, ny) =
+  { out = array(nx + ny);
+    f = (initial i <- 0; j <- 0
+         while i + j < nx + ny do
+           out[i + j] <- if pickX(x, y, i, j, nx, ny) then x[i] else y[j];
+           new i <- if pickX(x, y, i, j, nx, ny) then i + 1 else i;
+           new j <- if pickX(x, y, i, j, nx, ny) then j else j + 1
+         return 0);
+    out };
+def msort(a, n) =
+  if n <= 1 then a
+  else { h = n / 2;
+         merge(msort(copyRange(a, 0, h), h),
+               h,
+               msort(copyRange(a, h, n - h), n - h),
+               n - h) };
+def main(n) =
+  { a = array(n);
+    f = (initial z <- 0
+         for q from 0 to n - 1 do
+           a[q] <- q * 53 % 31;
+           new z <- z
+         return 0);
+    s = msort(a, n);
+    (initial c <- f for q from 0 to n - 1 do new c <- c + s[q] * 0 return s) };
+`
+	prog, err := id.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := newInterp(t, prog)
+	const n = 12
+	res, err := it.Run(token.Int(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := res[0].AsRef()
+	if err != nil {
+		t.Fatalf("result is not a structure ref: %v", res[0])
+	}
+	vals := it.Structure(ref)
+	if len(vals) != n {
+		t.Fatalf("sorted structure has %d elements", len(vals))
+	}
+	counts := map[int64]int{}
+	var prev int64 = -1
+	for i, v := range vals {
+		if v.Kind != token.KindInt {
+			t.Fatalf("element %d unwritten: %v", i, v)
+		}
+		if v.I < prev {
+			t.Fatalf("not sorted at %d: %v", i, vals)
+		}
+		prev = v.I
+		counts[v.I]++
+	}
+	for q := 0; q < n; q++ {
+		counts[int64(q*53%31)]--
+	}
+	for k, c := range counts {
+		if c != 0 {
+			t.Fatalf("multiset broken at value %d (%+d)", k, c)
+		}
+	}
+}
