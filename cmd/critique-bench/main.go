@@ -9,6 +9,7 @@
 //	critique-bench -quick      # reduced sweeps (seconds)
 //	critique-bench -only E4,E9
 //	critique-bench -markdown   # emit the EXPERIMENTS.md body
+//	critique-bench -bench BENCH.json   # also write kernel-speed measurements
 package main
 
 import (
@@ -17,9 +18,14 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/id"
 	"repro/internal/metrics"
+	"repro/internal/token"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -28,6 +34,7 @@ func main() {
 	markdown := flag.Bool("markdown", false, "emit EXPERIMENTS.md-formatted output")
 	jsonOut := flag.Bool("json", false, "emit results as JSON")
 	ablations := flag.Bool("ablations", true, "include the A-series design ablations")
+	benchOut := flag.String("bench", "", "write simulator-speed benchmark results (Mcycles/s, Minstr/s, sweep wall time) to this JSON file")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -38,10 +45,12 @@ func main() {
 		}
 	}
 
+	sweepStart := time.Now()
 	results := experiments.All(experiments.Options{Quick: *quick})
 	if *ablations {
 		results = append(results, experiments.Ablations(experiments.Options{Quick: *quick})...)
 	}
+	sweepWall := time.Since(sweepStart)
 	failed := 0
 	var selected []experiments.Result
 	for _, r := range results {
@@ -65,10 +74,85 @@ func main() {
 			fmt.Println(r)
 		}
 	}
+	if *benchOut != "" {
+		if err := writeBench(*benchOut, *quick, len(selected), sweepWall); err != nil {
+			fmt.Fprintln(os.Stderr, "critique-bench:", err)
+			os.Exit(1)
+		}
+	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "critique-bench: %d experiments failed\n", failed)
 		os.Exit(1)
 	}
+}
+
+// benchReport is the schema of the -bench JSON file, for tracking
+// simulator speed across revisions (BENCH_*.json).
+type benchReport struct {
+	Quick bool `json:"quick"`
+	// SweepWallMs is the wall time of the full experiment sweep run by
+	// this invocation, and SweepExperiments the experiment count behind it.
+	SweepWallMs      float64 `json:"sweep_wall_ms"`
+	SweepExperiments int     `json:"sweep_experiments"`
+	// Kernel speed: matmul(4) on 8 PEs, the BenchmarkTTDAMachine workload.
+	KernelProgram   string  `json:"kernel_program"`
+	KernelPEs       int     `json:"kernel_pes"`
+	KernelRuns      int     `json:"kernel_runs"`
+	KernelSimCycles uint64  `json:"kernel_sim_cycles"`
+	KernelInstrs    uint64  `json:"kernel_instructions"`
+	KernelWallMs    float64 `json:"kernel_wall_ms_per_run"`
+	McyclesPerSec   float64 `json:"mcycles_per_sec"`
+	MinstrPerSec    float64 `json:"minstr_per_sec"`
+}
+
+// writeBench measures cycle-accurate-kernel simulation speed on the
+// BenchmarkTTDAMachine workload and writes the report to path.
+func writeBench(path string, quick bool, experimentCount int, sweepWall time.Duration) error {
+	prog, err := id.Compile(workload.MatMulID)
+	if err != nil {
+		return err
+	}
+	runs := 10
+	if quick {
+		runs = 3
+	}
+	var cycles, instrs uint64
+	start := time.Now()
+	for i := 0; i < runs; i++ {
+		m := core.NewMachine(core.Config{PEs: 8}, prog)
+		if _, err := m.Run(1_000_000_000, token.Int(4)); err != nil {
+			return err
+		}
+		s := m.Summarize()
+		cycles, instrs = s.Cycles, s.Fired
+	}
+	wall := time.Since(start)
+	rep := benchReport{
+		Quick:            quick,
+		SweepWallMs:      float64(sweepWall.Microseconds()) / 1e3,
+		SweepExperiments: experimentCount,
+		KernelProgram:    "matmul(4)",
+		KernelPEs:        8,
+		KernelRuns:       runs,
+		KernelSimCycles:  cycles,
+		KernelInstrs:     instrs,
+		KernelWallMs:     float64(wall.Microseconds()) / 1e3 / float64(runs),
+		McyclesPerSec:    float64(cycles) * float64(runs) / wall.Seconds() / 1e6,
+		MinstrPerSec:     float64(instrs) * float64(runs) / wall.Seconds() / 1e6,
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "critique-bench: wrote %s (%.2f Mcycles/s, %.2f Minstr/s, sweep %.0f ms)\n",
+		path, rep.McyclesPerSec, rep.MinstrPerSec, rep.SweepWallMs)
+	return f.Close()
 }
 
 // jsonResult shadows experiments.Result with a marshalable error field.

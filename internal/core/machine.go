@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/istructure"
@@ -12,6 +13,13 @@ import (
 
 // Machine is a complete tagged-token dataflow machine: PEs, network,
 // I-structure modules, context manager, and structure allocator.
+//
+// The run loop is event-driven: components sit on active lists only while
+// they hold work, quiescence detection is O(1), and simulated time jumps
+// over stretches where every unit is merely waiting out a busy timer or a
+// packet flight. Cycle counts and statistics are bit-identical to stepping
+// every component on every cycle — the determinism contract the
+// experiments (and the golden-stats test) depend on.
 type Machine struct {
 	cfg  Config
 	prog *graph.Program
@@ -19,10 +27,28 @@ type Machine struct {
 	net  network.Network
 	is   []*istructure.Module
 
+	// Active lists: ids of components that currently hold queued work,
+	// kept sorted ascending so sweeps visit components in the same fixed
+	// order as stepping every component (part of the determinism
+	// contract). The dirty flags defer sorting to the next sweep.
+	peQueue  []int
+	peActive []bool
+	peDirty  bool
+	isQueue  []int
+	isActive []bool
+	isDirty  bool
+
+	// busyHorizon is the latest ALU/controller busy-until cycle ever
+	// scheduled. Busy-until values only grow per unit, so this running
+	// maximum equals the max over the current values, and quiescence is a
+	// comparison instead of a machine-wide scan.
+	busyHorizon sim.Cycle
+
 	// context manager state (conceptually distributed; centralized here
 	// with its cost charged through the PE controller's d=2 path)
 	nextCtx  token.Context
 	ctxs     map[token.Context]*ctxRecord
+	ctxFree  []*ctxRecord // recycled invocation records
 	ctxFreed uint64
 	ctxPeak  int
 
@@ -66,11 +92,13 @@ type replyTag struct {
 func NewMachine(cfg Config, prog *graph.Program) *Machine {
 	cfg = cfg.withDefaults()
 	m := &Machine{
-		cfg:     cfg,
-		prog:    prog,
-		nextCtx: 1,
-		ctxs:    map[token.Context]*ctxRecord{},
-		isLimit: cfg.ISCellsPerPE * uint32(cfg.PEs),
+		cfg:      cfg,
+		prog:     prog,
+		nextCtx:  1,
+		ctxs:     map[token.Context]*ctxRecord{},
+		isLimit:  cfg.ISCellsPerPE * uint32(cfg.PEs),
+		peActive: make([]bool, cfg.PEs),
+		isActive: make([]bool, cfg.PEs),
 	}
 	m.net = cfg.Net
 	if m.net == nil {
@@ -102,6 +130,37 @@ func (m *Machine) Program() *graph.Program { return m.prog }
 // Now returns the current cycle.
 func (m *Machine) Now() sim.Cycle { return m.now }
 
+// wakePE puts a PE on the active list (no-op if already there).
+func (m *Machine) wakePE(id int) {
+	if m.peActive[id] {
+		return
+	}
+	m.peActive[id] = true
+	if n := len(m.peQueue); n > 0 && id < m.peQueue[n-1] {
+		m.peDirty = true
+	}
+	m.peQueue = append(m.peQueue, id)
+}
+
+// wakeIS puts an I-structure module on the active list.
+func (m *Machine) wakeIS(id int) {
+	if m.isActive[id] {
+		return
+	}
+	m.isActive[id] = true
+	if n := len(m.isQueue); n > 0 && id < m.isQueue[n-1] {
+		m.isDirty = true
+	}
+	m.isQueue = append(m.isQueue, id)
+}
+
+// noteBusy extends the machine-wide busy horizon.
+func (m *Machine) noteBusy(t sim.Cycle) {
+	if t > m.busyHorizon {
+		m.busyHorizon = t
+	}
+}
+
 // deliver routes a network packet arriving at its destination PE.
 func (m *Machine) deliver(p *network.Packet) {
 	switch payload := p.Payload.(type) {
@@ -130,6 +189,7 @@ func (m *Machine) enqueueIS(pe int, r isRequest) {
 	if r.op == istructure.OpRead {
 		req.ReplyTo = r.replyTo
 	}
+	m.wakeIS(pe)
 	if err := m.is[pe].Enqueue(req); err != nil {
 		m.fail(fmt.Errorf("core: I-structure request failed: %v", err))
 	}
@@ -152,7 +212,7 @@ func (m *Machine) isRespond(pe int, r istructure.Response) {
 
 // allocate reserves n I-structure cells and returns the base address.
 func (m *Machine) allocate(n uint32) (uint32, error) {
-	if m.nextAddr+n > m.isLimit || m.nextAddr+n < m.nextAddr {
+	if n > m.isLimit-m.nextAddr {
 		return 0, fmt.Errorf("core: I-structure space exhausted (%d cells, limit %d)", n, m.isLimit)
 	}
 	base := m.nextAddr
@@ -164,7 +224,16 @@ func (m *Machine) allocate(n uint32) (uint32, error) {
 func (m *Machine) getContext(target graph.BlockID, parent token.ActivityName, parentBlock graph.BlockID, returnDests []graph.Dest) token.Context {
 	u := m.nextCtx
 	m.nextCtx++
-	m.ctxs[u] = &ctxRecord{block: target, parent: parent, parentBlock: parentBlock, returnDests: returnDests}
+	var rec *ctxRecord
+	if n := len(m.ctxFree); n > 0 {
+		rec = m.ctxFree[n-1]
+		m.ctxFree = m.ctxFree[:n-1]
+		*rec = ctxRecord{}
+	} else {
+		rec = &ctxRecord{}
+	}
+	rec.block, rec.parent, rec.parentBlock, rec.returnDests = target, parent, parentBlock, returnDests
+	m.ctxs[u] = rec
 	if live := len(m.ctxs); live > m.ctxPeak {
 		m.ctxPeak = live
 	}
@@ -172,10 +241,12 @@ func (m *Machine) getContext(target graph.BlockID, parent token.ActivityName, pa
 }
 
 // maybeFreeContext reclaims an invocation record once its return fired and
-// every callee entry received its argument.
+// every callee entry received its argument. The record goes on a free list
+// for reuse; callers must not touch rec afterwards.
 func (m *Machine) maybeFreeContext(u token.Context, rec *ctxRecord) {
 	if rec.returned && rec.argsSent >= len(m.prog.Block(rec.block).Entries) {
 		delete(m.ctxs, u)
+		m.ctxFree = append(m.ctxFree, rec)
 		m.ctxFreed++
 	}
 }
@@ -187,38 +258,112 @@ func (m *Machine) fail(err error) {
 	}
 }
 
-// quiescent reports whether no work remains anywhere in the machine.
+// quiescent reports whether no work remains anywhere in the machine. With
+// active lists and the busy horizon this is O(1) instead of a scan over
+// every PE and module.
 func (m *Machine) quiescent() bool {
-	if m.net.Pending() != 0 {
-		return false
-	}
-	for _, pe := range m.pes {
-		if !pe.idle() {
-			return false
-		}
-	}
-	for _, mod := range m.is {
-		if !mod.Idle() {
-			return false
-		}
-	}
-	return true
+	return len(m.peQueue) == 0 && len(m.isQueue) == 0 &&
+		m.net.Pending() == 0 && m.now >= m.busyHorizon
 }
 
-// step advances the machine one cycle: network, I-structure modules, then
-// PEs, in fixed order for determinism.
-func (m *Machine) step() {
-	m.net.Step(m.now)
-	for _, mod := range m.is {
-		mod.Step(m.now)
+// sweepIS steps the active I-structure modules in ascending id order,
+// returning the earliest future cycle any of them can act.
+func (m *Machine) sweepIS(now sim.Cycle) sim.Cycle {
+	if len(m.isQueue) == 0 {
+		return sim.Never
 	}
-	for _, pe := range m.pes {
-		pe.step(m.now)
+	if m.isDirty {
+		sort.Ints(m.isQueue)
+		m.isDirty = false
 	}
-	for _, pe := range m.pes {
-		pe.sample()
+	next := sim.Never
+	keep := m.isQueue[:0]
+	for _, id := range m.isQueue {
+		mod := m.is[id]
+		if t := mod.NextEvent(now); t > now {
+			keep = append(keep, id)
+			if t < next {
+				next = t
+			}
+			continue
+		}
+		mod.Step(now)
+		if mod.Idle() {
+			m.isActive[id] = false
+			continue
+		}
+		keep = append(keep, id)
+		if t := mod.NextEvent(now + 1); t < next {
+			next = t
+		}
 	}
-	m.now++
+	m.isQueue = keep
+	return next
+}
+
+// sweepPEs steps the active PEs in ascending id order, returning the
+// earliest future cycle any of them can act.
+func (m *Machine) sweepPEs(now sim.Cycle) sim.Cycle {
+	if len(m.peQueue) == 0 {
+		return sim.Never
+	}
+	if m.peDirty {
+		sort.Ints(m.peQueue)
+		m.peDirty = false
+	}
+	next := sim.Never
+	keep := m.peQueue[:0]
+	for _, id := range m.peQueue {
+		pe := m.pes[id]
+		if t := pe.nextWork(now); t > now {
+			keep = append(keep, id)
+			if t < next {
+				next = t
+			}
+			continue
+		}
+		pe.step(now)
+		if !pe.hasQueuedWork() {
+			m.peActive[id] = false
+			continue
+		}
+		keep = append(keep, id)
+		if t := pe.nextWork(now + 1); t < next {
+			next = t
+		}
+	}
+	m.peQueue = keep
+	return next
+}
+
+// step advances the machine one cycle — network, I-structure modules, then
+// PEs, in fixed order for determinism — then jumps simulated time over any
+// run of cycles in which every component would provably no-op. start and
+// limit bound the jump so a cycle-limit overrun is still detected.
+func (m *Machine) step(start, limit sim.Cycle) {
+	now := m.now
+	m.net.Step(now)
+	next := m.sweepIS(now)
+	if t := m.sweepPEs(now); t < next {
+		next = t
+	}
+	m.now = now + 1
+	if !m.net.Idle() {
+		if t := m.net.NextEvent(m.now); t < next {
+			next = t
+		}
+	}
+	if next == sim.Never {
+		// No queued work anywhere: nothing can happen until the busy
+		// timers expire, at which point the machine is quiescent.
+		next = m.busyHorizon
+	}
+	if next > m.now {
+		if next-start > limit {
+			next = start + limit
+		}
+		m.now = next
+	}
 }
 
 // Run injects the entry arguments and executes to quiescence. It returns
@@ -249,15 +394,27 @@ func (m *Machine) Run(limit sim.Cycle, args ...token.Value) ([]token.Value, erro
 			return nil, m.runErr
 		}
 		if m.quiescent() {
+			m.finishStats()
 			if err := m.checkClean(); err != nil {
 				return nil, err
 			}
 			m.stats.Cycles = uint64(m.now - start)
 			return m.results, nil
 		}
-		m.step()
+		m.step(start, limit)
 	}
 	return nil, fmt.Errorf("core: program %q did not finish within %d cycles", m.prog.Name, limit)
+}
+
+// finishStats settles every lazily-accounted statistic through the final
+// cycle, so per-PE and per-module numbers match per-cycle stepping.
+func (m *Machine) finishStats() {
+	for _, pe := range m.pes {
+		pe.finishStats(m.now)
+	}
+	for _, mod := range m.is {
+		mod.FinishStats(m.now)
+	}
 }
 
 // checkClean verifies quiescence is completion, not deadlock: no tokens

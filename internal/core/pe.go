@@ -15,37 +15,48 @@ import (
 // waiting-matching section (an associative store keyed by activity name),
 // the instruction-fetch unit, the ALU, the output section (tag computation
 // and routing), and the PE controller for d=2 manager requests.
+//
+// All stage queues are ring buffers (O(1) pop, buffer reused across the
+// run) and the PE participates in the machine's active-list scheduling: it
+// is stepped only on cycles where nextWork says a stage can progress, with
+// per-cycle statistics (stall counts, ALU occupancy, store occupancy)
+// settled lazily so they stay bit-identical to per-cycle stepping.
 type PE struct {
 	m  *Machine
 	id int
 
 	// input queue: tokens from the network and the local bypass path
-	input []token.Token
+	input sim.FIFO[token.Token]
 
 	// waiting-matching section
-	waiting map[token.ActivityName]*partial
+	waiting     map[token.ActivityName]*partial
+	partialFree []*partial // recycled match records
 
 	// enabled instructions waiting for instruction fetch
-	enabled []enabledInstr
+	enabled sim.FIFO[enabledInstr]
 
 	// instruction fetch → ALU operand queue
-	aluQ []enabledInstr
+	aluQ sim.FIFO[enabledInstr]
 
 	// ALU occupancy
 	aluBusyUntil sim.Cycle
 
 	// output section: result tokens awaiting tag computation/routing
-	outQ []token.Token
+	outQ sim.FIFO[token.Token]
 
 	// outgoing network packets refused by backpressure, retried in order
-	netRetry []*network.Packet
+	netRetry sim.FIFO[*network.Packet]
 
 	// PE controller queue (d=2 requests)
-	ctrlQ         []ctrlRequest
+	ctrlQ         sim.FIFO[ctrlRequest]
 	ctrlBusyUntil sim.Cycle
 
 	// matching-section freeze after an overflow-store access
 	matchBusyUntil sim.Cycle
+
+	// lastStep is the last cycle this PE was stepped, for settling the
+	// per-cycle stall count over skipped cycles.
+	lastStep sim.Cycle
 
 	stats PEStats
 }
@@ -77,9 +88,9 @@ type PEStats struct {
 	// TokensIn counts tokens accepted by the input section, by class.
 	TokensD0, TokensD1, TokensD2 metrics.Counter
 	// Matches counts pair completions; MatchStoreOccupancy tracks the
-	// associative store's load (mean/max via Gauge sampling).
+	// associative store's load (mean/max, updated on every insert/remove).
 	Matches             metrics.Counter
-	MatchStoreOccupancy metrics.Gauge
+	MatchStoreOccupancy metrics.TimedGauge
 	// NetSends counts packets this PE injected into the network.
 	NetSends metrics.Counter
 	// LocalBypass counts tokens that stayed on-PE.
@@ -95,34 +106,95 @@ func newPE(m *Machine, id int) *PE {
 	return &PE{m: m, id: id, waiting: map[token.ActivityName]*partial{}}
 }
 
-// idle reports whether the PE holds no work (the waiting store may hold
-// half-matched tokens; those are checked separately at termination).
-func (pe *PE) idle() bool {
-	return len(pe.input) == 0 && len(pe.enabled) == 0 && len(pe.aluQ) == 0 &&
-		len(pe.outQ) == 0 && len(pe.netRetry) == 0 && len(pe.ctrlQ) == 0 &&
-		pe.m.now >= pe.aluBusyUntil && pe.m.now >= pe.ctrlBusyUntil
-}
-
 // accept receives a token at the input section.
 func (pe *PE) accept(t token.Token) {
-	pe.input = append(pe.input, t)
+	pe.input.Push(t)
+	pe.m.wakePE(pe.id)
 }
 
 // emit hands a freshly built token to the output path of this PE: local
 // destinations bypass the network, remote ones are sent (with retry).
 func (pe *PE) emit(t token.Token) {
-	pe.outQ = append(pe.outQ, t)
+	pe.outQ.Push(t)
+	pe.m.wakePE(pe.id)
 }
 
-// sample records per-cycle gauges.
-func (pe *PE) sample() {
-	pe.stats.MatchStoreOccupancy.Set(int64(len(pe.waiting)))
-	pe.stats.MatchStoreOccupancy.Sample()
+// hasQueuedWork reports whether any stage queue holds an item. A PE with
+// no queued work needs no stepping regardless of its busy timers (the
+// waiting store may hold half-matched tokens; those are checked separately
+// at termination).
+func (pe *PE) hasQueuedWork() bool {
+	return pe.input.Len() > 0 || pe.enabled.Len() > 0 || pe.aluQ.Len() > 0 ||
+		pe.outQ.Len() > 0 || pe.netRetry.Len() > 0 || pe.ctrlQ.Len() > 0
+}
+
+// nextWork reports the earliest cycle at or after now at which stepping
+// this PE can change machine state: now when any stage can progress, a
+// future busy-until cycle when every queue is gated behind an occupied
+// unit, or sim.Never with no queued work. Cycles before the answer are
+// provably no-ops (modulo per-cycle statistics, which settleStalls and the
+// ALU/occupancy accounting reconstruct exactly).
+func (pe *PE) nextWork(now sim.Cycle) sim.Cycle {
+	if pe.netRetry.Len() > 0 || pe.outQ.Len() > 0 {
+		return now
+	}
+	next := sim.Never
+	if pe.aluQ.Len() > 0 {
+		if pe.aluBusyUntil <= now {
+			return now
+		}
+		next = pe.aluBusyUntil
+	}
+	if pe.enabled.Len() > 0 {
+		// Fetch progresses as soon as the operand queue has room; a full
+		// queue drains when the ALU next retires an instruction.
+		if pe.aluQ.Len() < aluQueueDepth {
+			return now
+		}
+		if pe.aluBusyUntil < next {
+			next = pe.aluBusyUntil
+		}
+	}
+	if pe.ctrlQ.Len() > 0 {
+		if pe.ctrlBusyUntil <= now {
+			return now
+		}
+		if pe.ctrlBusyUntil < next {
+			next = pe.ctrlBusyUntil
+		}
+	}
+	if pe.input.Len() > 0 {
+		if pe.matchBusyUntil <= now {
+			return now
+		}
+		if pe.matchBusyUntil < next {
+			next = pe.matchBusyUntil
+		}
+	}
+	return next
+}
+
+// settleStalls credits the frozen-matching-section cycles a per-cycle
+// stepper would have counted in (pe.lastStep, now).
+func (pe *PE) settleStalls(now sim.Cycle) {
+	if end := min(now, pe.matchBusyUntil); end > pe.lastStep+1 {
+		pe.stats.Stalls.Add(uint64(end - pe.lastStep - 1))
+	}
+	pe.lastStep = now
+}
+
+// finishStats settles lazily-accounted statistics through end-of-run cycle
+// now (exclusive). Idempotent for a constant now.
+func (pe *PE) finishStats(now sim.Cycle) {
+	pe.settleStalls(now)
+	pe.stats.ALU.SetTotal(uint64(now))
+	pe.stats.MatchStoreOccupancy.Finish(uint64(now))
 }
 
 // step advances the PE one cycle. Stages run in reverse pipeline order so
 // work moves at most one stage per cycle.
 func (pe *PE) step(now sim.Cycle) {
+	pe.settleStalls(now)
 	pe.stepNetRetry()
 	pe.stepOutput(now)
 	pe.stepALU(now)
@@ -133,13 +205,12 @@ func (pe *PE) step(now sim.Cycle) {
 
 // stepNetRetry re-attempts refused network sends in order.
 func (pe *PE) stepNetRetry() {
-	for len(pe.netRetry) > 0 {
-		if !pe.m.net.Send(pe.netRetry[0]) {
+	for pe.netRetry.Len() > 0 {
+		if !pe.m.net.Send(pe.netRetry.Peek()) {
 			return
 		}
+		pe.netRetry.Pop()
 		pe.stats.NetSends.Inc()
-		copy(pe.netRetry, pe.netRetry[1:])
-		pe.netRetry = pe.netRetry[:len(pe.netRetry)-1]
 	}
 }
 
@@ -148,61 +219,64 @@ func (pe *PE) stepNetRetry() {
 // become network packets.
 func (pe *PE) stepOutput(now sim.Cycle) {
 	bw := pe.m.cfg.OutputBandwidth
-	for i := 0; i < bw && len(pe.outQ) > 0; i++ {
-		t := pe.outQ[0]
-		copy(pe.outQ, pe.outQ[1:])
-		pe.outQ = pe.outQ[:len(pe.outQ)-1]
+	for i := 0; i < bw && pe.outQ.Len() > 0; i++ {
+		t := pe.outQ.Pop()
 		if t.PE == pe.id {
 			pe.stats.LocalBypass.Inc()
-			pe.input = append(pe.input, t)
+			pe.input.Push(t)
 			continue
 		}
 		pkt := &network.Packet{Src: pe.id, Dst: t.PE, Payload: t}
 		if !pe.m.net.Send(pkt) {
-			pe.netRetry = append(pe.netRetry, pkt)
+			pe.netRetry.Push(pkt)
 			continue
 		}
 		pe.stats.NetSends.Inc()
 	}
 }
 
-// stepALU executes one enabled instruction when the ALU is free.
+// aluQueueDepth is the operand-queue capacity between fetch and the ALU.
+const aluQueueDepth = 4
+
+// stepALU executes one enabled instruction when the ALU is free. Busy time
+// is accounted at issue (the op's full service time at once) rather than
+// per cycle; paired with SetTotal at end of run this reproduces exactly
+// the utilization a per-cycle busy tick would record.
 func (pe *PE) stepALU(now sim.Cycle) {
-	busy := now < pe.aluBusyUntil
-	if !busy && len(pe.aluQ) > 0 {
-		e := pe.aluQ[0]
-		copy(pe.aluQ, pe.aluQ[1:])
-		pe.aluQ = pe.aluQ[:len(pe.aluQ)-1]
-		blk := pe.m.prog.Block(graph.BlockID(e.act.CodeBlock))
-		in := blk.Instr(e.act.Statement)
-		pe.aluBusyUntil = now + pe.m.cfg.OpTime(in.Op)
-		pe.trace(TraceFire, "%s %s", in.Op, traceActivity(e.act))
-		pe.execute(blk, in, e)
-		pe.stats.Fired.Inc()
-		busy = true
+	if now < pe.aluBusyUntil || pe.aluQ.Len() == 0 {
+		return
 	}
-	pe.stats.ALU.Tick(busy)
+	e := pe.aluQ.Pop()
+	blk := pe.m.prog.Block(graph.BlockID(e.act.CodeBlock))
+	in := blk.Instr(e.act.Statement)
+	d := pe.m.cfg.OpTime(in.Op)
+	pe.aluBusyUntil = now + d
+	pe.m.noteBusy(pe.aluBusyUntil)
+	if d == 0 {
+		d = 1 // the firing cycle itself counts busy even for free ops
+	}
+	pe.stats.ALU.AddBusy(uint64(d))
+	pe.trace(TraceFire, "%s %s", in.Op, traceActivity(e.act))
+	pe.execute(blk, in, e)
+	pe.stats.Fired.Inc()
 }
 
 // stepFetch moves one enabled instruction into the ALU operand queue.
 func (pe *PE) stepFetch() {
-	if len(pe.enabled) == 0 || len(pe.aluQ) >= 4 {
+	if pe.enabled.Len() == 0 || pe.aluQ.Len() >= aluQueueDepth {
 		return
 	}
-	pe.aluQ = append(pe.aluQ, pe.enabled[0])
-	copy(pe.enabled, pe.enabled[1:])
-	pe.enabled = pe.enabled[:len(pe.enabled)-1]
+	pe.aluQ.Push(pe.enabled.Pop())
 }
 
 // stepController services one d=2 manager request.
 func (pe *PE) stepController(now sim.Cycle) {
-	if now < pe.ctrlBusyUntil || len(pe.ctrlQ) == 0 {
+	if now < pe.ctrlBusyUntil || pe.ctrlQ.Len() == 0 {
 		return
 	}
-	r := pe.ctrlQ[0]
-	copy(pe.ctrlQ, pe.ctrlQ[1:])
-	pe.ctrlQ = pe.ctrlQ[:len(pe.ctrlQ)-1]
+	r := pe.ctrlQ.Pop()
 	pe.ctrlBusyUntil = now + pe.m.cfg.ControllerTime
+	pe.m.noteBusy(pe.ctrlBusyUntil)
 	switch r.instr.Op {
 	case graph.OpGetContext:
 		u := pe.m.getContext(r.instr.Target, r.act, graph.BlockID(r.act.CodeBlock), r.instr.ReturnDests)
@@ -238,10 +312,8 @@ func (pe *PE) stepInput(now sim.Cycle) {
 	}
 	bw := pe.m.cfg.MatchBandwidth
 	capLimit := pe.m.cfg.MatchCapacity
-	for i := 0; i < bw && len(pe.input) > 0; i++ {
-		t := pe.input[0]
-		copy(pe.input, pe.input[1:])
-		pe.input = pe.input[:len(pe.input)-1]
+	for i := 0; i < bw && pe.input.Len() > 0; i++ {
+		t := pe.input.Pop()
 		overflowing := capLimit > 0 && len(pe.waiting) >= capLimit && t.NT >= 2
 		pe.classify(t)
 		if overflowing {
@@ -269,19 +341,31 @@ func (pe *PE) classify(t token.Token) {
 	}
 }
 
+// newPartial takes a match record from the free list, or allocates one.
+func (pe *PE) newPartial() *partial {
+	if n := len(pe.partialFree); n > 0 {
+		p := pe.partialFree[n-1]
+		pe.partialFree = pe.partialFree[:n-1]
+		*p = partial{}
+		return p
+	}
+	return &partial{}
+}
+
 // match pairs tokens by activity name (associative lookup).
 func (pe *PE) match(t token.Token) {
 	if t.NT <= 1 {
 		var vals [2]token.Value
 		vals[t.Port] = t.Value
-		pe.enabled = append(pe.enabled, enabledInstr{act: t.Tag.Activity, vals: vals})
+		pe.enabled.Push(enabledInstr{act: t.Tag.Activity, vals: vals})
 		return
 	}
 	key := t.Tag.Activity
 	p, ok := pe.waiting[key]
 	if !ok {
-		p = &partial{}
+		p = pe.newPartial()
 		pe.waiting[key] = p
+		pe.stats.MatchStoreOccupancy.Update(uint64(pe.m.now), int64(len(pe.waiting)))
 	}
 	if p.have[t.Port] {
 		pe.m.fail(fmt.Errorf("core: duplicate token at %s port %d", key, t.Port))
@@ -291,8 +375,10 @@ func (pe *PE) match(t token.Token) {
 	p.have[t.Port] = true
 	if p.have[0] && p.have[1] {
 		delete(pe.waiting, key)
+		pe.stats.MatchStoreOccupancy.Update(uint64(pe.m.now), int64(len(pe.waiting)))
+		pe.partialFree = append(pe.partialFree, p)
 		pe.stats.Matches.Inc()
-		pe.enabled = append(pe.enabled, enabledInstr{act: key, vals: p.vals})
+		pe.enabled.Push(enabledInstr{act: key, vals: p.vals})
 	}
 }
 
@@ -373,7 +459,7 @@ func (pe *PE) execute(blk *graph.CodeBlock, in *graph.Instruction, e enabledInst
 	case graph.OpGetContext, graph.OpAllocate:
 		// d=2: manager request to the PE controller
 		pe.stats.TokensD2.Inc()
-		pe.ctrlQ = append(pe.ctrlQ, ctrlRequest{act: act, instr: in, value: vals[0]})
+		pe.ctrlQ.Push(ctrlRequest{act: act, instr: in, value: vals[0]})
 	case graph.OpSendArg, graph.OpL:
 		h, err := vals[0].AsInt()
 		if err != nil {
@@ -391,14 +477,15 @@ func (pe *PE) execute(blk *graph.CodeBlock, in *graph.Instruction, e enabledInst
 			return
 		}
 		rec.argsSent++
-		pe.m.maybeFreeContext(token.Context(h), rec)
 		newAct := token.ActivityName{
 			Context:    token.Context(h),
 			CodeBlock:  uint16(rec.block),
 			Statement:  callee.Entries[in.ArgIndex],
 			Initiation: 1,
 		}
-		pe.sendToken(newAct, rec.block, newAct.Statement, 0, vals[1])
+		block := rec.block
+		pe.m.maybeFreeContext(token.Context(h), rec)
+		pe.sendToken(newAct, block, newAct.Statement, 0, vals[1])
 	case graph.OpD:
 		pe.sendToDestsInit(act, in.Dests, vals[0], act.Initiation+1)
 	case graph.OpDInv:
@@ -415,7 +502,6 @@ func (pe *PE) execute(blk *graph.CodeBlock, in *graph.Instruction, e enabledInst
 			return
 		}
 		rec.returned = true
-		pe.m.maybeFreeContext(act.Context, rec)
 		for _, d := range rec.returnDests {
 			newAct := token.ActivityName{
 				Context:    rec.parent.Context,
@@ -425,6 +511,7 @@ func (pe *PE) execute(blk *graph.CodeBlock, in *graph.Instruction, e enabledInst
 			}
 			pe.sendToken(newAct, rec.parentBlock, d.Stmt, d.Port, vals[0])
 		}
+		pe.m.maybeFreeContext(act.Context, rec)
 	case graph.OpFetch:
 		addr, err := vals[0].AsInt()
 		if err != nil || addr < 0 || uint32(addr) >= pe.m.nextAddr {
@@ -470,7 +557,7 @@ func (pe *PE) emitIS(r isRequest) {
 	}
 	pkt := &network.Packet{Src: pe.id, Dst: home, Payload: r}
 	if !pe.m.net.Send(pkt) {
-		pe.netRetry = append(pe.netRetry, pkt)
+		pe.netRetry.Push(pkt)
 		return
 	}
 	pe.stats.NetSends.Inc()

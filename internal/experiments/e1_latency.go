@@ -40,6 +40,8 @@ func E1LatencyTolerance(opt Options) Result {
 	}
 
 	vnUtil := func(latency sim.Cycle, k int) (float64, error) {
+		// Assembled fresh per call: sweep points run concurrently and share
+		// nothing.
 		prog, err := vn.Assemble(workload.MemLoopASM)
 		if err != nil {
 			return 0, err
@@ -63,17 +65,16 @@ func E1LatencyTolerance(opt Options) Result {
 	// The TTDA side runs fib(n): tree-shaped parallelism far wider than
 	// the latency being hidden — the "sufficiently parallel program" the
 	// paper's claim is conditioned on.
-	prog, err := id.Compile(workload.FibID)
-	if err != nil {
-		r.Err = err
-		return r
-	}
 	n := int64(15)
 	fibWant := int64(610)
 	if opt.Quick {
 		n, fibWant = 12, 144
 	}
 	ttda := func(latency sim.Cycle) (util float64, cycles uint64, err error) {
+		prog, err := id.Compile(workload.FibID)
+		if err != nil {
+			return 0, 0, err
+		}
 		m := core.NewMachine(core.Config{PEs: 4, NetLatency: latency}, prog)
 		res, err := m.Run(500_000_000, token.Int(n))
 		if err != nil {
@@ -86,38 +87,43 @@ func E1LatencyTolerance(opt Options) Result {
 		return s.ALUUtilization, s.Cycles, nil
 	}
 
-	var base uint64
-	for _, l := range lats {
+	// One sweep point = four independent whole-machine runs; points fan
+	// out across workers and reassemble in latency order.
+	type row struct {
+		u1, u4, u16, tu float64
+		tc              uint64
+	}
+	rows, err := runPoints(lats, func(_ PointEnv, l int) (row, error) {
 		lat := sim.Cycle(l)
-		u1, err := vnUtil(lat, 1)
-		if err != nil {
-			r.Err = err
-			return r
+		var out row
+		var err error
+		if out.u1, err = vnUtil(lat, 1); err != nil {
+			return out, err
 		}
-		u4, err := vnUtil(lat, 4)
-		if err != nil {
-			r.Err = err
-			return r
+		if out.u4, err = vnUtil(lat, 4); err != nil {
+			return out, err
 		}
-		u16, err := vnUtil(lat, 16)
-		if err != nil {
-			r.Err = err
-			return r
+		if out.u16, err = vnUtil(lat, 16); err != nil {
+			return out, err
 		}
-		tu, tc, err := ttda(lat)
-		if err != nil {
-			r.Err = err
-			return r
-		}
+		out.tu, out.tc, err = ttda(lat)
+		return out, err
+	})
+	if err != nil {
+		r.Err = err
+		return r
+	}
+	var base uint64
+	for i, l := range lats {
 		if base == 0 {
-			base = tc
+			base = rows[i].tc
 		}
 		x := float64(l)
-		blocking.Add(x, u1)
-		mt4.Add(x, u4)
-		mt16.Add(x, u16)
-		ttdaUtil.Add(x, tu)
-		ttdaSlow.Add(x, float64(tc)/float64(base))
+		blocking.Add(x, rows[i].u1)
+		mt4.Add(x, rows[i].u4)
+		mt16.Add(x, rows[i].u16)
+		ttdaUtil.Add(x, rows[i].tu)
+		ttdaSlow.Add(x, float64(rows[i].tc)/float64(base))
 	}
 	r.Tables = append(r.Tables, metrics.SeriesTable(
 		"E1: utilization and TTDA slowdown vs memory/network latency (vN cores stream memory; TTDA runs tree-parallel fib)",

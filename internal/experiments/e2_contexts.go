@@ -48,16 +48,29 @@ func E2ContextCounts(opt Options) Result {
 		return c.Stats().Utilization(), nil
 	}
 
+	// Flatten the latency x context grid into independent sweep points,
+	// then scan the results in grid order so the "first k reaching 60%"
+	// answer is schedule-independent.
+	type point struct{ l, k int }
+	var grid []point
+	for _, l := range lats {
+		for _, k := range ks {
+			grid = append(grid, point{l, k})
+		}
+	}
+	utils, err := runPoints(grid, func(_ PointEnv, p point) (float64, error) {
+		return util(sim.Cycle(p.l), p.k)
+	})
+	if err != nil {
+		r.Err = err
+		return r
+	}
 	series := make([]metrics.Series, len(lats))
 	needed := map[int]int{} // latency -> min k reaching 60% utilization
 	for li, l := range lats {
 		series[li].Name = fmt.Sprintf("util @L=%d", l)
-		for _, k := range ks {
-			u, err := util(sim.Cycle(l), k)
-			if err != nil {
-				r.Err = err
-				return r
-			}
+		for ki, k := range ks {
+			u := utils[li*len(ks)+ki]
 			series[li].Add(float64(k), u)
 			if u >= 0.6 {
 				if _, ok := needed[l]; !ok {

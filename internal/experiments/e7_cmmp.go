@@ -79,17 +79,21 @@ done:   halt
 	lock.Name = "cycles/locked increment"
 	alu.Name = "cycles/ALU iteration"
 	ratio.Name = "semaphore overhead x"
-	for _, p := range ps {
+	type row struct{ lc, ac float64 }
+	rows, err := runPoints(ps, func(_ PointEnv, p int) (row, error) {
 		lc, err := runCounter(p)
 		if err != nil {
-			r.Err = err
-			return r
+			return row{}, err
 		}
 		ac, err := runALU(p)
-		if err != nil {
-			r.Err = err
-			return r
-		}
+		return row{lc, ac}, err
+	})
+	if err != nil {
+		r.Err = err
+		return r
+	}
+	for i, p := range ps {
+		lc, ac := rows[i].lc, rows[i].ac
 		lock.Add(float64(p), lc)
 		alu.Add(float64(p), ac)
 		ratio.Add(float64(p), lc*float64(p)/ac) // wall time per increment vs local iteration

@@ -23,15 +23,19 @@ func E8Cmstar(opt Options) Result {
 	}
 
 	// Part 1: reference latency vs cluster distance.
-	prog, err := vn.Assemble(workload.MemLoopASM)
-	if err != nil {
-		r.Err = err
-		return r
-	}
 	lat := metrics.NewTable("E8: reference stream run time vs cluster distance (one core active)",
 		"distance", "cycles", "utilization")
 	const clusterWords = 4096
-	for _, dist := range pick(opt, []int{0, 1, 2, 3}, []int{0, 2}) {
+	dists := pick(opt, []int{0, 1, 2, 3}, []int{0, 2})
+	type distRow struct {
+		cycles sim.Cycle
+		util   float64
+	}
+	distRows, err := runPoints(dists, func(_ PointEnv, dist int) (distRow, error) {
+		prog, err := vn.Assemble(workload.MemLoopASM)
+		if err != nil {
+			return distRow{}, err
+		}
 		m := cmstar.New(cmstar.Config{Clusters: 4, CoresPerCluster: 1, ClusterWords: clusterWords}, prog)
 		for a := uint32(0); a < 4*clusterWords; a++ {
 			m.Poke(a, 1)
@@ -44,19 +48,20 @@ func E8Cmstar(opt Options) Result {
 		h.SetReg(4, 50)
 		cycles, err := m.Run(10_000_000)
 		if err != nil {
-			r.Err = err
-			return r
+			return distRow{}, err
 		}
-		lat.AddRow(dist, uint64(cycles), m.Core(0, 0).Stats().Utilization())
-	}
-	r.Tables = append(r.Tables, lat)
-
-	// Part 2: chaotic relaxation speedup across machine configurations.
-	relax, err := vn.Assemble(workload.RelaxASM)
+		return distRow{cycles, m.Core(0, 0).Stats().Utilization()}, nil
+	})
 	if err != nil {
 		r.Err = err
 		return r
 	}
+	for i, dist := range dists {
+		lat.AddRow(dist, uint64(distRows[i].cycles), distRows[i].util)
+	}
+	r.Tables = append(r.Tables, lat)
+
+	// Part 2: chaotic relaxation speedup across machine configurations.
 	totalCells := 192
 	sweeps := int64(4)
 	if opt.Quick {
@@ -69,6 +74,10 @@ func E8Cmstar(opt Options) Result {
 	// strategy" and then failed: most references become remote and
 	// blocking processors idle).
 	timeFor := func(clusters, coresPer int, interleaved bool) (sim.Cycle, float64, float64, error) {
+		relax, err := vn.Assemble(workload.RelaxASM)
+		if err != nil {
+			return 0, 0, 0, err
+		}
 		m := cmstar.New(cmstar.Config{Clusters: clusters, CoresPerCluster: coresPer, ClusterWords: clusterWords}, relax)
 		p := clusters * coresPer
 		chunk := totalCells / p
@@ -119,26 +128,35 @@ func E8Cmstar(opt Options) Result {
 	}
 	tb := metrics.NewTable("E8: chaotic relaxation speedup on Cm*: blocked (local) vs interleaved (remote) data",
 		"clusters x cores", "procs", "speedup local", "speedup remote", "remote ref frac", "util remote")
-	var t1b, t1i sim.Cycle
-	var lastB, lastI float64
-	for _, c := range cfgs {
+	type cfgRow struct {
+		cb, ci       sim.Cycle
+		utilI, fracI float64
+	}
+	cfgRows, err := runPoints(cfgs, func(_ PointEnv, c cfg) (cfgRow, error) {
 		cb, _, _, err := timeFor(c.clusters, c.cores, false)
 		if err != nil {
-			r.Err = err
-			return r
+			return cfgRow{}, err
 		}
 		ci, utilI, fracI, err := timeFor(c.clusters, c.cores, true)
-		if err != nil {
-			r.Err = err
-			return r
-		}
+		return cfgRow{cb, ci, utilI, fracI}, err
+	})
+	if err != nil {
+		r.Err = err
+		return r
+	}
+	// Speedup baselines come from the first configuration, resolved after
+	// the parallel sweep so the table is schedule-independent.
+	var t1b, t1i sim.Cycle
+	var lastB, lastI float64
+	for i, c := range cfgs {
+		row := cfgRows[i]
 		if t1b == 0 {
-			t1b, t1i = cb, ci
+			t1b, t1i = row.cb, row.ci
 		}
-		lastB = float64(t1b) / float64(cb)
-		lastI = float64(t1i) / float64(ci)
+		lastB = float64(t1b) / float64(row.cb)
+		lastI = float64(t1i) / float64(row.ci)
 		tb.AddRow(fmt.Sprintf("%dx%d", c.clusters, c.cores), c.clusters*c.cores,
-			lastB, lastI, fracI, utilI)
+			lastB, lastI, row.fracI, row.utilI)
 	}
 	r.Tables = append(r.Tables, tb)
 	r.Finding = fmt.Sprintf(

@@ -91,6 +91,12 @@ type Stats struct {
 	Busy metrics.Counter
 }
 
+// pageBits sizes the lazily-allocated cell pages (1<<pageBits cells per
+// page). Modules are routinely configured with tens of thousands of cells
+// of which a run touches a handful; paging keeps construction O(1) and
+// the garbage collector away from untouched storage.
+const pageBits = 10
+
 // Module is a cycle-stepped I-structure storage controller serving the
 // address range [Base, Base+Size). Requests queue at the controller; a
 // read occupies it for ReadTime cycles and a write for WriteTime cycles
@@ -98,14 +104,35 @@ type Stats struct {
 // presence bits").
 type Module struct {
 	base, size uint32
-	cells      []cell
+	pages      [][]cell // lazily allocated, pageBits cells each
 	respond    func(Response)
 
 	readTime, writeTime sim.Cycle
-	queue               []Request
+	queue               sim.FIFO[Request]
 	busyUntil           sim.Cycle
+	lastStep            sim.Cycle // last cycle Step ran, for busy settlement
 	stats               Stats
 	strict              bool
+}
+
+// cellAt returns the cell for module-relative index i, allocating its
+// page on first touch.
+func (m *Module) cellAt(i uint32) *cell {
+	pg := i >> pageBits
+	if m.pages[pg] == nil {
+		m.pages[pg] = make([]cell, 1<<pageBits)
+	}
+	return &m.pages[pg][i&(1<<pageBits-1)]
+}
+
+// peekCell returns the cell for index i without allocating, or nil when
+// its page was never touched (state Empty, value nil).
+func (m *Module) peekCell(i uint32) *cell {
+	pg := m.pages[i>>pageBits]
+	if pg == nil {
+		return nil
+	}
+	return &pg[i&(1<<pageBits-1)]
 }
 
 // Config parameterizes a module.
@@ -134,7 +161,7 @@ func New(cfg Config) *Module {
 	m := &Module{
 		base:      cfg.Base,
 		size:      cfg.Size,
-		cells:     make([]cell, cfg.Size),
+		pages:     make([][]cell, (uint64(cfg.Size)+(1<<pageBits)-1)>>pageBits),
 		respond:   cfg.Respond,
 		readTime:  cfg.ReadTime,
 		writeTime: cfg.WriteTime,
@@ -154,7 +181,7 @@ func (m *Module) Size() uint32 { return m.size }
 func (m *Module) Stats() *Stats { return &m.stats }
 
 // QueueLen returns the number of requests waiting for the controller.
-func (m *Module) QueueLen() int { return len(m.queue) }
+func (m *Module) QueueLen() int { return m.queue.Len() }
 
 // OutstandingDeferred returns the number of reads currently deferred.
 func (m *Module) OutstandingDeferred() int { return int(m.stats.Outstanding.Level()) }
@@ -165,26 +192,62 @@ func (m *Module) Enqueue(r Request) error {
 	if r.Addr < m.base || r.Addr >= m.base+m.size {
 		return fmt.Errorf("istructure: address %d outside module [%d,%d)", r.Addr, m.base, m.base+m.size)
 	}
-	m.queue = append(m.queue, r)
+	m.queue.Push(r)
 	return nil
 }
 
 // Idle reports whether the controller has no queued work.
-func (m *Module) Idle() bool { return len(m.queue) == 0 }
+func (m *Module) Idle() bool { return m.queue.Len() == 0 }
+
+// NextEvent reports the earliest cycle at or after now at which stepping
+// the controller does anything: now when a request can be serviced, the
+// busy-until cycle while one is occupying the controller, or sim.Never
+// when the queue is empty. (A busy controller with an empty queue needs no
+// step: settleBusy reconstructs its occupancy statistics.)
+func (m *Module) NextEvent(now sim.Cycle) sim.Cycle {
+	if m.queue.Len() == 0 {
+		return sim.Never
+	}
+	if m.busyUntil > now {
+		return m.busyUntil
+	}
+	return now
+}
+
+// settleBusy credits the occupied-controller cycles a per-cycle stepper
+// would have counted in (m.lastStep, now): one Busy tick per cycle the
+// controller was within a request's service time. Keeps the Busy counter
+// bit-identical to per-cycle stepping when idle cycles are skipped.
+func (m *Module) settleBusy(now sim.Cycle) {
+	end := m.busyUntil
+	if now < end {
+		end = now
+	}
+	if end > m.lastStep+1 {
+		m.stats.Busy.Add(uint64(end - m.lastStep - 1))
+	}
+	m.lastStep = now
+}
+
+// FinishStats settles per-cycle statistics through end-of-run cycle now
+// (exclusive). Idempotent for a constant now; call when the simulation
+// reaches quiescence.
+func (m *Module) FinishStats(now sim.Cycle) {
+	m.settleBusy(now)
+}
 
 // Step advances one cycle, servicing at most one request when the
 // controller is free.
 func (m *Module) Step(now sim.Cycle) {
+	m.settleBusy(now)
 	if now < m.busyUntil {
 		m.stats.Busy.Inc()
 		return
 	}
-	if len(m.queue) == 0 {
+	if m.queue.Len() == 0 {
 		return
 	}
-	r := m.queue[0]
-	copy(m.queue, m.queue[1:])
-	m.queue = m.queue[:len(m.queue)-1]
+	r := m.queue.Pop()
 	m.stats.Busy.Inc()
 	switch r.Op {
 	case OpRead:
@@ -202,7 +265,7 @@ func (m *Module) Step(now sim.Cycle) {
 // read services a read request per Figure 2-1: present cells respond
 // immediately; empty cells defer the request on the cell's deferred list.
 func (m *Module) read(r Request) {
-	c := &m.cells[r.Addr-m.base]
+	c := m.cellAt(r.Addr - m.base)
 	m.stats.Reads.Inc()
 	switch c.state {
 	case Present:
@@ -219,7 +282,7 @@ func (m *Module) read(r Request) {
 // write services a write: store the datum, set the presence bits, and
 // satisfy every deferred reader.
 func (m *Module) write(r Request) {
-	c := &m.cells[r.Addr-m.base]
+	c := m.cellAt(r.Addr - m.base)
 	m.stats.Writes.Inc()
 	if c.state == Present {
 		m.stats.Errors.Inc()
@@ -241,7 +304,7 @@ func (m *Module) write(r Request) {
 
 // clear resets a cell for structure reuse.
 func (m *Module) clear(r Request) {
-	c := &m.cells[r.Addr-m.base]
+	c := m.cellAt(r.Addr - m.base)
 	if len(c.waiters) > 0 {
 		m.stats.Errors.Inc()
 		if m.strict {
@@ -254,7 +317,17 @@ func (m *Module) clear(r Request) {
 }
 
 // State reports a cell's presence state (for tests and dumps).
-func (m *Module) State(addr uint32) CellState { return m.cells[addr-m.base].state }
+func (m *Module) State(addr uint32) CellState {
+	if c := m.peekCell(addr - m.base); c != nil {
+		return c.state
+	}
+	return Empty
+}
 
 // Value reports a written cell's value, or nil.
-func (m *Module) Value(addr uint32) interface{} { return m.cells[addr-m.base].value }
+func (m *Module) Value(addr uint32) interface{} {
+	if c := m.peekCell(addr - m.base); c != nil {
+		return c.value
+	}
+	return nil
+}

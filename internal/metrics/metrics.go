@@ -68,6 +68,71 @@ func (g *Gauge) Mean() float64 {
 	return float64(g.sum) / float64(g.samples)
 }
 
+// TimedGauge is the event-driven replacement for sampling a Gauge every
+// cycle: the owner calls Update only when the level changes, and the gauge
+// reconstructs exactly the statistics per-cycle sampling would have seen.
+// The convention matches end-of-cycle sampling: the level recorded for
+// cycle c is the level after the last Update at or before c, so a level
+// set and overwritten within the same cycle is never observed — precisely
+// the behaviour of sampling once per cycle after all updates. Mean and Max
+// are therefore bit-identical to the sampled Gauge they replace, at O(1)
+// per level change instead of O(1) per simulated cycle.
+type TimedGauge struct {
+	level  int64
+	max    int64
+	sum    uint64 // Σ end-of-cycle levels over [0, last)
+	last   uint64 // cycle through which sum/max are settled
+	cycles uint64 // denominator, fixed by Finish
+}
+
+// settle credits cycles [g.last, now) with the current level.
+func (g *TimedGauge) settle(now uint64) {
+	if now <= g.last {
+		return
+	}
+	// The level persisted across at least one cycle boundary, so per-cycle
+	// sampling would have observed it.
+	if g.level > g.max {
+		g.max = g.level
+	}
+	if g.level > 0 {
+		g.sum += uint64(g.level) * (now - g.last)
+	}
+	g.last = now
+}
+
+// Update sets the level as of cycle now.
+func (g *TimedGauge) Update(now uint64, level int64) {
+	g.settle(now)
+	g.level = level
+}
+
+// Add adjusts the level by d as of cycle now.
+func (g *TimedGauge) Add(now uint64, d int64) { g.Update(now, g.level+d) }
+
+// Finish settles through end-of-run cycle now (exclusive) and fixes the
+// averaging denominator at now cycles. Idempotent for a constant now.
+func (g *TimedGauge) Finish(now uint64) {
+	g.settle(now)
+	g.cycles = now
+}
+
+// Level returns the current level.
+func (g *TimedGauge) Level() int64 { return g.level }
+
+// Max returns the highest level observed at any cycle end (through the
+// last settle point).
+func (g *TimedGauge) Max() int64 { return g.max }
+
+// Mean returns the per-cycle average level over the Finished run, or 0
+// before Finish.
+func (g *TimedGauge) Mean() float64 {
+	if g.cycles == 0 {
+		return 0
+	}
+	return float64(g.sum) / float64(g.cycles)
+}
+
 // Utilization tracks busy vs idle cycles for a resource such as an ALU.
 type Utilization struct {
 	busy  uint64
@@ -81,6 +146,14 @@ func (u *Utilization) Tick(busy bool) {
 		u.busy++
 	}
 }
+
+// AddBusy records n busy cycles at once — the event-driven alternative to
+// calling Tick(true) n times. Pair with SetTotal at end of run.
+func (u *Utilization) AddBusy(n uint64) { u.busy += n }
+
+// SetTotal fixes the observation window at total cycles, for owners that
+// account busy time at event granularity (AddBusy) rather than per cycle.
+func (u *Utilization) SetTotal(total uint64) { u.total = total }
 
 // Busy returns the busy-cycle count.
 func (u *Utilization) Busy() uint64 { return u.busy }

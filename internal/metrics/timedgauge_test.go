@@ -1,0 +1,118 @@
+package metrics
+
+import "testing"
+
+// TestTimedGaugeMatchesSampledGauge drives a sampled Gauge (one Set+Sample
+// at the end of every cycle, the simulator's old per-cycle accounting) and
+// a TimedGauge (one Update per level change) through the same pseudo-random
+// level trajectory, including several changes within one cycle, and demands
+// bit-identical Max and Mean. This equivalence is what lets the machine
+// kernel skip idle cycles without perturbing occupancy statistics.
+func TestTimedGaugeMatchesSampledGauge(t *testing.T) {
+	const cycles = 10_000
+	var sampled Gauge
+	var timed TimedGauge
+	level := int64(0)
+	state := uint64(0x1234567)
+	rnd := func(n uint64) uint64 { // xorshift, deterministic
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state % n
+	}
+	for c := uint64(0); c < cycles; c++ {
+		// 0-3 level changes within this cycle; only the last one should be
+		// visible to end-of-cycle sampling.
+		for i := uint64(0); i < rnd(4); i++ {
+			level += int64(rnd(7)) - 3
+			if level < 0 {
+				level = 0
+			}
+			timed.Update(c, level)
+		}
+		sampled.Set(level)
+		sampled.Sample()
+	}
+	timed.Finish(cycles)
+	if timed.Max() != sampled.Max() {
+		t.Errorf("Max: timed %d, sampled %d", timed.Max(), sampled.Max())
+	}
+	if timed.Mean() != sampled.Mean() {
+		t.Errorf("Mean: timed %v, sampled %v", timed.Mean(), sampled.Mean())
+	}
+	if timed.Level() != sampled.Level() {
+		t.Errorf("Level: timed %d, sampled %d", timed.Level(), sampled.Level())
+	}
+}
+
+func TestTimedGaugeIntraCycleSpikeInvisible(t *testing.T) {
+	// A level that rises and falls within one cycle is never observed by
+	// end-of-cycle sampling, so it must not move the high-water mark.
+	var g TimedGauge
+	g.Update(5, 10)
+	g.Update(5, 0)
+	g.Finish(20)
+	if g.Max() != 0 {
+		t.Fatalf("intra-cycle spike leaked into Max: %d", g.Max())
+	}
+	if g.Mean() != 0 {
+		t.Fatalf("intra-cycle spike leaked into Mean: %v", g.Mean())
+	}
+}
+
+func TestTimedGaugeFinishIdempotent(t *testing.T) {
+	var g TimedGauge
+	g.Update(0, 2)
+	g.Finish(10)
+	m, mx := g.Mean(), g.Max()
+	g.Finish(10)
+	if g.Mean() != m || g.Max() != mx {
+		t.Fatalf("second Finish changed stats: mean %v->%v max %d->%d", m, g.Mean(), mx, g.Max())
+	}
+	if g.Mean() != 2.0 {
+		t.Fatalf("Mean = %v, want 2.0", g.Mean())
+	}
+}
+
+func TestTimedGaugeAdd(t *testing.T) {
+	var g TimedGauge
+	g.Add(0, 3)
+	g.Add(4, -1)
+	g.Finish(8)
+	// Cycles 0-3 at level 3, cycles 4-7 at level 2.
+	if g.Max() != 3 {
+		t.Fatalf("Max = %d, want 3", g.Max())
+	}
+	if want := (3.0*4 + 2.0*4) / 8; g.Mean() != want {
+		t.Fatalf("Mean = %v, want %v", g.Mean(), want)
+	}
+}
+
+func TestUtilizationEventAccounting(t *testing.T) {
+	// AddBusy+SetTotal must agree with per-cycle Tick for the same
+	// busy/idle trajectory.
+	var ticked, event Utilization
+	busySpans := []struct{ at, dur uint64 }{{2, 3}, {10, 1}, {14, 6}}
+	total := uint64(25)
+	i := 0
+	for c := uint64(0); c < total; c++ {
+		busy := false
+		for _, s := range busySpans {
+			if c >= s.at && c < s.at+s.dur {
+				busy = true
+			}
+		}
+		ticked.Tick(busy)
+		if i < len(busySpans) && busySpans[i].at == c {
+			event.AddBusy(busySpans[i].dur)
+			i++
+		}
+	}
+	event.SetTotal(total)
+	if event.Busy() != ticked.Busy() || event.Total() != ticked.Total() {
+		t.Fatalf("event (%d/%d) != ticked (%d/%d)", event.Busy(), event.Total(), ticked.Busy(), ticked.Total())
+	}
+	if event.Fraction() != ticked.Fraction() {
+		t.Fatalf("Fraction: event %v, ticked %v", event.Fraction(), ticked.Fraction())
+	}
+}

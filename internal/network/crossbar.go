@@ -102,6 +102,12 @@ func (c *Crossbar) Step(now sim.Cycle) {
 // Pending reports packets queued or in transit.
 func (c *Crossbar) Pending() int { return c.pending }
 
+// Idle reports whether no packets are queued or in flight.
+func (c *Crossbar) Idle() bool { return c.pending == 0 }
+
+// NextEvent: a crossbar with traffic must arbitrate every cycle.
+func (c *Crossbar) NextEvent(now sim.Cycle) sim.Cycle { return steppedNextEvent(c.pending, now) }
+
 // Stats returns traffic counters.
 func (c *Crossbar) Stats() *Stats { return c.stats }
 

@@ -227,6 +227,12 @@ func (h *Hypercube) Step(now sim.Cycle) {
 // Pending reports packets queued or in transit.
 func (h *Hypercube) Pending() int { return h.pending }
 
+// Idle reports whether no packets are queued or in flight.
+func (h *Hypercube) Idle() bool { return h.pending == 0 }
+
+// NextEvent: a switched cube with traffic must route every cycle.
+func (h *Hypercube) NextEvent(now sim.Cycle) sim.Cycle { return steppedNextEvent(h.pending, now) }
+
 // Stats returns traffic counters.
 func (h *Hypercube) Stats() *Stats { return h.stats }
 

@@ -181,6 +181,12 @@ func (m *Mesh) Step(now sim.Cycle) {
 // Pending reports packets queued or in transit.
 func (m *Mesh) Pending() int { return m.pending }
 
+// Idle reports whether no packets are queued or in flight.
+func (m *Mesh) Idle() bool { return m.pending == 0 }
+
+// NextEvent: a mesh with traffic must route every cycle.
+func (m *Mesh) NextEvent(now sim.Cycle) sim.Cycle { return steppedNextEvent(m.pending, now) }
+
 // Stats returns traffic counters.
 func (m *Mesh) Stats() *Stats { return m.stats }
 

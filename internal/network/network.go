@@ -60,8 +60,27 @@ type Network interface {
 	// Pending reports how many packets are in flight (for termination
 	// detection).
 	Pending() int
+	// Idle reports whether the fabric holds no packets at all: stepping an
+	// idle network is a no-op.
+	Idle() bool
+	// NextEvent reports the earliest cycle at or after now at which the
+	// network can deliver or move a packet: now when it must be stepped
+	// every cycle (switched fabrics with traffic in flight), a future
+	// cycle for fabrics that know their next delivery time, or sim.Never
+	// when idle. The simulation kernel uses it to skip dead cycles.
+	NextEvent(now sim.Cycle) sim.Cycle
 	// Stats exposes traffic counters.
 	Stats() *Stats
+}
+
+// steppedNextEvent is the NextEvent answer for switched fabrics that move
+// packets one link per cycle: with traffic in flight they must be stepped
+// every cycle, otherwise never.
+func steppedNextEvent(pending int, now sim.Cycle) sim.Cycle {
+	if pending > 0 {
+		return now
+	}
+	return sim.Never
 }
 
 // Stats aggregates traffic measurements for a network.

@@ -292,6 +292,12 @@ func (o *Omega) reverseIntoNext(r *Packet) bool {
 // Pending reports packets in switch queues (both directions).
 func (o *Omega) Pending() int { return o.pending + len(o.deferred) }
 
+// Idle reports whether no packets are queued, in flight, or deferred.
+func (o *Omega) Idle() bool { return o.Pending() == 0 }
+
+// NextEvent: an omega network with traffic must route every cycle.
+func (o *Omega) NextEvent(now sim.Cycle) sim.Cycle { return steppedNextEvent(o.Pending(), now) }
+
 // Stats returns traffic counters. Forward deliveries and reply deliveries
 // both count as Delivered.
 func (o *Omega) Stats() *Stats { return o.stats }

@@ -1,0 +1,204 @@
+package sim
+
+import "testing"
+
+// pulse is an EventAware component that does work only at fixed cycles.
+type pulse struct {
+	at    []Cycle // ascending
+	fired int
+	steps int
+}
+
+func (p *pulse) Step(now Cycle) {
+	p.steps++
+	if p.fired < len(p.at) && p.at[p.fired] == now {
+		p.fired++
+	}
+}
+
+func (p *pulse) NextEvent(now Cycle) Cycle {
+	if p.fired >= len(p.at) {
+		return Never
+	}
+	if t := p.at[p.fired]; t > now {
+		return t
+	}
+	return now
+}
+
+func TestRunEventedMatchesRunCycleCounts(t *testing.T) {
+	at := []Cycle{3, 10, 50}
+	plain := NewScheduler()
+	pp := &pulse{at: at}
+	plain.Register(pp)
+	wantElapsed, wantOK := plain.Run(func() bool { return pp.fired == len(at) }, 1000)
+
+	ev := NewScheduler()
+	ep := &pulse{at: at}
+	ev.Register(ep)
+	elapsed, ok := ev.RunEvented(func() bool { return ep.fired == len(at) }, 1000)
+
+	if elapsed != wantElapsed || ok != wantOK {
+		t.Fatalf("RunEvented = (%d, %t), Run = (%d, %t): idle skipping changed the cycle count",
+			elapsed, ok, wantElapsed, wantOK)
+	}
+	if ep.steps >= pp.steps {
+		t.Fatalf("RunEvented stepped %d times vs Run's %d: no cycles were skipped", ep.steps, pp.steps)
+	}
+	if ep.steps != len(at)+1 {
+		// Cycle 0 is always executed, then one tick per pulse.
+		t.Fatalf("RunEvented stepped %d times, want %d", ep.steps, len(at)+1)
+	}
+}
+
+func TestRunEventedReportsExactCompletionCycle(t *testing.T) {
+	// done becomes true at the tick executed right before a long idle
+	// stretch; the elapsed count must be the completion cycle, not a jump
+	// target.
+	s := NewScheduler()
+	p := &pulse{at: []Cycle{5, 500}}
+	s.Register(p)
+	elapsed, ok := s.RunEvented(func() bool { return p.fired >= 1 }, 1000)
+	if !ok || elapsed != 6 {
+		t.Fatalf("elapsed=%d ok=%t, want 6/true", elapsed, ok)
+	}
+}
+
+func TestRunEventedMixedComponentsDegradesToPerCycle(t *testing.T) {
+	s := NewScheduler()
+	p := &pulse{at: []Cycle{40}}
+	s.Register(p)
+	ticks := 0
+	s.Register(ComponentFunc(func(now Cycle) { ticks++ })) // not EventAware
+	elapsed, ok := s.RunEvented(func() bool { return p.fired == 1 }, 1000)
+	if !ok || elapsed != 41 {
+		t.Fatalf("elapsed=%d ok=%t, want 41/true", elapsed, ok)
+	}
+	if ticks != 41 {
+		t.Fatalf("plain component stepped %d times, want every cycle (41)", ticks)
+	}
+}
+
+func TestRunEventedLimitWithIdleComponents(t *testing.T) {
+	// All events exhausted, predicate never true: the jump must stop at
+	// the limit and report failure exactly like Run.
+	s := NewScheduler()
+	p := &pulse{at: []Cycle{2}}
+	s.Register(p)
+	elapsed, ok := s.RunEvented(func() bool { return false }, 100)
+	if ok || elapsed != 100 {
+		t.Fatalf("elapsed=%d ok=%t, want 100/false", elapsed, ok)
+	}
+	if p.steps > 4 {
+		t.Fatalf("stepped %d times; the post-event idle stretch should be one jump", p.steps)
+	}
+}
+
+func TestSchedulerNextEventMinimum(t *testing.T) {
+	s := NewScheduler()
+	s.Register(&pulse{at: []Cycle{30}})
+	s.Register(&pulse{at: []Cycle{12}})
+	if got := s.NextEvent(); got != 12 {
+		t.Fatalf("NextEvent = %d, want 12", got)
+	}
+	s.Register(ComponentFunc(func(now Cycle) {})) // pins to now
+	if got := s.NextEvent(); got != s.Now() {
+		t.Fatalf("NextEvent with a plain component = %d, want now (%d)", got, s.Now())
+	}
+}
+
+func TestEventQueueRunUntilExactDeadline(t *testing.T) {
+	q := NewEventQueue()
+	fired := 0
+	q.At(10, func() { fired++ })
+	q.At(20, func() { fired++ })
+	q.At(21, func() { fired++ })
+	if n := q.RunUntil(20); n != 2 || fired != 2 {
+		t.Fatalf("RunUntil(20) dispatched %d (fired %d), want events at <= deadline inclusive (2)", n, fired)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("pending %d, want 1", q.Len())
+	}
+}
+
+func TestEventQueueDrainLimitPanics(t *testing.T) {
+	q := NewEventQueue()
+	var step func()
+	step = func() { q.After(1, step) } // schedules forever
+	q.At(0, step)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Drain must panic when the limit is exceeded")
+		}
+	}()
+	q.Drain(50)
+}
+
+func TestFIFOOrderAndWraparound(t *testing.T) {
+	var q FIFO[int]
+	if !q.Empty() || q.Len() != 0 {
+		t.Fatal("zero FIFO must be empty")
+	}
+	// Interleave pushes and pops so the ring wraps several times.
+	next, expect := 0, 0
+	for round := 0; round < 20; round++ {
+		for i := 0; i < 7; i++ {
+			q.Push(next)
+			next++
+		}
+		if q.Peek() != expect {
+			t.Fatalf("Peek = %d, want %d", q.Peek(), expect)
+		}
+		for i := 0; i < q.Len(); i++ {
+			if got := q.At(i); got != expect+i {
+				t.Fatalf("At(%d) = %d, want %d", i, got, expect+i)
+			}
+		}
+		for i := 0; i < 5; i++ {
+			if got := q.Pop(); got != expect {
+				t.Fatalf("Pop = %d, want %d (FIFO order violated)", got, expect)
+			}
+			expect++
+		}
+	}
+	for !q.Empty() {
+		if got := q.Pop(); got != expect {
+			t.Fatalf("drain Pop = %d, want %d", got, expect)
+		}
+		expect++
+	}
+	if expect != next {
+		t.Fatalf("popped %d items, pushed %d", expect, next)
+	}
+}
+
+func TestFIFOPopEmptyPanics(t *testing.T) {
+	var q FIFO[int]
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pop of empty FIFO must panic")
+		}
+	}()
+	q.Pop()
+}
+
+func TestFIFOPeekEmptyPanics(t *testing.T) {
+	var q FIFO[int]
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Peek of empty FIFO must panic")
+		}
+	}()
+	q.Peek()
+}
+
+func TestFIFOAtOutOfRangePanics(t *testing.T) {
+	var q FIFO[int]
+	q.Push(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At past the tail must panic")
+		}
+	}()
+	q.At(1)
+}

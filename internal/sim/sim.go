@@ -8,10 +8,16 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"math"
 )
 
 // Cycle is a point in simulated time, measured in machine cycles.
 type Cycle uint64
+
+// Never is the sentinel "no pending event" cycle: later than any real
+// simulated time. Event-aware components return it from NextEvent when
+// they hold no work at all.
+const Never = Cycle(math.MaxUint64)
 
 // Component is a piece of synchronous hardware. On every cycle the
 // scheduler calls Step exactly once with the current time. Components must
@@ -27,6 +33,17 @@ type ComponentFunc func(now Cycle)
 
 // Step calls f(now).
 func (f ComponentFunc) Step(now Cycle) { f(now) }
+
+// EventAware is an optional Component extension for idle skipping. A
+// component that knows when its next state change can possibly happen
+// reports it from NextEvent: `now` means "step me this cycle", a future
+// cycle means "stepping me before then is a no-op", and Never means "I
+// hold no work". Components that cannot promise this simply don't
+// implement the interface and are stepped every cycle.
+type EventAware interface {
+	Component
+	NextEvent(now Cycle) Cycle
+}
 
 // Scheduler drives a set of Components in lockstep. Components are stepped
 // in registration order, which is part of the simulation's deterministic
@@ -65,6 +82,53 @@ func (s *Scheduler) Run(done func() bool, limit Cycle) (elapsed Cycle, ok bool) 
 			return s.now - start, true
 		}
 		s.Tick()
+	}
+	return s.now - start, done()
+}
+
+// NextEvent reports the earliest cycle at which any registered component
+// can make progress: the minimum of the components' NextEvent answers.
+// Components that are not EventAware pin the answer to now (they must be
+// stepped every cycle).
+func (s *Scheduler) NextEvent() Cycle {
+	next := Never
+	for _, c := range s.components {
+		ea, ok := c.(EventAware)
+		if !ok {
+			return s.now
+		}
+		if t := ea.NextEvent(s.now); t < next {
+			next = t
+		}
+		if next <= s.now {
+			return s.now
+		}
+	}
+	return next
+}
+
+// RunEvented is Run with idle skipping: after each tick, if every
+// component reports its next possible state change lies in the future,
+// simulated time jumps straight there instead of burning empty cycles.
+// Cycle counts are identical to Run's for any component set whose
+// NextEvent contract is honest; a mix of event-aware and plain components
+// degrades gracefully to per-cycle stepping.
+func (s *Scheduler) RunEvented(done func() bool, limit Cycle) (elapsed Cycle, ok bool) {
+	start := s.now
+	for s.now-start < limit {
+		if done() {
+			return s.now - start, true
+		}
+		s.Tick()
+		if done() {
+			continue // report the exact completion cycle, not a jump target
+		}
+		if t := s.NextEvent(); t > s.now {
+			if t == Never || t-start > limit {
+				t = start + limit
+			}
+			s.now = t
+		}
 	}
 	return s.now - start, done()
 }
