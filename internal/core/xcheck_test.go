@@ -1,0 +1,40 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/token"
+	"repro/internal/workload"
+)
+
+func slowFetchOpTime(op graph.Opcode) sim.Cycle {
+	switch op {
+	case graph.OpFetch:
+		return 5
+	case graph.OpMul:
+		return 3
+	case graph.OpDiv, graph.OpMod:
+		return 6
+	default:
+		return 1
+	}
+}
+
+func TestCrossCheckPrint(t *testing.T) {
+	scs := []goldenScenario{
+		{"matmul3-pe1", workload.MatMulID, []token.Value{token.Int(3)}, func() Config { return Config{PEs: 1} }},
+		{"matmul3-pe1-weighted", workload.MatMulID, []token.Value{token.Int(3)}, func() Config { return Config{PEs: 1, OpTime: weightedOpTime} }},
+		{"matmul3-pe1-slowfetch", workload.MatMulID, []token.Value{token.Int(3)}, func() Config { return Config{PEs: 1, OpTime: slowFetchOpTime} }},
+		{"matmul4-pe2-slowfetch", workload.MatMulID, []token.Value{token.Int(4)}, func() Config { return Config{PEs: 2, OpTime: slowFetchOpTime} }},
+		{"prodcons16-pe1", workload.ProducerConsumerID, []token.Value{token.Int(16)}, func() Config { return Config{PEs: 1} }},
+		{"prodcons16-pe1-slowfetch", workload.ProducerConsumerID, []token.Value{token.Int(16)}, func() Config { return Config{PEs: 1, OpTime: slowFetchOpTime} }},
+		{"wavefront5-pe1-weighted", workload.WavefrontID, []token.Value{token.Int(5)}, func() Config { return Config{PEs: 1, OpTime: weightedOpTime} }},
+	}
+	for _, sc := range scs {
+		snap := snapshotRun(t, sc)
+		fmt.Printf("XCHECK %s %s\n", sc.name, mustJSON(snap))
+	}
+}
