@@ -23,8 +23,14 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/id"
+	"repro/internal/machines/cmmp"
+	"repro/internal/machines/cmstar"
+	"repro/internal/machines/ultra"
+	"repro/internal/machines/vliw"
 	"repro/internal/metrics"
+	"repro/internal/sim"
 	"repro/internal/token"
+	"repro/internal/vn"
 	"repro/internal/workload"
 )
 
@@ -75,7 +81,7 @@ func main() {
 		}
 	}
 	if *benchOut != "" {
-		if err := writeBench(*benchOut, *quick, len(selected), sweepWall); err != nil {
+		if err := writeBench(*benchOut, *quick, selected, sweepWall); err != nil {
 			fmt.Fprintln(os.Stderr, "critique-bench:", err)
 			os.Exit(1)
 		}
@@ -94,6 +100,8 @@ type benchReport struct {
 	// this invocation, and SweepExperiments the experiment count behind it.
 	SweepWallMs      float64 `json:"sweep_wall_ms"`
 	SweepExperiments int     `json:"sweep_experiments"`
+	// ExperimentWallMs breaks the sweep down per experiment id.
+	ExperimentWallMs map[string]float64 `json:"experiment_wall_ms"`
 	// Kernel speed: matmul(4) on 8 PEs, the BenchmarkTTDAMachine workload.
 	KernelProgram   string  `json:"kernel_program"`
 	KernelPEs       int     `json:"kernel_pes"`
@@ -103,11 +111,138 @@ type benchReport struct {
 	KernelWallMs    float64 `json:"kernel_wall_ms_per_run"`
 	McyclesPerSec   float64 `json:"mcycles_per_sec"`
 	MinstrPerSec    float64 `json:"minstr_per_sec"`
+	// Baselines records simulated-cycle throughput for the von Neumann
+	// baseline machines on their experiment workloads, so baseline
+	// simulator speed is tracked across revisions alongside the TTDA kernel.
+	Baselines []baselineBench `json:"baselines"`
+}
+
+// baselineBench is one baseline machine's throughput measurement.
+type baselineBench struct {
+	Machine       string  `json:"machine"`
+	Workload      string  `json:"workload"`
+	Runs          int     `json:"runs"`
+	SimCycles     uint64  `json:"sim_cycles"`
+	WallMsPerRun  float64 `json:"wall_ms_per_run"`
+	McyclesPerSec float64 `json:"mcycles_per_sec"`
+}
+
+// benchBaselines times each baseline machine on a workload shaped like its
+// experiment (E2 multithreaded vn, E7 C.mmp, E8 Cm*, E9 Ultracomputer,
+// E12 VLIW). Each entry reports simulated Mcycles per wall-second.
+func benchBaselines(runs int) ([]baselineBench, error) {
+	cases := []struct {
+		machine, workload string
+		run               func() (sim.Cycle, error)
+	}{
+		{"vn-16ctx", "E2-style memloop, latency 200", func() (sim.Cycle, error) {
+			prog, err := vn.Assemble(workload.MemLoopASM)
+			if err != nil {
+				return 0, err
+			}
+			mem := vn.NewLatencyMemory(200)
+			c := vn.NewCore(prog, mem, 16)
+			for i := 0; i < 16; i++ {
+				c.Context(i).SetReg(1, vn.Word(1000+1000*i))
+				c.Context(i).SetReg(4, 100)
+			}
+			eng := sim.NewEngine()
+			eng.Register(mem)
+			eng.Register(c)
+			elapsed, ok := eng.Run(c.Halted, 20_000_000)
+			if !ok {
+				return 0, fmt.Errorf("bench vn: run did not halt")
+			}
+			return elapsed, nil
+		}},
+		{"cmmp", "E7-style lock-protected counter, 8 processors", func() (sim.Cycle, error) {
+			prog, err := vn.Assemble(workload.CounterLockASM)
+			if err != nil {
+				return 0, err
+			}
+			m := cmmp.New(cmmp.Config{Processors: 8, Banks: 8}, prog, 1)
+			for q := 0; q < 8; q++ {
+				m.Core(q).Context(0).SetReg(5, 50)
+			}
+			return m.Run(50_000_000)
+		}},
+		{"cmstar", "E8-style cross-cluster memloop, distance 2", func() (sim.Cycle, error) {
+			prog, err := vn.Assemble(workload.MemLoopASM)
+			if err != nil {
+				return 0, err
+			}
+			const clusterWords = 4096
+			m := cmstar.New(cmstar.Config{Clusters: 4, CoresPerCluster: 1, ClusterWords: clusterWords}, prog)
+			for i := 1; i < m.NumCores(); i++ {
+				m.CoreAt(i).Context(0).SetPC(len(prog.Instrs) - 1)
+			}
+			h := m.Core(0, 0).Context(0)
+			h.SetReg(1, vn.Word(2*clusterWords))
+			h.SetReg(4, 100)
+			return m.Run(10_000_000)
+		}},
+		{"ultra", "E9-style hotspot faa loop, 16 processors, combining", func() (sim.Cycle, error) {
+			// HotspotASM issues a single faa; loop it so the measurement
+			// covers the combining network, not machine setup.
+			prog, err := vn.Assemble(`
+loop:   li   r1, 0
+        li   r2, 1
+        faa  r3, r1, r2
+        st   r3, r4, 0
+        addi r5, r5, -1
+        bne  r5, r0, loop
+        halt
+`)
+			if err != nil {
+				return 0, err
+			}
+			m := ultra.New(ultra.Config{LogProcessors: 4, Combining: true}, prog)
+			for p := 0; p < m.NumProcessors(); p++ {
+				m.Core(p).Context(0).SetReg(4, vn.Word(1000+p))
+				m.Core(p).Context(0).SetReg(5, 100)
+			}
+			return m.Run(20_000_000)
+		}},
+		{"vliw", "E12-style synthetic schedule, 2000 bundles", func() (sim.Cycle, error) {
+			sched := vliw.SyntheticSchedule(2000, 4, 2, 4)
+			res := vliw.Run(sched, vliw.Config{HitLatency: 3, MissLatency: 20, MissRate: 0.05, Seed: 11})
+			return res.Cycles, nil
+		}},
+	}
+	var out []baselineBench
+	for _, bc := range cases {
+		var cycles sim.Cycle
+		start := time.Now()
+		for i := 0; i < runs; i++ {
+			c, err := bc.run()
+			if err != nil {
+				return nil, err
+			}
+			cycles = c
+		}
+		wall := time.Since(start)
+		out = append(out, baselineBench{
+			Machine:       bc.machine,
+			Workload:      bc.workload,
+			Runs:          runs,
+			SimCycles:     uint64(cycles),
+			WallMsPerRun:  float64(wall.Microseconds()) / 1e3 / float64(runs),
+			McyclesPerSec: float64(cycles) * float64(runs) / fmaxf(1e-9, wall.Seconds()) / 1e6,
+		})
+	}
+	return out, nil
+}
+
+func fmaxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // writeBench measures cycle-accurate-kernel simulation speed on the
 // BenchmarkTTDAMachine workload and writes the report to path.
-func writeBench(path string, quick bool, experimentCount int, sweepWall time.Duration) error {
+func writeBench(path string, quick bool, selected []experiments.Result, sweepWall time.Duration) error {
 	prog, err := id.Compile(workload.MatMulID)
 	if err != nil {
 		return err
@@ -127,10 +262,15 @@ func writeBench(path string, quick bool, experimentCount int, sweepWall time.Dur
 		cycles, instrs = s.Cycles, s.Fired
 	}
 	wall := time.Since(start)
+	perExp := make(map[string]float64, len(selected))
+	for _, r := range selected {
+		perExp[r.ID] = float64(r.Wall.Microseconds()) / 1e3
+	}
 	rep := benchReport{
 		Quick:            quick,
 		SweepWallMs:      float64(sweepWall.Microseconds()) / 1e3,
-		SweepExperiments: experimentCount,
+		SweepExperiments: len(selected),
+		ExperimentWallMs: perExp,
 		KernelProgram:    "matmul(4)",
 		KernelPEs:        8,
 		KernelRuns:       runs,
@@ -139,6 +279,9 @@ func writeBench(path string, quick bool, experimentCount int, sweepWall time.Dur
 		KernelWallMs:     float64(wall.Microseconds()) / 1e3 / float64(runs),
 		McyclesPerSec:    float64(cycles) * float64(runs) / wall.Seconds() / 1e6,
 		MinstrPerSec:     float64(instrs) * float64(runs) / wall.Seconds() / 1e6,
+	}
+	if rep.Baselines, err = benchBaselines(runs); err != nil {
+		return err
 	}
 	f, err := os.Create(path)
 	if err != nil {

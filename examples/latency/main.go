@@ -34,9 +34,11 @@ func vnUtil(latency sim.Cycle, contexts int) float64 {
 		c.Context(i).SetReg(1, vn.Word(1000+1000*i))
 		c.Context(i).SetReg(4, 100)
 	}
-	for cyc := sim.Cycle(0); !c.Halted(); cyc++ {
-		mem.Step(cyc)
-		c.Step(cyc)
+	eng := sim.NewEngine()
+	eng.Register(mem)
+	eng.Register(c)
+	if _, ok := eng.Run(c.Halted, 10_000_000); !ok {
+		log.Fatal("vN run did not halt")
 	}
 	return c.Stats().Utilization()
 }

@@ -95,15 +95,20 @@ func main() {
 		im.Enqueue(istructure.Request{Op: istructure.OpRead, Addr: i, ReplyTo: int(i)})
 		hm.Enqueue(istructure.Request{Op: istructure.OpRead, Addr: i, ReplyTo: int(i)})
 	}
-	for c := 0; c < n*8+n*10; c++ {
+	eng := sim.NewEngine()
+	// The paced producer is not event-aware, so the engine steps every
+	// cycle: the open-loop write schedule lands exactly as written.
+	eng.Register(sim.ComponentFunc(func(now sim.Cycle) {
+		c := int(now)
 		if c%8 == 0 && c/8 < n {
 			w := istructure.Request{Op: istructure.OpWrite, Addr: uint32(c / 8), Value: 1}
 			im.Enqueue(w)
 			hm.Enqueue(w)
 		}
-		im.Step(sim.Cycle(c))
-		hm.Step(sim.Cycle(c))
-	}
+	}))
+	eng.Register(im)
+	eng.Register(hm)
+	eng.Run(func() bool { return false }, n*8+n*10)
 	iOps := im.Stats().Reads.Value() + im.Stats().Writes.Value()
 	hOps := hm.Stats().Reads.Value() + hm.Stats().Writes.Value()
 	fmt.Printf("  I-structure deferred lists: %4d controller operations\n", iOps)

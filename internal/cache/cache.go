@@ -113,6 +113,10 @@ type System struct {
 	busDoneAt    sim.Cycle
 	lruTick      uint64
 
+	// settled marks the cycle through which BusBusy ticks are accounted,
+	// for lazy settlement of cycles an event-driven engine jumps over.
+	settled sim.Cycle
+
 	// BusTransactions counts serialized coherence/miss transactions;
 	// BusBusy tracks bus utilization.
 	BusTransactions metrics.Counter
@@ -202,7 +206,9 @@ func (s *System) victim(cpu int, block uint32) *line {
 
 // Step advances one cycle.
 func (s *System) Step(now sim.Cycle) {
+	s.settleThrough(now)
 	s.BusBusy.Tick(now < s.busBusyUntil)
+	s.settled = now + 1
 	// complete the bus transaction that finishes this cycle
 	if s.busOwner >= 0 && now >= s.busDoneAt {
 		cpu := s.busOwner
@@ -261,6 +267,68 @@ func (s *System) Step(now sim.Cycle) {
 		}
 	}
 }
+
+// NextEvent reports the earliest cycle the system can make progress: the
+// in-flight bus transaction's completion, a hit in progress finishing, a
+// pending hit (now), or a miss waiting for the bus to free.
+func (s *System) NextEvent(now sim.Cycle) sim.Cycle {
+	next := sim.Never
+	if s.busOwner >= 0 {
+		next = s.busDoneAt
+	}
+	for cpu := range s.reqs {
+		if len(s.reqs[cpu]) == 0 || s.busOwner == cpu {
+			continue
+		}
+		var t sim.Cycle
+		if now < s.hitDone[cpu] {
+			t = s.hitDone[cpu]
+		} else {
+			a := s.reqs[cpu][0]
+			l := s.findLine(cpu, s.blockOf(a.Addr))
+			if l != nil && (!a.Write && l.state != invalid || a.Write && l.state == modified) {
+				return now // hit ready to service
+			}
+			if s.busOwner >= 0 {
+				t = s.busDoneAt // arbitration reopens at completion
+			} else if s.busBusyUntil > now {
+				t = s.busBusyUntil
+			} else {
+				return now // bus free: arbitration can grant this cycle
+			}
+		}
+		if t < next {
+			next = t
+		}
+	}
+	if next < now {
+		next = now
+	}
+	return next
+}
+
+// settleThrough accounts BusBusy ticks for unaccounted cycles before t.
+// Exact during engine jumps: the bus state is frozen, so the busy cycles in
+// the gap are those before busBusyUntil.
+func (s *System) settleThrough(t sim.Cycle) {
+	if t <= s.settled {
+		return
+	}
+	var busy uint64
+	if s.busBusyUntil > s.settled {
+		end := s.busBusyUntil
+		if end > t {
+			end = t
+		}
+		busy = uint64(end - s.settled)
+	}
+	s.BusBusy.AddTicks(busy, uint64(t-s.settled))
+	s.settled = t
+}
+
+// Settle accounts bus-utilization ticks for jumped-over cycles
+// (sim.Settler).
+func (s *System) Settle(through sim.Cycle) { s.settleThrough(through) }
 
 // suppliedByPeer reports whether another cache holds the block (cache-to-
 // cache transfer, no memory access needed).

@@ -36,6 +36,9 @@ type DirectorySystem struct {
 	events    *sim.EventQueue
 	lruTick   uint64
 	pending   int
+	// settled marks the cycle through which DirQueueLen samples are
+	// accounted, for lazy settlement of jumped-over cycles.
+	settled sim.Cycle
 
 	// InvalidationMsgs counts point-to-point invalidations sent; DirOps
 	// counts directory occupancy events.
@@ -141,9 +144,11 @@ func (s *DirectorySystem) entry(block uint32) *dirEntry {
 
 // Step advances one cycle.
 func (s *DirectorySystem) Step(now sim.Cycle) {
+	s.settleThrough(now)
 	s.events.RunUntil(now)
 	s.DirQueueLen.Set(int64(len(s.dirQueue)))
 	s.DirQueueLen.Sample()
+	s.settled = now + 1
 
 	// processors: hits complete locally, misses travel to the directory
 	for cpu := range s.reqs {
@@ -176,8 +181,59 @@ func (s *DirectorySystem) Step(now sim.Cycle) {
 		s.dirQueue = s.dirQueue[:len(s.dirQueue)-1]
 		s.DirOps.Inc()
 		s.serve(now, m)
+		// Refresh the gauge's frozen level: jumped-over cycles observe the
+		// post-pop queue length, exactly as per-cycle stepping would.
+		s.DirQueueLen.Set(int64(len(s.dirQueue)))
 	}
 }
+
+// NextEvent reports the earliest cycle the system can make progress: an
+// in-flight message landing, the directory freeing with work queued, or a
+// processor whose head request becomes serviceable (a non-busy processor
+// with a pending head always makes progress when stepped — it either
+// finishes a hit or dispatches to the directory).
+func (s *DirectorySystem) NextEvent(now sim.Cycle) sim.Cycle {
+	next := s.events.Next()
+	if len(s.dirQueue) > 0 {
+		t := s.dirBusyAt
+		if t < now {
+			t = now
+		}
+		if t < next {
+			next = t
+		}
+	}
+	for cpu := range s.reqs {
+		if len(s.reqs[cpu]) == 0 || s.busy[cpu] {
+			continue
+		}
+		t := s.hitDone[cpu]
+		if t < now {
+			t = now
+		}
+		if t < next {
+			next = t
+		}
+	}
+	if next < now {
+		next = now
+	}
+	return next
+}
+
+// settleThrough samples the frozen directory-queue length once per
+// unaccounted cycle before t — exact for jumped-over cycles, during which
+// no message can arrive or be served.
+func (s *DirectorySystem) settleThrough(t sim.Cycle) {
+	if t > s.settled {
+		s.DirQueueLen.SampleN(uint64(t - s.settled))
+		s.settled = t
+	}
+}
+
+// Settle accounts queue-length samples for jumped-over cycles
+// (sim.Settler).
+func (s *DirectorySystem) Settle(through sim.Cycle) { s.settleThrough(through) }
 
 // serve processes one directory request and schedules the reply.
 func (s *DirectorySystem) serve(now sim.Cycle, m dirMsg) {

@@ -7,19 +7,18 @@ import (
 	"repro/internal/sim"
 )
 
-// settleDir steps from the system's current clock (the event queue's time
+// settleDir runs from the system's current clock (the event queue's time
 // is monotonic, so repeated settles must not restart at cycle 0).
 func settleDir(t *testing.T, s *DirectorySystem, limit int) int {
 	t.Helper()
-	start := s.events.Now()
-	c := start
-	for ; s.Pending() && c < start+sim.Cycle(limit); c++ {
-		s.Step(c)
-	}
-	if s.Pending() {
+	eng := sim.NewEngine()
+	eng.Register(s)
+	eng.Advance(s.events.Now())
+	elapsed, ok := eng.Run(func() bool { return !s.Pending() }, sim.Cycle(limit))
+	if !ok {
 		t.Fatalf("directory system did not settle in %d cycles", limit)
 	}
-	return int(c - start)
+	return int(elapsed)
 }
 
 func TestDirectoryReadMissThenHit(t *testing.T) {
@@ -91,15 +90,14 @@ func TestDirectoryInvalidationCostGrowsWithSharers(t *testing.T) {
 		}
 		settleDir(t, s, 100000)
 		s.Request(0, Access{Addr: 9, Write: true, Value: 1, Done: func(int64) {}})
-		cycles := 0
-		for c := 0; s.Pending(); c++ {
-			s.Step(sim.Cycle(100000 + c))
-			cycles++
-			if cycles > 100000 {
-				t.Fatal("write did not complete")
-			}
+		eng := sim.NewEngine()
+		eng.Register(s)
+		eng.Advance(100000)
+		elapsed, ok := eng.Run(func() bool { return !s.Pending() }, 100000)
+		if !ok {
+			t.Fatal("write did not complete")
 		}
-		return cycles
+		return int(elapsed)
 	}
 	c2, c16 := costFor(2), costFor(16)
 	if c16 <= c2 {
@@ -132,7 +130,11 @@ func TestDirectoryInvariantUnderRandomTraffic(t *testing.T) {
 		rng := sim.NewRNG(seed)
 		s := NewDirectorySystem(Config{Sets: 4, Ways: 2, BlockWords: 2}, 4, 3)
 		issued := 0
-		for c := 0; c < 5000; c++ {
+		var invErr error
+		eng := sim.NewEngine()
+		// Non-event-aware injector: the engine steps every cycle, keeping
+		// the rng draw sequence identical to the hand-rolled loop.
+		eng.Register(sim.ComponentFunc(func(now sim.Cycle) {
 			if issued < 150 && rng.Bool(0.2) {
 				s.Request(rng.Intn(4), Access{
 					Addr:  uint32(rng.Intn(24)),
@@ -141,12 +143,15 @@ func TestDirectoryInvariantUnderRandomTraffic(t *testing.T) {
 				})
 				issued++
 			}
-			s.Step(sim.Cycle(c))
-			if err := s.CheckInvariant(); err != nil {
-				return false
+		}))
+		eng.Register(s)
+		eng.Register(sim.ComponentFunc(func(now sim.Cycle) {
+			if invErr == nil {
+				invErr = s.CheckInvariant()
 			}
-		}
-		return !s.Pending()
+		}))
+		eng.Run(func() bool { return invErr != nil }, 5000)
+		return invErr == nil && !s.Pending()
 	}, &quick.Config{MaxCount: 20}); err != nil {
 		t.Fatal(err)
 	}

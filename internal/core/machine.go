@@ -38,11 +38,11 @@ type Machine struct {
 	isActive []bool
 	isDirty  bool
 
-	// busyHorizon is the latest ALU/controller busy-until cycle ever
-	// scheduled. Busy-until values only grow per unit, so this running
-	// maximum equals the max over the current values, and quiescence is a
-	// comparison instead of a machine-wide scan.
-	busyHorizon sim.Cycle
+	// engine drives the run: the network, the I-structure sweep, and the
+	// PE sweep are its three registered components, and its busy horizon
+	// (the latest ALU/controller busy-until cycle ever scheduled) makes
+	// quiescence a comparison instead of a machine-wide scan.
+	engine *sim.Engine
 
 	// context manager state (conceptually distributed; centralized here
 	// with its cost charged through the PE controller's d=2 path)
@@ -121,8 +121,56 @@ func NewMachine(cfg Config, prog *graph.Program) *Machine {
 			Respond:   func(r istructure.Response) { m.isRespond(i, r) },
 		})
 	}
+	m.engine = sim.NewEngine()
+	m.engine.Register(&netDriver{m})
+	m.engine.Register(&isDriver{m: m})
+	m.engine.Register(&peDriver{m: m})
 	return m
 }
+
+// netDriver drives the interconnect as the machine's first engine
+// component. It also pins machine time to the engine clock at the top of
+// every tick: PE statistics and traces sample m.now mid-step.
+type netDriver struct{ m *Machine }
+
+func (d *netDriver) Step(now sim.Cycle) {
+	d.m.now = now
+	d.m.net.Step(now)
+}
+
+func (d *netDriver) NextEvent(now sim.Cycle) sim.Cycle {
+	if d.m.net.Idle() {
+		return sim.Never
+	}
+	return d.m.net.NextEvent(now)
+}
+
+// isDriver sweeps the active I-structure modules each tick, caching the
+// earliest future event the sweep computed.
+type isDriver struct {
+	m    *Machine
+	next sim.Cycle
+}
+
+func (d *isDriver) Step(now sim.Cycle) { d.next = d.m.sweepIS(now) }
+
+// NextEvent reports the sweep's cached answer. The value can be stale when
+// a PE wakes a module later in the same tick (a local d=1 bypass fired
+// after sweepIS ran); the engine still never jumps past the module's work,
+// because the firing ALU's service time holds the busy horizon at least
+// through the next cycle.
+func (d *isDriver) NextEvent(now sim.Cycle) sim.Cycle { return d.next }
+
+// peDriver sweeps the active PEs each tick, caching the earliest future
+// event the sweep computed.
+type peDriver struct {
+	m    *Machine
+	next sim.Cycle
+}
+
+func (d *peDriver) Step(now sim.Cycle) { d.next = d.m.sweepPEs(now) }
+
+func (d *peDriver) NextEvent(now sim.Cycle) sim.Cycle { return d.next }
 
 // Program returns the loaded program.
 func (m *Machine) Program() *graph.Program { return m.prog }
@@ -154,12 +202,10 @@ func (m *Machine) wakeIS(id int) {
 	m.isQueue = append(m.isQueue, id)
 }
 
-// noteBusy extends the machine-wide busy horizon.
-func (m *Machine) noteBusy(t sim.Cycle) {
-	if t > m.busyHorizon {
-		m.busyHorizon = t
-	}
-}
+// noteBusy extends the machine-wide busy horizon. Busy-until values only
+// grow per unit, so the engine's running maximum equals the max over the
+// current values.
+func (m *Machine) noteBusy(t sim.Cycle) { m.engine.NoteBusy(t) }
 
 // deliver routes a network packet arriving at its destination PE.
 func (m *Machine) deliver(p *network.Packet) {
@@ -263,7 +309,7 @@ func (m *Machine) fail(err error) {
 // every PE and module.
 func (m *Machine) quiescent() bool {
 	return len(m.peQueue) == 0 && len(m.isQueue) == 0 &&
-		m.net.Pending() == 0 && m.now >= m.busyHorizon
+		m.net.Pending() == 0 && m.now >= m.engine.BusyHorizon()
 }
 
 // sweepIS steps the active I-structure modules in ascending id order,
@@ -336,37 +382,10 @@ func (m *Machine) sweepPEs(now sim.Cycle) sim.Cycle {
 	return next
 }
 
-// step advances the machine one cycle — network, I-structure modules, then
-// PEs, in fixed order for determinism — then jumps simulated time over any
-// run of cycles in which every component would provably no-op. start and
-// limit bound the jump so a cycle-limit overrun is still detected.
-func (m *Machine) step(start, limit sim.Cycle) {
-	now := m.now
-	m.net.Step(now)
-	next := m.sweepIS(now)
-	if t := m.sweepPEs(now); t < next {
-		next = t
-	}
-	m.now = now + 1
-	if !m.net.Idle() {
-		if t := m.net.NextEvent(m.now); t < next {
-			next = t
-		}
-	}
-	if next == sim.Never {
-		// No queued work anywhere: nothing can happen until the busy
-		// timers expire, at which point the machine is quiescent.
-		next = m.busyHorizon
-	}
-	if next > m.now {
-		if next-start > limit {
-			next = start + limit
-		}
-		m.now = next
-	}
-}
-
-// Run injects the entry arguments and executes to quiescence. It returns
+// Run injects the entry arguments and executes to quiescence on the shared
+// event-driven engine — network, I-structure modules, then PEs, in fixed
+// registration order for determinism, with simulated time jumping over any
+// run of cycles in which every component would provably no-op. It returns
 // the program results (values returned in context 0).
 func (m *Machine) Run(limit sim.Cycle, args ...token.Value) ([]token.Value, error) {
 	entry := m.prog.Entry()
@@ -389,21 +408,23 @@ func (m *Machine) Run(limit sim.Cycle, args ...token.Value) ([]token.Value, erro
 		m.pes[t.PE].accept(t)
 	}
 	start := m.now
-	for m.now-start < limit {
-		if m.runErr != nil {
-			return nil, m.runErr
-		}
-		if m.quiescent() {
-			m.finishStats()
-			if err := m.checkClean(); err != nil {
-				return nil, err
-			}
-			m.stats.Cycles = uint64(m.now - start)
-			return m.results, nil
-		}
-		m.step(start, limit)
+	_, ok := m.engine.Run(func() bool {
+		m.now = m.engine.Now()
+		return m.runErr != nil || m.quiescent()
+	}, limit)
+	m.now = m.engine.Now()
+	if m.runErr != nil {
+		return nil, m.runErr
 	}
-	return nil, fmt.Errorf("core: program %q did not finish within %d cycles", m.prog.Name, limit)
+	if !ok {
+		return nil, fmt.Errorf("core: program %q did not finish within %d cycles", m.prog.Name, limit)
+	}
+	m.finishStats()
+	if err := m.checkClean(); err != nil {
+		return nil, err
+	}
+	m.stats.Cycles = uint64(m.now - start)
+	return m.results, nil
 }
 
 // finishStats settles every lazily-accounted statistic through the final

@@ -17,13 +17,13 @@ import (
 // Ablations runs the A-series: sensitivity studies of the design choices
 // in the TTDA model itself, complementing the paper-claim experiments.
 func Ablations(opt Options) []Result {
-	return []Result{
-		A1Optimizer(opt),
-		A2MatchCapacity(opt),
-		A3PipelineBandwidth(opt),
-		A4Topology(opt),
-		A5OpTiming(opt),
-	}
+	return timed(opt,
+		A1Optimizer,
+		A2MatchCapacity,
+		A3PipelineBandwidth,
+		A4Topology,
+		A5OpTiming,
+	)
 }
 
 // runMat compiles-and-runs matmul(n) on a machine and returns its summary.

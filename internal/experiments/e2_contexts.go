@@ -38,12 +38,11 @@ func E2ContextCounts(opt Options) Result {
 			c.Context(i).SetReg(1, vn.Word(1000+1000*i))
 			c.Context(i).SetReg(4, vn.Word(iters))
 		}
-		for cyc := sim.Cycle(0); !c.Halted(); cyc++ {
-			if cyc > 20_000_000 {
-				return 0, fmt.Errorf("E2: run did not halt")
-			}
-			mem.Step(cyc)
-			c.Step(cyc)
+		eng := sim.NewEngine()
+		eng.Register(mem)
+		eng.Register(c)
+		if _, ok := eng.Run(c.Halted, 20_000_000); !ok {
+			return 0, fmt.Errorf("E2: run did not halt")
 		}
 		return c.Stats().Utilization(), nil
 	}

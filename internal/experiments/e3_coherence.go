@@ -47,12 +47,11 @@ func E3CacheCoherence(opt Options) Result {
 				s.Request(cpu, cache.Access{Addr: addr, Write: write, Value: 1})
 			}
 		}
-		cycles := 0
-		for ; s.Pending(); cycles++ {
-			s.Step(sim.Cycle(cycles))
-			if cycles > 50_000_000 {
-				return 0, 0, fmt.Errorf("E3: did not settle")
-			}
+		eng := sim.NewEngine()
+		eng.Register(s)
+		cycles, ok := eng.Run(func() bool { return !s.Pending() }, 50_000_000)
+		if !ok {
+			return 0, 0, fmt.Errorf("E3: did not settle")
 		}
 		if err := s.CheckInvariant(); err != nil {
 			return 0, 0, err
@@ -112,12 +111,11 @@ func E3CacheCoherence(opt Options) Result {
 				s.Request(cpu, cache.Access{Addr: addr, Write: write, Value: 1})
 			}
 		}
-		cycles := 0
-		for ; s.Pending(); cycles++ {
-			s.Step(sim.Cycle(cycles))
-			if cycles > 50_000_000 {
-				return 0, 0, fmt.Errorf("E3: directory did not settle")
-			}
+		eng := sim.NewEngine()
+		eng.Register(s)
+		cycles, ok := eng.Run(func() bool { return !s.Pending() }, 50_000_000)
+		if !ok {
+			return 0, 0, fmt.Errorf("E3: directory did not settle")
 		}
 		if err := s.CheckInvariant(); err != nil {
 			return 0, 0, err

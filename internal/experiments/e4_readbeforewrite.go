@@ -240,13 +240,22 @@ func deferVsPoll(n, gap int) (isOps, hepOps uint64) {
 	for i := 0; i < n; i++ {
 		im.Enqueue(istructure.Request{Op: istructure.OpRead, Addr: uint32(i), ReplyTo: i})
 	}
-	limit := n*gap + 10*n
-	for c := 0; c < limit; c++ {
-		if c%gap == 0 && c/gap < n {
-			im.Enqueue(istructure.Request{Op: istructure.OpWrite, Addr: uint32(c / gap), Value: 1})
+	limit := sim.Cycle(n*gap + 10*n)
+	// The producer trickle is a plain (non-event-aware) component, so the
+	// engine steps every cycle exhaustively — the schedule is open-loop.
+	producer := func(enqueue func(istructure.Request)) sim.ComponentFunc {
+		return func(now sim.Cycle) {
+			c := int(now)
+			if c%gap == 0 && c/gap < n {
+				enqueue(istructure.Request{Op: istructure.OpWrite, Addr: uint32(c / gap), Value: 1})
+			}
 		}
-		im.Step(sim.Cycle(c))
 	}
+	never := func() bool { return false }
+	ieng := sim.NewEngine()
+	ieng.Register(producer(func(r istructure.Request) { im.Enqueue(r) }))
+	ieng.Register(im)
+	ieng.Run(never, limit)
 	isOps = im.Stats().Reads.Value() + im.Stats().Writes.Value()
 
 	// HEP: each NACKed read is reissued immediately — busy waiting.
@@ -259,12 +268,10 @@ func deferVsPoll(n, gap int) (isOps, hepOps uint64) {
 	for i := 0; i < n; i++ {
 		hm.Enqueue(istructure.Request{Op: istructure.OpRead, Addr: uint32(i), ReplyTo: i})
 	}
-	for c := 0; c < limit; c++ {
-		if c%gap == 0 && c/gap < n {
-			hm.Enqueue(istructure.Request{Op: istructure.OpWrite, Addr: uint32(c / gap), Value: 1})
-		}
-		hm.Step(sim.Cycle(c))
-	}
+	heng := sim.NewEngine()
+	heng.Register(producer(func(r istructure.Request) { hm.Enqueue(r) }))
+	heng.Register(hm)
+	heng.Run(never, limit)
 	hepOps = hm.Stats().Reads.Value() + hm.Stats().Writes.Value()
 	return isOps, hepOps
 }

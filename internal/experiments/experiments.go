@@ -8,6 +8,7 @@ package experiments
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/metrics"
 )
@@ -29,6 +30,8 @@ type Result struct {
 	Finding string
 	// Err reports an experiment that failed to run.
 	Err error
+	// Wall is how long the experiment took to run, for BENCH tracking.
+	Wall time.Duration
 }
 
 // String renders the full experiment report.
@@ -46,21 +49,33 @@ func (r Result) String() string {
 
 // All runs every experiment in order.
 func All(opt Options) []Result {
-	return []Result{
-		E1LatencyTolerance(opt),
-		E2ContextCounts(opt),
-		E3CacheCoherence(opt),
-		E4ReadBeforeWrite(opt),
-		E5Trapezoid(opt),
-		E6PipelineAnatomy(opt),
-		E7Cmmp(opt),
-		E8Cmstar(opt),
-		E9FetchAndAdd(opt),
-		E10ConnectionMachine(opt),
-		E11Emulator(opt),
-		E12VLIW(opt),
-		E13ParallelismGrail(opt),
+	return timed(opt,
+		E1LatencyTolerance,
+		E2ContextCounts,
+		E3CacheCoherence,
+		E4ReadBeforeWrite,
+		E5Trapezoid,
+		E6PipelineAnatomy,
+		E7Cmmp,
+		E8Cmstar,
+		E9FetchAndAdd,
+		E10ConnectionMachine,
+		E11Emulator,
+		E12VLIW,
+		E13ParallelismGrail,
+	)
+}
+
+// timed runs each experiment and stamps its wall time on the Result.
+func timed(opt Options, fns ...func(Options) Result) []Result {
+	out := make([]Result, 0, len(fns))
+	for _, fn := range fns {
+		start := time.Now()
+		r := fn(opt)
+		r.Wall = time.Since(start)
+		out = append(out, r)
 	}
+	return out
 }
 
 // pick returns q when quick, full otherwise.

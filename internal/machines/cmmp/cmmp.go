@@ -59,9 +59,9 @@ type Machine struct {
 	xbar  *network.Crossbar
 	banks []*vn.BankedMemory
 
-	// per-port retry queues for refused crossbar sends
-	retry [][]*network.Packet
-	now   sim.Cycle
+	// retry holds refused crossbar sends for in-order reinjection.
+	retry  *network.RetryQueue
+	engine *sim.Engine
 }
 
 // memMsg is a request or response crossing the crossbar.
@@ -82,7 +82,7 @@ func New(cfg Config, prog *vn.Program, contextsPerCore int) *Machine {
 	m := &Machine{cfg: cfg}
 	ports := cfg.Processors + cfg.Banks
 	m.xbar = network.NewCrossbar(ports, cfg.SwitchDelay, 64)
-	m.retry = make([][]*network.Packet, ports)
+	m.retry = network.NewRetryQueue(m.xbar.Send)
 	m.banks = make([]*vn.BankedMemory, cfg.Banks)
 	for b := range m.banks {
 		m.banks[b] = vn.NewBankedMemory(1, cfg.BankService)
@@ -91,6 +91,15 @@ func New(cfg Config, prog *vn.Program, contextsPerCore int) *Machine {
 	for p := 0; p < cfg.Processors; p++ {
 		port := &cpuPort{m: m, cpu: p}
 		m.cores = append(m.cores, vn.NewCore(prog, port, contextsPerCore))
+	}
+	m.engine = sim.NewEngine()
+	m.engine.Register(m.retry)
+	m.engine.Register(m.xbar)
+	for _, b := range m.banks {
+		m.engine.Register(b)
+	}
+	for _, c := range m.cores {
+		m.engine.Register(c)
 	}
 	return m
 }
@@ -114,9 +123,7 @@ func (p *cpuPort) Request(r vn.MemRequest) {
 
 // send transmits with per-source retry on backpressure.
 func (m *Machine) send(pkt *network.Packet) {
-	if len(m.retry[pkt.Src]) > 0 || !m.xbar.Send(pkt) {
-		m.retry[pkt.Src] = append(m.retry[pkt.Src], pkt)
-	}
+	m.retry.Send(pkt)
 }
 
 // deliver handles packets reaching their crossbar output.
@@ -144,27 +151,6 @@ func (m *Machine) deliver(pkt *network.Packet) {
 	m.banks[bank].Request(req)
 }
 
-// Step advances the whole machine one cycle.
-func (m *Machine) Step(now sim.Cycle) {
-	m.now = now
-	for src := range m.retry {
-		for len(m.retry[src]) > 0 {
-			if !m.xbar.Send(m.retry[src][0]) {
-				break
-			}
-			copy(m.retry[src], m.retry[src][1:])
-			m.retry[src] = m.retry[src][:len(m.retry[src])-1]
-		}
-	}
-	m.xbar.Step(now)
-	for _, b := range m.banks {
-		b.Step(now)
-	}
-	for _, c := range m.cores {
-		c.Step(now)
-	}
-}
-
 // Halted reports whether every core halted.
 func (m *Machine) Halted() bool {
 	for _, c := range m.cores {
@@ -177,7 +163,7 @@ func (m *Machine) Halted() bool {
 
 // drainPending reports outstanding traffic.
 func (m *Machine) drainPending() bool {
-	if m.xbar.Pending() > 0 {
+	if m.xbar.Pending() > 0 || m.retry.Len() > 0 {
 		return true
 	}
 	for _, b := range m.banks {
@@ -188,17 +174,16 @@ func (m *Machine) drainPending() bool {
 	return false
 }
 
-// Run steps until every core halts and the memory system drains.
+// Run drives the shared engine until every core halts and the memory
+// system drains.
 func (m *Machine) Run(limit sim.Cycle) (sim.Cycle, error) {
-	start := m.now
-	for m.now-start < limit {
-		if m.Halted() && !m.drainPending() {
-			return m.now - start, nil
-		}
-		m.Step(m.now)
-		m.now++
+	elapsed, ok := m.engine.Run(func() bool {
+		return m.Halted() && !m.drainPending()
+	}, limit)
+	if !ok {
+		return elapsed, fmt.Errorf("cmmp: did not halt within %d cycles", limit)
 	}
-	return m.now - start, fmt.Errorf("cmmp: did not halt within %d cycles", limit)
+	return elapsed, nil
 }
 
 // Core returns processor p.

@@ -75,6 +75,7 @@ type Machine struct {
 	// kmapBusy serializes each cluster's outgoing remote references.
 	kmapBusy []sim.Cycle
 	now      sim.Cycle
+	engine   *sim.Engine
 	stats    Stats
 }
 
@@ -95,7 +96,32 @@ func New(cfg Config, prog *vn.Program) *Machine {
 			m.cores = append(m.cores, vn.NewCore(prog, port, 1))
 		}
 	}
+	m.engine = sim.NewEngine()
+	m.engine.Register(&eventPump{m: m})
+	for _, b := range m.buses {
+		m.engine.Register(b)
+	}
+	for _, c := range m.cores {
+		m.engine.Register(c)
+	}
 	return m
+}
+
+// eventPump dispatches due Kmap transit events and tracks machine time; it
+// steps first so remote deliveries precede bus and core activity, exactly
+// as the hand-rolled step order had it.
+type eventPump struct{ m *Machine }
+
+func (p *eventPump) Step(now sim.Cycle) {
+	p.m.now = now
+	p.m.events.RunUntil(now)
+}
+
+func (p *eventPump) NextEvent(now sim.Cycle) sim.Cycle {
+	if t := p.m.events.Next(); t > now {
+		return t
+	}
+	return now
 }
 
 // clusterPort is the memory interface seen by cores of one cluster.
@@ -147,18 +173,6 @@ func (p *clusterPort) Request(r vn.MemRequest) {
 	})
 }
 
-// Step advances the machine one cycle.
-func (m *Machine) Step(now sim.Cycle) {
-	m.now = now
-	m.events.RunUntil(now)
-	for _, b := range m.buses {
-		b.Step(now)
-	}
-	for _, c := range m.cores {
-		c.Step(now)
-	}
-}
-
 // Halted reports whether every core halted.
 func (m *Machine) Halted() bool {
 	for _, c := range m.cores {
@@ -169,23 +183,28 @@ func (m *Machine) Halted() bool {
 	return true
 }
 
-// Run steps until all cores halt and traffic drains.
-func (m *Machine) Run(limit sim.Cycle) (sim.Cycle, error) {
-	start := m.now
-	for m.now-start < limit {
-		busy := m.events.Len() > 0
-		for _, b := range m.buses {
-			if b.Pending() > 0 {
-				busy = true
-			}
-		}
-		if m.Halted() && !busy {
-			return m.now - start, nil
-		}
-		m.Step(m.now)
-		m.now++
+// busy reports in-flight Kmap transits or bus traffic.
+func (m *Machine) busy() bool {
+	if m.events.Len() > 0 {
+		return true
 	}
-	return m.now - start, fmt.Errorf("cmstar: did not halt within %d cycles", limit)
+	for _, b := range m.buses {
+		if b.Pending() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Run drives the shared engine until all cores halt and traffic drains.
+func (m *Machine) Run(limit sim.Cycle) (sim.Cycle, error) {
+	elapsed, ok := m.engine.Run(func() bool {
+		return m.Halted() && !m.busy()
+	}, limit)
+	if !ok {
+		return elapsed, fmt.Errorf("cmstar: did not halt within %d cycles", limit)
+	}
+	return elapsed, nil
 }
 
 // Core returns the k-th core of cluster c.

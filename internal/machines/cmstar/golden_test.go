@@ -1,0 +1,80 @@
+package cmstar
+
+import (
+	"testing"
+
+	"repro/internal/simtest"
+	"repro/internal/vn"
+)
+
+// mixProgram touches both local and remote memory: r1 = private base in the
+// home cluster, r2 = remote base, r5 = iterations.
+const mixProgram = `
+loop:   beq  r5, r0, done
+        ld   r3, r1, 0
+        add  r4, r4, r3
+        ld   r3, r2, 0
+        add  r4, r4, r3
+        addi r1, r1, 1
+        addi r5, r5, -1
+        j    loop
+done:   st   r4, r1, 64
+        halt
+`
+
+type cmstarSnapshot struct {
+	Cycles        uint64  `json:"cycles"`
+	LocalRefs     uint64  `json:"local_refs"`
+	RemoteRefs    uint64  `json:"remote_refs"`
+	RemoteLatMean float64 `json:"remote_latency_mean"`
+	RemoteLatMax  uint64  `json:"remote_latency_max"`
+	CoreBusy      uint64  `json:"core_busy"`
+	CoreIdle      uint64  `json:"core_idle"`
+	CoreMemWait   uint64  `json:"core_mem_wait"`
+	CoreRetired   uint64  `json:"core_retired"`
+	MeanUtil      float64 `json:"mean_utilization"`
+}
+
+// TestGoldenLocalRemoteMix pins a workload where every core alternates
+// between its own cluster's bus and a remote cluster through the Kmap:
+// events, kmap serialization, hop transit, and bus contention all engage.
+func TestGoldenLocalRemoteMix(t *testing.T) {
+	prog, err := vn.Assemble(mixProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Clusters: 4, CoresPerCluster: 2, ClusterWords: 1 << 12}
+	m := New(cfg, prog)
+	words := uint32(1 << 12)
+	for i := 0; i < m.NumCores(); i++ {
+		cluster := i / cfg.CoresPerCluster
+		ctx := m.CoreAt(i).Context(0)
+		// private base inside the home cluster, remote base in the farthest
+		// cluster from it
+		ctx.SetReg(1, vn.Word(uint32(cluster)*words+100+uint32(i)*16))
+		far := cfg.Clusters - 1 - cluster
+		ctx.SetReg(2, vn.Word(uint32(far)*words+500+uint32(i)*16))
+		ctx.SetReg(5, 12)
+	}
+	cycles, err := m.Run(10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	snap := cmstarSnapshot{
+		Cycles:        uint64(cycles),
+		LocalRefs:     st.LocalRefs.Value(),
+		RemoteRefs:    st.RemoteRefs.Value(),
+		RemoteLatMean: st.RemoteLatency.Mean(),
+		RemoteLatMax:  st.RemoteLatency.Max(),
+		MeanUtil:      m.MeanUtilization(),
+	}
+	for i := 0; i < m.NumCores(); i++ {
+		cs := m.CoreAt(i).Stats()
+		snap.CoreBusy += cs.Busy.Value()
+		snap.CoreIdle += cs.Idle.Value()
+		snap.CoreMemWait += cs.MemWait.Value()
+		snap.CoreRetired += cs.Retired.Value()
+	}
+	simtest.Check(t, "testdata/golden_mix.json", snap)
+}

@@ -79,7 +79,10 @@ type Machine struct {
 	RouteSteps    *metrics.Histogram
 
 	pendingDeliver []*network.Packet
-	now            sim.Cycle
+	// retry holds injections refused by router backpressure.
+	retry   *network.RetryQueue
+	engine  *sim.Engine
+	deliver func(to int, value int64) // per-Route delivery callback
 }
 
 // New builds the machine with memWords of local memory per cell.
@@ -105,7 +108,37 @@ func New(cfg Config, memWords int) *Machine {
 		m.mem[i] = make([]int64, memWords)
 	}
 	m.RouteSteps = metrics.NewHistogram(4, 8, 16, 32, 64, 128, 256, 512, 1024)
+	m.retry = network.NewRetryQueue(m.net.Send)
+	// One engine tick is one router step; the links are bit-serial, so a
+	// word-sized message occupies its link for a full word time and each
+	// tick costs BitSerialWordBits sequencer cycles.
+	m.engine = sim.NewEngine()
+	m.engine.SetStride(sim.Cycle(cfg.BitSerialWordBits))
+	m.engine.Register(&routePass{m: m})
 	return m
+}
+
+// routePass is one router step as an engine component: reinject refused
+// packets, move the fabric, deliver arrivals, and account sequencer time.
+type routePass struct{ m *Machine }
+
+func (r *routePass) Step(now sim.Cycle) {
+	m := r.m
+	m.retry.Drain()
+	m.net.Step(now)
+	m.RouteCycles.Add(uint64(m.cfg.BitSerialWordBits))
+	for _, p := range m.pendingDeliver {
+		m.deliver(p.Dst, p.Payload.(int64))
+		m.Routed.Inc()
+	}
+	m.pendingDeliver = m.pendingDeliver[:0]
+}
+
+func (r *routePass) NextEvent(now sim.Cycle) sim.Cycle {
+	if r.m.retry.Len() > 0 || r.m.net.Pending() > 0 {
+		return now
+	}
+	return sim.Never
 }
 
 // NumPEs returns the cell count.
@@ -123,7 +156,7 @@ func (m *Machine) Compute(f func(pe int, mem []int64)) {
 	}
 	w := uint64(m.cfg.BitSerialWordBits)
 	m.ComputeCycles.Add(w)
-	m.now += sim.Cycle(w)
+	m.engine.Advance(sim.Cycle(w))
 }
 
 // Route broadcasts a routing instruction: every message is injected and
@@ -132,43 +165,19 @@ func (m *Machine) Compute(f func(pe int, mem []int64)) {
 // router cycles consumed.
 func (m *Machine) Route(msgs []Message, deliver func(to int, value int64)) sim.Cycle {
 	// injection may itself take multiple cycles under backpressure
-	start := m.now
-	pendingInject := make([]*network.Packet, 0, len(msgs))
+	start := m.engine.Now()
+	m.deliver = deliver
 	for _, msg := range msgs {
-		pendingInject = append(pendingInject, &network.Packet{
-			Src: msg.From, Dst: msg.To, Payload: msg.Value,
-		})
+		m.retry.Send(&network.Packet{Src: msg.From, Dst: msg.To, Payload: msg.Value})
 	}
-	remaining := len(pendingInject)
-	guard := 0
-	for remaining > 0 || m.net.Pending() > 0 {
-		// try to inject what's left
-		rest := pendingInject[:0]
-		for _, p := range pendingInject {
-			if !m.net.Send(p) {
-				rest = append(rest, p)
-			}
-		}
-		pendingInject = rest
-		remaining = len(pendingInject)
-		// One router step moves each packet at most one hop, but the
-		// links are bit-serial: a word-sized message occupies its link
-		// for a full word time, so each step costs BitSerialWordBits
-		// sequencer cycles.
-		m.net.Step(m.now)
-		m.now += sim.Cycle(m.cfg.BitSerialWordBits)
-		m.RouteCycles.Add(uint64(m.cfg.BitSerialWordBits))
-		for _, p := range m.pendingDeliver {
-			deliver(p.Dst, p.Payload.(int64))
-			m.Routed.Inc()
-		}
-		m.pendingDeliver = m.pendingDeliver[:0]
-		guard++
-		if guard > 1_000_000 {
-			panic("connection: routing did not converge")
-		}
+	_, ok := m.engine.Run(func() bool {
+		return m.retry.Len() == 0 && m.net.Pending() == 0
+	}, 1_000_000*sim.Cycle(m.cfg.BitSerialWordBits))
+	if !ok {
+		panic("connection: routing did not converge")
 	}
-	steps := m.now - start
+	m.deliver = nil
+	steps := m.engine.Now() - start
 	m.RouteSteps.Observe(uint64(steps))
 	return steps
 }

@@ -1,0 +1,50 @@
+package connection
+
+import (
+	"testing"
+
+	"repro/internal/simtest"
+)
+
+type connSnapshot struct {
+	ComputeCycles  uint64  `json:"compute_cycles"`
+	RouteCycles    uint64  `json:"route_cycles"`
+	Routed         uint64  `json:"routed"`
+	CommFraction   float64 `json:"comm_fraction"`
+	RouteStepsMean float64 `json:"route_steps_mean"`
+	RouteStepsMax  uint64  `json:"route_steps_max"`
+	LabelChecksum  int64   `json:"label_checksum"`
+	Rounds         int     `json:"rounds"`
+}
+
+func snapshotConn(m *Machine, rounds int) connSnapshot {
+	s := connSnapshot{
+		ComputeCycles:  m.ComputeCycles.Value(),
+		RouteCycles:    m.RouteCycles.Value(),
+		Routed:         m.Routed.Value(),
+		CommFraction:   m.CommFraction(),
+		RouteStepsMean: m.RouteSteps.Mean(),
+		RouteStepsMax:  m.RouteSteps.Max(),
+		Rounds:         rounds,
+	}
+	for pe := 0; pe < m.NumPEs(); pe++ {
+		s.LabelChecksum += m.Mem(pe)[0] * int64(pe+1)
+	}
+	return s
+}
+
+// TestGoldenLabelPropagation pins the ring-graph label-propagation workload
+// on both router fabrics: the sequencer's compute/route cycle split is the
+// paper's own figure of merit.
+func TestGoldenLabelPropagation(t *testing.T) {
+	t.Run("hypercube", func(t *testing.T) {
+		m := newTestMachine(t, Config{LogPEs: 6, Router: RouterHypercube})
+		rounds := labelPropagation(t, m, ringEdges(m.NumPEs()), 1000)
+		simtest.Check(t, "testdata/golden_hypercube.json", snapshotConn(m, rounds))
+	})
+	t.Run("grid", func(t *testing.T) {
+		m := newTestMachine(t, Config{LogPEs: 6, Router: RouterGrid})
+		rounds := labelPropagation(t, m, ringEdges(m.NumPEs()), 1000)
+		simtest.Check(t, "testdata/golden_grid.json", snapshotConn(m, rounds))
+	})
+}

@@ -1,0 +1,91 @@
+package hep
+
+import (
+	"testing"
+
+	"repro/internal/simtest"
+	"repro/internal/vn"
+)
+
+type hepSnapshot struct {
+	Cycles      uint64 `json:"cycles"`
+	Sum         int64  `json:"sum"`
+	Served      uint64 `json:"served"`
+	Retries     uint64 `json:"retries"`
+	CoreBusy    uint64 `json:"core_busy"`
+	CoreIdle    uint64 `json:"core_idle"`
+	CoreMemWait uint64 `json:"core_mem_wait"`
+	CoreRetired uint64 `json:"core_retired"`
+	Switches    uint64 `json:"switches"`
+}
+
+func snapshotHEP(m *Machine, cycles uint64, sumAddr uint32) hepSnapshot {
+	s := hepSnapshot{
+		Cycles:  cycles,
+		Sum:     int64(m.Memory().Peek(sumAddr)),
+		Served:  m.Memory().Served.Value(),
+		Retries: m.Memory().Retries.Value(),
+	}
+	for _, c := range m.cores {
+		st := c.Stats()
+		s.CoreBusy += st.Busy.Value()
+		s.CoreIdle += st.Idle.Value()
+		s.CoreMemWait += st.MemWait.Value()
+		s.CoreRetired += st.Retired.Value()
+		s.Switches += st.Switches.Value()
+	}
+	return s
+}
+
+// TestGoldenPipeline pins the 1-deep full/empty producer/consumer pipeline:
+// the busy-wait retry traffic the HEP burns bandwidth on is part of the
+// snapshot.
+func TestGoldenPipeline(t *testing.T) {
+	m := build(t, 50)
+	cycles, err := m.Run(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simtest.Check(t, "testdata/golden_pipeline.json", snapshotHEP(m, uint64(cycles), 200))
+}
+
+// TestGoldenManyContexts pins 4 producers + 4 consumers multiplexed on one
+// core over a single shared cell — heavy context switching and retries.
+func TestGoldenManyContexts(t *testing.T) {
+	src := `
+prod:   beq  r5, r0, phalt
+        prd  r6, r1
+        addi r5, r5, -1
+        j    prod
+phalt:  halt
+cons:   beq  r5, r0, csave
+        cns  r2, r1
+        add  r3, r3, r2
+        addi r5, r5, -1
+        j    cons
+csave:  st   r3, r8, 0
+        halt
+`
+	prog, err := vn.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(Config{Processors: 1, ContextsPerCore: 8}, prog)
+	const each = 20
+	for i := 0; i < 4; i++ {
+		p := m.Core(0).Context(i)
+		p.SetReg(1, 100)
+		p.SetReg(5, each)
+		p.SetReg(6, vn.Word(i+1))
+		c := m.Core(0).Context(4 + i)
+		c.SetPC(prog.Labels["cons"])
+		c.SetReg(1, 100)
+		c.SetReg(5, each)
+		c.SetReg(8, vn.Word(200+i))
+	}
+	cycles, err := m.Run(5_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simtest.Check(t, "testdata/golden_contexts.json", snapshotHEP(m, uint64(cycles), 200))
+}

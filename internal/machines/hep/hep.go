@@ -50,9 +50,9 @@ type FullEmptyMemory struct {
 	latency, service sim.Cycle
 	words            map[uint32]vn.Word
 	full             map[uint32]bool
-	queue            []vn.MemRequest
+	queue            sim.FIFO[vn.MemRequest]
 	busyUntil        sim.Cycle
-	due              map[sim.Cycle][]completed
+	due              sim.FIFO[dueCompleted]
 	pending          int
 
 	// Served counts service slots consumed (including failed attempts);
@@ -66,18 +66,24 @@ type completed struct {
 	v vn.Word
 }
 
+// dueCompleted is a serviced request awaiting response delivery; service
+// times are nondecreasing, so a FIFO keeps completions sorted by due cycle.
+type dueCompleted struct {
+	at sim.Cycle
+	c  completed
+}
+
 // NewFullEmptyMemory returns an empty memory (all cells empty).
 func NewFullEmptyMemory(latency, service sim.Cycle) *FullEmptyMemory {
 	return &FullEmptyMemory{
 		latency: latency, service: service,
 		words: map[uint32]vn.Word{}, full: map[uint32]bool{},
-		due: map[sim.Cycle][]completed{},
 	}
 }
 
 // Request queues a memory operation.
 func (m *FullEmptyMemory) Request(r vn.MemRequest) {
-	m.queue = append(m.queue, r)
+	m.queue.Push(r)
 	m.pending++
 }
 
@@ -98,19 +104,17 @@ func (m *FullEmptyMemory) Full(addr uint32) bool { return m.full[addr] }
 
 // Step services one attempt per service time and delivers due responses.
 func (m *FullEmptyMemory) Step(now sim.Cycle) {
-	for _, c := range m.due[now] {
+	for m.due.Len() > 0 && m.due.Peek().at <= now {
+		d := m.due.Pop()
 		m.pending--
-		if c.r.Done != nil {
-			c.r.Done(c.v)
+		if d.c.r.Done != nil {
+			d.c.r.Done(d.c.v)
 		}
 	}
-	delete(m.due, now)
-	if now < m.busyUntil || len(m.queue) == 0 {
+	if now < m.busyUntil || m.queue.Len() == 0 {
 		return
 	}
-	r := m.queue[0]
-	copy(m.queue, m.queue[1:])
-	m.queue = m.queue[:len(m.queue)-1]
+	r := m.queue.Pop()
 	m.busyUntil = now + m.service
 	m.Served.Inc()
 
@@ -119,7 +123,7 @@ func (m *FullEmptyMemory) Step(now sim.Cycle) {
 	case vn.MemConsume:
 		if !m.full[r.Addr] {
 			m.Retries.Inc()
-			m.queue = append(m.queue, r) // busy-wait: go around again
+			m.queue.Push(r) // busy-wait: go around again
 			return
 		}
 		v = m.words[r.Addr]
@@ -127,7 +131,7 @@ func (m *FullEmptyMemory) Step(now sim.Cycle) {
 	case vn.MemProduce:
 		if m.full[r.Addr] {
 			m.Retries.Inc()
-			m.queue = append(m.queue, r)
+			m.queue.Push(r)
 			return
 		}
 		m.words[r.Addr] = r.Value
@@ -146,16 +150,33 @@ func (m *FullEmptyMemory) Step(now sim.Cycle) {
 		m.words[r.Addr] = 1
 		m.full[r.Addr] = true
 	}
-	m.due[now+m.latency] = append(m.due[now+m.latency], completed{r: r, v: v})
+	m.due.Push(dueCompleted{at: now + m.latency, c: completed{r: r, v: v}})
+}
+
+// NextEvent reports the earliest cycle the memory can act: the next
+// response delivery, or the end of the current service slot while attempts
+// (including busy-wait retries) are queued.
+func (m *FullEmptyMemory) NextEvent(now sim.Cycle) sim.Cycle {
+	next := sim.Never
+	if m.due.Len() > 0 {
+		next = m.due.Peek().at
+	}
+	if m.queue.Len() > 0 && m.busyUntil < next {
+		next = m.busyUntil
+	}
+	if next < now {
+		next = now
+	}
+	return next
 }
 
 // Machine is the assembled HEP model: every core shares one full/empty
 // memory (the HEP's data memory was likewise shared through its switch).
 type Machine struct {
-	cfg   Config
-	cores []*vn.Core
-	mem   *FullEmptyMemory
-	now   sim.Cycle
+	cfg    Config
+	cores  []*vn.Core
+	mem    *FullEmptyMemory
+	engine *sim.Engine
 }
 
 // New builds the machine, loading prog into every context of every core.
@@ -164,6 +185,11 @@ func New(cfg Config, prog *vn.Program) *Machine {
 	m := &Machine{cfg: cfg, mem: NewFullEmptyMemory(cfg.MemLatency, cfg.MemService)}
 	for p := 0; p < cfg.Processors; p++ {
 		m.cores = append(m.cores, vn.NewCore(prog, m.mem, cfg.ContextsPerCore))
+	}
+	m.engine = sim.NewEngine()
+	m.engine.Register(m.mem)
+	for _, c := range m.cores {
+		m.engine.Register(c)
 	}
 	return m
 }
@@ -184,24 +210,13 @@ func (m *Machine) Halted() bool {
 	return true
 }
 
-// Step advances one cycle.
-func (m *Machine) Step(now sim.Cycle) {
-	m.now = now
-	m.mem.Step(now)
-	for _, c := range m.cores {
-		c.Step(now)
-	}
-}
-
-// Run steps until everything halts and memory drains.
+// Run drives the shared engine until everything halts and memory drains.
 func (m *Machine) Run(limit sim.Cycle) (sim.Cycle, error) {
-	start := m.now
-	for m.now-start < limit {
-		if m.Halted() && m.mem.Pending() == 0 {
-			return m.now - start, nil
-		}
-		m.Step(m.now)
-		m.now++
+	elapsed, ok := m.engine.Run(func() bool {
+		return m.Halted() && m.mem.Pending() == 0
+	}, limit)
+	if !ok {
+		return elapsed, fmt.Errorf("hep: did not halt within %d cycles", limit)
 	}
-	return m.now - start, fmt.Errorf("hep: did not halt within %d cycles", limit)
+	return elapsed, nil
 }

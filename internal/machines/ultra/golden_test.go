@@ -1,0 +1,94 @@
+package ultra
+
+import (
+	"testing"
+
+	"repro/internal/simtest"
+	"repro/internal/vn"
+)
+
+type ultraSnapshot struct {
+	Cycles      uint64 `json:"cycles"`
+	HotCell     int64  `json:"hot_cell"`
+	BankServed0 uint64 `json:"bank_served_0"`
+	CombineOps  uint64 `json:"combine_ops"`
+	NetDeliv    uint64 `json:"net_delivered"`
+	NetRefused  uint64 `json:"net_refused"`
+	CoreBusy    uint64 `json:"core_busy"`
+	CoreIdle    uint64 `json:"core_idle"`
+	CoreMemWait uint64 `json:"core_mem_wait"`
+	CoreRetired uint64 `json:"core_retired"`
+}
+
+func snapshotUltra(m *Machine, cycles uint64) ultraSnapshot {
+	s := ultraSnapshot{
+		Cycles:      cycles,
+		HotCell:     int64(m.Peek(0)),
+		BankServed0: m.BankServed(0),
+		CombineOps:  m.Network().CombineOps.Value(),
+		NetDeliv:    m.Network().Stats().Delivered.Value(),
+		NetRefused:  m.Network().Stats().Refused.Value(),
+	}
+	for p := 0; p < m.NumProcessors(); p++ {
+		st := m.Core(p).Stats()
+		s.CoreBusy += st.Busy.Value()
+		s.CoreIdle += st.Idle.Value()
+		s.CoreMemWait += st.MemWait.Value()
+		s.CoreRetired += st.Retired.Value()
+	}
+	return s
+}
+
+// TestGoldenHotspotPlain pins the 32-processor hot-spot burst without
+// combining: maximal omega-network backpressure, send-retry, and hot-bank
+// serialization.
+func TestGoldenHotspotPlain(t *testing.T) {
+	m := setupHotspot(t, false, 5)
+	cycles, err := m.Run(2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simtest.Check(t, "testdata/golden_hotspot_plain.json", snapshotUltra(m, uint64(cycles)))
+}
+
+// TestGoldenHotspotCombining pins the same burst with switch combining:
+// decombine bookkeeping and reply-path refusals engage.
+func TestGoldenHotspotCombining(t *testing.T) {
+	m := setupHotspot(t, true, 5)
+	cycles, err := m.Run(2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simtest.Check(t, "testdata/golden_hotspot_combining.json", snapshotUltra(m, uint64(cycles)))
+}
+
+// TestGoldenQueueAllocation pins the FETCH-AND-ADD parallel queue-slot
+// allocation idiom with combining on: mixed FAA and plain traffic.
+func TestGoldenQueueAllocation(t *testing.T) {
+	prog, err := vn.Assemble(`
+        li  r1, 0
+        li  r2, 4
+        faa r3, r1, r2
+        li  r6, 4
+        li  r7, 2000
+        add r7, r7, r3
+fill:   beq r6, r0, done
+        st  r8, r7, 0
+        addi r7, r7, 1
+        addi r6, r6, -1
+        j   fill
+done:   halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(Config{LogProcessors: 3, Combining: true}, prog)
+	for p := 0; p < m.NumProcessors(); p++ {
+		m.Core(p).Context(0).SetReg(8, vn.Word(p+1))
+	}
+	cycles, err := m.Run(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simtest.Check(t, "testdata/golden_queue_alloc.json", snapshotUltra(m, uint64(cycles)))
+}

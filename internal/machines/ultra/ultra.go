@@ -97,14 +97,14 @@ type pendingReply struct {
 
 // Machine is the assembled Ultracomputer model.
 type Machine struct {
-	cfg   Config
-	n     int
-	cores []*vn.Core
-	net   *network.Omega
-	banks []*bank
-	now   sim.Cycle
+	cfg    Config
+	n      int
+	cores  []*vn.Core
+	net    *network.Omega
+	banks  []*bank
+	engine *sim.Engine
 	// sendRetry holds injections refused by network backpressure.
-	sendRetry []*network.Packet
+	sendRetry *network.RetryQueue
 }
 
 // New builds the machine running prog on every core.
@@ -119,9 +119,17 @@ func New(cfg Config, prog *vn.Program) *Machine {
 	}
 	m.net.SetDelivery(m.arriveAtBank)
 	m.net.SetReplyDelivery(m.arriveAtCore)
+	m.sendRetry = network.NewRetryQueue(m.net.Send)
 	for p := 0; p < n; p++ {
 		port := &cpuPort{m: m, cpu: p}
 		m.cores = append(m.cores, vn.NewCore(prog, port, cfg.ContextsPerCore))
+	}
+	m.engine = sim.NewEngine()
+	m.engine.Register(m.sendRetry)
+	m.engine.Register(m.net)
+	m.engine.Register(&bankArray{m: m})
+	for _, c := range m.cores {
+		m.engine.Register(c)
 	}
 	return m
 }
@@ -143,9 +151,7 @@ func (p *cpuPort) Request(r vn.MemRequest) {
 		payload = plainReq{req: r}
 	}
 	pkt := &network.Packet{Src: p.cpu, Dst: dst, Payload: payload}
-	if !p.m.net.Send(pkt) {
-		p.m.sendRetry = append(p.m.sendRetry, pkt)
-	}
+	p.m.sendRetry.Send(pkt)
 }
 
 // arriveAtBank queues a request at its memory module.
@@ -211,25 +217,33 @@ func (m *Machine) stepBank(b *bank, now sim.Cycle) {
 	}
 }
 
-// Step advances the machine one cycle.
-func (m *Machine) Step(now sim.Cycle) {
-	m.now = now
-	if len(m.sendRetry) > 0 {
-		rest := m.sendRetry[:0]
-		for _, pkt := range m.sendRetry {
-			if !m.net.Send(pkt) {
-				rest = append(rest, pkt)
+// bankArray steps every memory module in index order as one engine
+// component, reporting the earliest cycle any module can act.
+type bankArray struct{ m *Machine }
+
+func (a *bankArray) Step(now sim.Cycle) {
+	for _, b := range a.m.banks {
+		a.m.stepBank(b, now)
+	}
+}
+
+func (a *bankArray) NextEvent(now sim.Cycle) sim.Cycle {
+	next := sim.Never
+	for _, b := range a.m.banks {
+		if len(b.pendingReplies) > 0 {
+			return now
+		}
+		if len(b.queue) > 0 {
+			t := b.busyUntil
+			if t < now {
+				t = now
+			}
+			if t < next {
+				next = t
 			}
 		}
-		m.sendRetry = rest
 	}
-	m.net.Step(now)
-	for _, b := range m.banks {
-		m.stepBank(b, now)
-	}
-	for _, c := range m.cores {
-		c.Step(now)
-	}
+	return next
 }
 
 // Halted reports whether every core halted.
@@ -242,23 +256,28 @@ func (m *Machine) Halted() bool {
 	return true
 }
 
-// Run steps until every core halts and traffic drains.
-func (m *Machine) Run(limit sim.Cycle) (sim.Cycle, error) {
-	start := m.now
-	for m.now-start < limit {
-		busy := m.net.Pending() > 0 || len(m.sendRetry) > 0
-		for _, b := range m.banks {
-			if len(b.queue) > 0 || len(b.pendingReplies) > 0 {
-				busy = true
-			}
-		}
-		if m.Halted() && !busy {
-			return m.now - start, nil
-		}
-		m.Step(m.now)
-		m.now++
+// busy reports outstanding traffic anywhere in the memory system.
+func (m *Machine) busy() bool {
+	if m.net.Pending() > 0 || m.sendRetry.Len() > 0 {
+		return true
 	}
-	return m.now - start, fmt.Errorf("ultra: did not halt within %d cycles", limit)
+	for _, b := range m.banks {
+		if len(b.queue) > 0 || len(b.pendingReplies) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Run drives the shared engine until every core halts and traffic drains.
+func (m *Machine) Run(limit sim.Cycle) (sim.Cycle, error) {
+	elapsed, ok := m.engine.Run(func() bool {
+		return m.Halted() && !m.busy()
+	}, limit)
+	if !ok {
+		return elapsed, fmt.Errorf("ultra: did not halt within %d cycles", limit)
+	}
+	return elapsed, nil
 }
 
 // Core returns processor p.

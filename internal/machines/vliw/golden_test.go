@@ -1,0 +1,48 @@
+package vliw
+
+import (
+	"testing"
+
+	"repro/internal/simtest"
+)
+
+type vliwSnapshot struct {
+	Cycles      uint64  `json:"cycles"`
+	TotalOps    uint64  `json:"total_ops"`
+	StallCycles uint64  `json:"stall_cycles"`
+	Misses      uint64  `json:"misses"`
+	Loads       uint64  `json:"loads"`
+	OpsPerCycle float64 `json:"ops_per_cycle"`
+}
+
+func snapshotVLIW(r Result) vliwSnapshot {
+	return vliwSnapshot{
+		Cycles:      uint64(r.Cycles),
+		TotalOps:    r.TotalOps,
+		StallCycles: uint64(r.StallCycles),
+		Misses:      r.Misses,
+		Loads:       r.Loads,
+		OpsPerCycle: r.OpsPerCycle(),
+	}
+}
+
+// TestGoldenStallSweep pins the static schedule against three dynamic miss
+// regimes. The RNG call sequence is part of the contract: any kernel change
+// that reorders load evaluation shifts the miss pattern and breaks these.
+func TestGoldenStallSweep(t *testing.T) {
+	sched := SyntheticSchedule(2000, 8, 2, 4)
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"hit_only", Config{HitLatency: 3, MissLatency: 40, MissRate: 0, Seed: 7}},
+		{"miss_10pct", Config{HitLatency: 3, MissLatency: 40, MissRate: 0.10, Seed: 7}},
+		{"miss_50pct_long", Config{HitLatency: 3, MissLatency: 200, MissRate: 0.50, Seed: 7}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := Run(sched, tc.cfg)
+			simtest.Check(t, "testdata/golden_"+tc.name+".json", snapshotVLIW(res))
+		})
+	}
+}

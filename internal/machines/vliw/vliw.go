@@ -57,6 +57,73 @@ func (r Result) OpsPerCycle() float64 {
 	return float64(r.TotalOps) / float64(r.Cycles)
 }
 
+// machine is the lockstep issue unit as a sim.Engine component: one bundle
+// per stepped cycle, with stalls expressed as NextEvent jumps rather than
+// burned cycles.
+type machine struct {
+	schedule []Bundle
+	cfg      Config
+	rng      *sim.RNG
+	res      *Result
+	next     int // next bundle to issue
+	cleaned  int // consumer indexes retired so far
+	// outstanding[i] = completion times of loads whose consumer is bundle i
+	outstanding map[int][]sim.Cycle
+	stallUntil  sim.Cycle
+}
+
+// Step retires loads due at the next bundle, then either stalls the whole
+// machine (there is no other work to switch to) or issues the bundle.
+func (m *machine) Step(now sim.Cycle) {
+	if m.next >= len(m.schedule) || now < m.stallUntil {
+		return
+	}
+	// wait for every load whose scheduled consumer is this bundle or earlier
+	maxReady := sim.Cycle(0)
+	for j := m.cleaned; j <= m.next; j++ {
+		for _, ready := range m.outstanding[j] {
+			if ready > maxReady {
+				maxReady = ready
+			}
+		}
+		delete(m.outstanding, j)
+	}
+	m.cleaned = m.next + 1
+	if maxReady > now {
+		m.res.StallCycles += maxReady - now
+		m.stallUntil = maxReady
+		return
+	}
+	b := m.schedule[m.next]
+	m.res.TotalOps += uint64(b.Ops)
+	for _, ld := range b.Loads {
+		m.res.Loads++
+		lat := m.cfg.HitLatency
+		if m.rng.Float64() < m.cfg.MissRate {
+			lat = m.cfg.MissLatency
+			m.res.Misses++
+		}
+		consumer := m.next + ld.Slack
+		if consumer <= m.next {
+			// overdue the moment it issues: the very next bundle waits on it
+			consumer = m.next + 1
+		}
+		m.outstanding[consumer] = append(m.outstanding[consumer], now+lat)
+	}
+	m.next++
+}
+
+// NextEvent pins every issue cycle and jumps stalls.
+func (m *machine) NextEvent(now sim.Cycle) sim.Cycle {
+	if m.next >= len(m.schedule) {
+		return sim.Never
+	}
+	if now < m.stallUntil {
+		return m.stallUntil
+	}
+	return now
+}
+
 // Run executes the static schedule against the dynamic memory model.
 // Bundles issue in order, one per cycle; before a bundle issues, every
 // load whose scheduled consumer is this bundle (or earlier) must have
@@ -68,39 +135,20 @@ func Run(schedule []Bundle, cfg Config) Result {
 	if cfg.MissLatency < cfg.HitLatency {
 		cfg.MissLatency = cfg.HitLatency
 	}
-	rng := sim.NewRNG(cfg.Seed)
 	var res Result
-	now := sim.Cycle(0)
-	// outstanding[i] = completion time of loads whose consumer is bundle i
-	outstanding := map[int][]sim.Cycle{}
-	for i, b := range schedule {
-		// wait for every load due at or before this bundle
-		for j := 0; j <= i; j++ {
-			for _, ready := range outstanding[j] {
-				if ready > now {
-					res.StallCycles += ready - now
-					now = ready
-				}
-			}
-			delete(outstanding, j)
-		}
-		// issue
-		res.TotalOps += uint64(b.Ops)
-		for _, ld := range b.Loads {
-			res.Loads++
-			lat := cfg.HitLatency
-			if rng.Float64() < cfg.MissRate {
-				lat = cfg.MissLatency
-				res.Misses++
-			}
-			consumer := i + ld.Slack
-			outstanding[consumer] = append(outstanding[consumer], now+lat)
-		}
-		now++
+	m := &machine{
+		schedule: schedule, cfg: cfg, rng: sim.NewRNG(cfg.Seed),
+		res: &res, outstanding: map[int][]sim.Cycle{},
 	}
+	eng := sim.NewEngine()
+	eng.Register(m)
+	// Every bundle costs at most one stall (bounded by MissLatency) plus its
+	// issue cycle, so this limit can never bind.
+	limit := sim.Cycle(len(schedule)+1)*(cfg.MissLatency+1) + 1
+	elapsed, _ := eng.Run(func() bool { return m.next >= len(m.schedule) }, limit)
 	// Loads still outstanding here have their scheduled consumers beyond
 	// the end of the schedule; nothing waits for them.
-	res.Cycles = now
+	res.Cycles = elapsed
 	return res
 }
 

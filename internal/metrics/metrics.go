@@ -54,6 +54,17 @@ func (g *Gauge) Sample() {
 	g.samples++
 }
 
+// SampleN accumulates the current level n times at once — the gap-settled
+// equivalent of calling Sample once per cycle over n cycles during which
+// the level provably did not change. Mean and Max stay bit-identical to
+// per-cycle sampling.
+func (g *Gauge) SampleN(n uint64) {
+	if g.level > 0 {
+		g.sum += uint64(g.level) * n
+	}
+	g.samples += n
+}
+
 // Level returns the current level.
 func (g *Gauge) Level() int64 { return g.level }
 
@@ -150,6 +161,14 @@ func (u *Utilization) Tick(busy bool) {
 // AddBusy records n busy cycles at once — the event-driven alternative to
 // calling Tick(true) n times. Pair with SetTotal at end of run.
 func (u *Utilization) AddBusy(n uint64) { u.busy += n }
+
+// AddTicks records total cycles of which busy were busy, the bulk
+// equivalent of total Tick calls over a gap whose busy/idle split is known
+// in closed form. Fraction stays bit-identical to per-cycle ticking.
+func (u *Utilization) AddTicks(busy, total uint64) {
+	u.busy += busy
+	u.total += total
+}
 
 // SetTotal fixes the observation window at total cycles, for owners that
 // account busy time at event granularity (AddBusy) rather than per cycle.

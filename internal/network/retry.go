@@ -1,0 +1,91 @@
+package network
+
+import "repro/internal/sim"
+
+// RetryQueue is the one send-retry/backpressure discipline shared by every
+// machine that injects packets into a refusing fabric. It replaces three
+// divergent hand-rolled copies (C.mmp's per-source slices, the
+// Ultracomputer's flat compaction loop, the Connection Machine's
+// injection-retry slice) with a single guarantee:
+//
+//	Packets from the same source are delivered to the fabric in the order
+//	they were offered (FIFO per source), under arbitrarily long
+//	backpressure. A refused head blocks only its own source; other
+//	sources' packets keep trying in arrival order.
+//
+// Arrival order across sources is preserved for the retry attempts
+// themselves, which matters for fabrics whose refusal state couples nearby
+// sources (omega-network switches shared by two processors): the retry
+// sequence is exactly the order the packets were first refused in.
+type RetryQueue struct {
+	send  func(*Packet) bool
+	queue sim.FIFO[*Packet]
+	// queuedBySrc guards FIFO-per-source ordering on Send: a new packet
+	// from a source with queued predecessors must queue behind them even
+	// if the fabric would accept it right now.
+	queuedBySrc map[int]int
+}
+
+// NewRetryQueue returns a retry queue injecting through send.
+func NewRetryQueue(send func(*Packet) bool) *RetryQueue {
+	return &RetryQueue{send: send, queuedBySrc: map[int]int{}}
+}
+
+// Send attempts to inject pkt now, queueing it for retry when the fabric
+// refuses or when earlier packets from the same source are still queued
+// (so per-source order can never invert). It reports whether the packet
+// entered the fabric immediately.
+func (q *RetryQueue) Send(pkt *Packet) bool {
+	if q.queuedBySrc[pkt.Src] > 0 || !q.send(pkt) {
+		q.queue.Push(pkt)
+		q.queuedBySrc[pkt.Src]++
+		return false
+	}
+	return true
+}
+
+// Drain retries queued packets once, in arrival order, skipping the rest
+// of any source whose head is refused again (head-of-line blocking). Call
+// once per cycle before stepping the fabric.
+func (q *RetryQueue) Drain() {
+	n := q.queue.Len()
+	if n == 0 {
+		return
+	}
+	var blocked map[int]bool
+	for i := 0; i < n; i++ {
+		pkt := q.queue.Pop()
+		if blocked[pkt.Src] {
+			q.queue.Push(pkt)
+			continue
+		}
+		if q.send(pkt) {
+			q.queuedBySrc[pkt.Src]--
+			if q.queuedBySrc[pkt.Src] == 0 {
+				delete(q.queuedBySrc, pkt.Src)
+			}
+			continue
+		}
+		if blocked == nil {
+			blocked = map[int]bool{}
+		}
+		blocked[pkt.Src] = true
+		q.queue.Push(pkt)
+	}
+}
+
+// Len reports how many packets await retry.
+func (q *RetryQueue) Len() int { return q.queue.Len() }
+
+// Step drains once per cycle, letting a RetryQueue register directly as an
+// engine component ahead of its fabric.
+func (q *RetryQueue) Step(now sim.Cycle) { q.Drain() }
+
+// NextEvent pins the tick while packets wait (the fabric's state changes
+// every cycle under backpressure) and reports Never when idle.
+func (q *RetryQueue) NextEvent(now sim.Cycle) sim.Cycle {
+	if q.queue.Len() > 0 {
+		return now
+	}
+	return sim.Never
+}

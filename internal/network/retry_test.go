@@ -1,0 +1,121 @@
+package network
+
+import (
+	"testing"
+)
+
+// refusingFabric accepts packets only when open[src] has room, recording
+// the exact acceptance sequence.
+type refusingFabric struct {
+	room     map[int]int
+	accepted []*Packet
+	attempts int
+}
+
+func (f *refusingFabric) send(p *Packet) bool {
+	f.attempts++
+	if f.room[p.Src] <= 0 {
+		return false
+	}
+	f.room[p.Src]--
+	f.accepted = append(f.accepted, p)
+	return true
+}
+
+func pkt(src, seq int) *Packet { return &Packet{Src: src, Dst: 0, Payload: seq} }
+
+// TestFIFOPerSourceUnderSustainedBackpressure is the satellite's explicit
+// ordering guarantee: a source whose packets are refused for many cycles
+// must still deliver them in offer order once the fabric opens, regardless
+// of how other sources' traffic interleaves.
+func TestFIFOPerSourceUnderSustainedBackpressure(t *testing.T) {
+	f := &refusingFabric{room: map[int]int{}}
+	q := NewRetryQueue(f.send)
+
+	// Two sources, everything refused at first.
+	for seq := 0; seq < 5; seq++ {
+		q.Send(pkt(1, seq))
+		q.Send(pkt(2, seq))
+	}
+	if q.Len() != 10 {
+		t.Fatalf("queued %d, want 10", q.Len())
+	}
+	// Sustained backpressure: many drains against a closed fabric.
+	for cycle := 0; cycle < 50; cycle++ {
+		q.Drain()
+	}
+	if len(f.accepted) != 0 || q.Len() != 10 {
+		t.Fatalf("closed fabric accepted %d packets", len(f.accepted))
+	}
+	// Open source 2 a trickle at a time; source 1 stays blocked.
+	for cycle := 0; cycle < 5; cycle++ {
+		f.room[2] = 1
+		q.Drain()
+	}
+	// Then open source 1 fully.
+	f.room[1] = 5
+	q.Drain()
+	if q.Len() != 0 {
+		t.Fatalf("%d packets still queued", q.Len())
+	}
+	seqs := map[int][]int{}
+	for _, p := range f.accepted {
+		seqs[p.Src] = append(seqs[p.Src], p.Payload.(int))
+	}
+	for src, got := range seqs {
+		for i, s := range got {
+			if s != i {
+				t.Fatalf("source %d delivered out of order: %v", src, got)
+			}
+		}
+	}
+}
+
+// TestSendQueuesBehindPredecessors pins the no-overtake rule: a fresh
+// packet from a source with queued predecessors must not enter the fabric
+// first, even when the fabric would accept it.
+func TestSendQueuesBehindPredecessors(t *testing.T) {
+	f := &refusingFabric{room: map[int]int{}}
+	q := NewRetryQueue(f.send)
+	if q.Send(pkt(7, 0)) {
+		t.Fatal("closed fabric must refuse")
+	}
+	f.room[7] = 2
+	if q.Send(pkt(7, 1)) {
+		t.Fatal("packet must queue behind its refused predecessor")
+	}
+	q.Drain()
+	if len(f.accepted) != 2 {
+		t.Fatalf("accepted %d, want 2", len(f.accepted))
+	}
+	if f.accepted[0].Payload.(int) != 0 || f.accepted[1].Payload.(int) != 1 {
+		t.Fatalf("out of order: %v then %v", f.accepted[0].Payload, f.accepted[1].Payload)
+	}
+}
+
+// TestHeadOfLineBlocksOnlyOwnSource verifies a refused head does not stop
+// other sources, and that retry attempts preserve arrival order.
+func TestHeadOfLineBlocksOnlyOwnSource(t *testing.T) {
+	f := &refusingFabric{room: map[int]int{}}
+	q := NewRetryQueue(f.send)
+	q.Send(pkt(1, 0))
+	q.Send(pkt(2, 0))
+	q.Send(pkt(1, 1))
+	f.room[2] = 1
+	q.Drain()
+	if len(f.accepted) != 1 || f.accepted[0].Src != 2 {
+		t.Fatalf("source 2 should pass a blocked source 1: %v", f.accepted)
+	}
+	// Source 1's two packets must still drain in order, with one refusal
+	// per drain (head-of-line blocking, not per-packet hammering).
+	f.attempts = 0
+	q.Drain()
+	if f.attempts != 1 {
+		t.Fatalf("blocked source should attempt only its head: %d attempts", f.attempts)
+	}
+	f.room[1] = 2
+	q.Drain()
+	if q.Len() != 0 || f.accepted[1].Payload.(int) != 0 || f.accepted[2].Payload.(int) != 1 {
+		t.Fatalf("source 1 drained out of order: %v", f.accepted)
+	}
+}

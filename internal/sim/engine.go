@@ -1,0 +1,178 @@
+package sim
+
+// Engine is the shared event-driven simulation driver every machine model
+// runs on: registered components stepped in a fixed order each tick, with
+// simulated time jumping over provably-dead gaps.
+//
+// The determinism contract is the same one the exhaustive Scheduler
+// enforces, hoisted to machine scope:
+//
+//   - Registration order is evaluation order. Every component is stepped
+//     every tick, so within-cycle interactions (a network delivering into a
+//     bank before the bank's step, a core issuing after its memory stepped)
+//     behave exactly as they did under a hand-rolled Step loop.
+//   - After a tick, if every component reports a NextEvent strictly in the
+//     future, time jumps to the earliest of them. Because nothing steps
+//     during the jumped-over cycles, no Request/Send/Done activity can
+//     occur in the gap: machine state is frozen, which is what makes the
+//     jump sound and gap-settled statistics (Gauge.SampleN,
+//     Utilization.AddTicks) exact rather than approximate.
+//   - Components with per-cycle statistics implement Settler and account
+//     the skipped cycles lazily: on their next Step they sample the frozen
+//     level once per skipped cycle, and Run settles everyone on exit so a
+//     finished run's statistics are bit-identical to exhaustive stepping.
+//
+// The Engine deliberately does not skip individual components within a
+// tick: a component's per-cycle observations (queue length at its step
+// slot) depend on which earlier components already ran this cycle, so
+// slot-accurate statistics require the slot to execute. The win lives in
+// the gaps between ticks — latency-dominated sweeps spend most of their
+// simulated time with every component idle — and inside components that
+// keep their own active lists (internal/core's PE sweeps).
+type Engine struct {
+	components  []Component
+	settlers    []Settler
+	now         Cycle
+	stride      Cycle
+	busyHorizon Cycle
+}
+
+// Settler is implemented by components that keep per-cycle statistics and
+// must account cycles the engine jumped over. Settle(through) settles
+// statistics for all unaccounted cycles before `through`, using the state
+// frozen at the component's last step — sound because jumped-over cycles
+// are activity-free by construction.
+type Settler interface {
+	Settle(through Cycle)
+}
+
+// NewEngine returns an empty engine at cycle 0 advancing 1 cycle per tick.
+func NewEngine() *Engine { return &Engine{stride: 1} }
+
+// Register adds c to the step list. Registration order is evaluation
+// order — part of the deterministic contract, exactly as with Scheduler.
+func (e *Engine) Register(c Component) {
+	e.components = append(e.components, c)
+	if s, ok := c.(Settler); ok {
+		e.settlers = append(e.settlers, s)
+	}
+}
+
+// Now reports the current cycle.
+func (e *Engine) Now() Cycle { return e.now }
+
+// SetStride sets the simulated-time cost of one tick. The Connection
+// Machine's sequencer charges a full bit-serial word time per router step;
+// everything else leaves the default of 1.
+func (e *Engine) SetStride(d Cycle) {
+	if d < 1 {
+		d = 1
+	}
+	e.stride = d
+}
+
+// Advance moves simulated time forward by d cycles outside Run — the SIMD
+// sequencer's compute instructions consume time without stepping any
+// component.
+func (e *Engine) Advance(d Cycle) { e.now += d }
+
+// NoteBusy raises the busy horizon: a promise that some resource is
+// occupied through cycle `until`. Machines whose completion predicate is
+// "queues empty and past the horizon" (the TTDA) call this as they issue
+// work; when every component reports Never but the horizon is still ahead,
+// the engine jumps to the horizon instead of the cycle limit.
+func (e *Engine) NoteBusy(until Cycle) {
+	if until > e.busyHorizon {
+		e.busyHorizon = until
+	}
+}
+
+// BusyHorizon reports the latest cycle any resource promised to be busy
+// through.
+func (e *Engine) BusyHorizon() Cycle { return e.busyHorizon }
+
+// tick steps every component once, in registration order, then advances
+// time by the stride.
+func (e *Engine) tick() {
+	for _, c := range e.components {
+		c.Step(e.now)
+	}
+	e.now += e.stride
+}
+
+// nextEvent reports the earliest cycle any component can make progress,
+// exactly as Scheduler.NextEvent: non-EventAware components pin it to now.
+func (e *Engine) nextEvent() Cycle {
+	next := Never
+	for _, c := range e.components {
+		ea, ok := c.(EventAware)
+		if !ok {
+			return e.now
+		}
+		if t := ea.NextEvent(e.now); t < next {
+			next = t
+		}
+		if next <= e.now {
+			return e.now
+		}
+	}
+	return next
+}
+
+// settleAll settles per-cycle statistics through the current cycle.
+func (e *Engine) settleAll() {
+	for _, s := range e.settlers {
+		s.Settle(e.now)
+	}
+}
+
+// Run advances until done reports true or limit cycles have elapsed,
+// returning the elapsed cycles and whether done was satisfied. done is
+// evaluated before each tick — an already-finished machine costs zero
+// cycles, and the elapsed count on success is the exact cycle the
+// predicate first held, matching the hand-rolled
+// `for { if done { return }; Step; now++ }` loops this replaces. On
+// return (either way) all Settler components are settled through the
+// final cycle, so statistics read afterwards are complete.
+func (e *Engine) Run(done func() bool, limit Cycle) (elapsed Cycle, ok bool) {
+	start := e.now
+	defer e.settleAll()
+	for e.now-start < limit {
+		if done() {
+			return e.now - start, true
+		}
+		e.tick()
+		if done() {
+			continue // report the exact completion cycle, not a jump target
+		}
+		if t := e.nextEvent(); t > e.now {
+			if t == Never {
+				if e.busyHorizon <= e.now {
+					// Every component reports Never and no resource is
+					// busy. A component woken later in the tick (after its
+					// NextEvent was read) may have made that report stale,
+					// so advance one plain tick rather than jumping.
+					continue
+				}
+				// Nothing will fire an event, but a resource is still
+				// occupied: the done predicate can first hold at the
+				// horizon.
+				t = e.busyHorizon
+			}
+			if t-start > limit {
+				t = start + limit
+			}
+			if e.stride > 1 {
+				// stay on the tick grid
+				if off := (t - start) % e.stride; off != 0 {
+					t += e.stride - off
+					if t-start > limit {
+						t = start + limit
+					}
+				}
+			}
+			e.now = t
+		}
+	}
+	return e.now - start, done()
+}

@@ -1,0 +1,143 @@
+package sim
+
+import "testing"
+
+// beacon fires work every `period` cycles for `count` pulses, tracking the
+// cycles at which it was stepped with work available.
+type beacon struct {
+	period, count Cycle
+	fired         []Cycle
+	stepped       Cycle // total Step calls
+}
+
+func (p *beacon) Step(now Cycle) {
+	p.stepped++
+	if Cycle(len(p.fired)) < p.count && now%p.period == 0 {
+		p.fired = append(p.fired, now)
+	}
+}
+
+func (p *beacon) NextEvent(now Cycle) Cycle {
+	if Cycle(len(p.fired)) >= p.count {
+		return Never
+	}
+	if now%p.period == 0 {
+		return now
+	}
+	return now + (p.period - now%p.period)
+}
+
+// TestEngineMatchesScheduler pins the core contract: an Engine run and an
+// exhaustive Scheduler run produce identical elapsed cycles and identical
+// event times, while the Engine steps far fewer times.
+func TestEngineMatchesScheduler(t *testing.T) {
+	mk := func() *beacon { return &beacon{period: 100, count: 5} }
+
+	exh := mk()
+	sched := NewScheduler()
+	sched.Register(exh)
+	exhElapsed, ok := sched.Run(func() bool { return Cycle(len(exh.fired)) >= exh.count }, 10_000)
+	if !ok {
+		t.Fatal("scheduler run did not finish")
+	}
+
+	ev := mk()
+	eng := NewEngine()
+	eng.Register(ev)
+	evElapsed, ok := eng.Run(func() bool { return Cycle(len(ev.fired)) >= ev.count }, 10_000)
+	if !ok {
+		t.Fatal("engine run did not finish")
+	}
+
+	if exhElapsed != evElapsed {
+		t.Fatalf("elapsed diverged: exhaustive %d, evented %d", exhElapsed, evElapsed)
+	}
+	if len(exh.fired) != len(ev.fired) {
+		t.Fatalf("fire counts diverged: %v vs %v", exh.fired, ev.fired)
+	}
+	for i := range exh.fired {
+		if exh.fired[i] != ev.fired[i] {
+			t.Fatalf("fire %d diverged: %d vs %d", i, exh.fired[i], ev.fired[i])
+		}
+	}
+	if ev.stepped >= exh.stepped/10 {
+		t.Fatalf("engine should skip the dead cycles: %d steps vs exhaustive %d", ev.stepped, exh.stepped)
+	}
+}
+
+// TestEngineLimit pins limit semantics: a machine that never finishes
+// reports elapsed == limit and ok == false, even when every component
+// reports Never (the jump clamps to the limit).
+func TestEngineLimit(t *testing.T) {
+	idle := &beacon{period: 1, count: 0} // immediately done firing: Never
+	e := NewEngine()
+	e.Register(idle)
+	elapsed, ok := e.Run(func() bool { return false }, 500)
+	if ok || elapsed != 500 {
+		t.Fatalf("elapsed %d ok %v, want 500 false", elapsed, ok)
+	}
+}
+
+// TestEngineBusyHorizon: with all components reporting Never but a busy
+// horizon ahead, the jump lands on the horizon, where done can first hold.
+func TestEngineBusyHorizon(t *testing.T) {
+	idle := &beacon{period: 1, count: 0}
+	e := NewEngine()
+	e.Register(idle)
+	e.NoteBusy(300)
+	elapsed, ok := e.Run(func() bool { return e.Now() >= 300 }, 10_000)
+	if !ok || elapsed != 300 {
+		t.Fatalf("elapsed %d ok %v, want 300 true", elapsed, ok)
+	}
+}
+
+// TestEngineStride pins the Connection Machine sequencer semantics: each
+// tick costs a full word time.
+func TestEngineStride(t *testing.T) {
+	p := &beacon{period: 1, count: 3}
+	e := NewEngine()
+	e.SetStride(16)
+	e.Register(p)
+	elapsed, ok := e.Run(func() bool { return Cycle(len(p.fired)) >= 3 }, 1_000)
+	if !ok || elapsed != 48 {
+		t.Fatalf("elapsed %d ok %v, want 48 true", elapsed, ok)
+	}
+}
+
+// TestEngineAdvance: out-of-run time warps (SIMD compute instructions)
+// move Now without stepping components.
+func TestEngineAdvance(t *testing.T) {
+	p := &beacon{period: 1, count: 0}
+	e := NewEngine()
+	e.Register(p)
+	e.Advance(64)
+	if e.Now() != 64 {
+		t.Fatalf("now %d, want 64", e.Now())
+	}
+	if p.stepped != 0 {
+		t.Fatal("Advance must not step components")
+	}
+}
+
+// settleProbe records Settle calls.
+type settleProbe struct {
+	beacon
+	settledThrough Cycle
+}
+
+func (s *settleProbe) Settle(through Cycle) { s.settledThrough = through }
+
+// TestEngineSettlesOnExit: Run must settle statistics through the final
+// cycle on both the success and the limit path.
+func TestEngineSettlesOnExit(t *testing.T) {
+	s := &settleProbe{beacon: beacon{period: 50, count: 2}}
+	e := NewEngine()
+	e.Register(s)
+	elapsed, ok := e.Run(func() bool { return len(s.fired) >= 2 }, 10_000)
+	if !ok {
+		t.Fatal("did not finish")
+	}
+	if s.settledThrough != elapsed {
+		t.Fatalf("settled through %d, want %d", s.settledThrough, elapsed)
+	}
+}

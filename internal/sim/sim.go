@@ -210,6 +210,15 @@ func (q *EventQueue) At(t Cycle, fn func()) {
 // After schedules fn to run d cycles from now.
 func (q *EventQueue) After(d Cycle, fn func()) { q.At(q.now+d, fn) }
 
+// Next reports the cycle of the earliest pending event, or Never when the
+// queue is empty — the queue's NextEvent answer for event-driven owners.
+func (q *EventQueue) Next() Cycle {
+	if q.h.Len() == 0 {
+		return Never
+	}
+	return q.h[0].At
+}
+
 // RunOne dispatches the next event, if any, and reports whether one ran.
 func (q *EventQueue) RunOne() bool {
 	if q.h.Len() == 0 {

@@ -1,0 +1,77 @@
+// Package simtest provides the shared golden-file harness used by the
+// per-machine regression tests. Each baseline machine captures a snapshot
+// of its deterministic observables (simulated cycle counts, retired
+// instructions, utilization, traffic counters) into a testdata/golden.json
+// file; the kernel refactors that ported every machine onto sim.Engine are
+// required to keep those numbers bit-identical, exactly as
+// internal/core/golden_test.go pins the TTDA.
+package simtest
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// Update is the shared -update flag: rerun the golden tests with
+//
+//	go test ./internal/machines/... -update
+//
+// to regenerate every golden file from the current simulator. Regeneration
+// is a deliberate act — a diff in a golden file is a change to simulated
+// machine behaviour and must be justified in review.
+var Update = flag.Bool("update", false, "rewrite testdata golden files from the current simulator")
+
+// Check compares got against the golden file at path (creating it under
+// -update). The snapshot type T must round-trip through JSON exactly:
+// uint64 counters, int64 gauges, strings, and floats produced
+// deterministically.
+func Check[T any](t *testing.T, path string, got T) {
+	t.Helper()
+	if *Update {
+		buf, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+		return
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	var want T
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+	// Round-trip got through JSON so in-memory-only precision (float64
+	// intermediates) compares on equal footing with the decoded file.
+	gotBuf, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotRT T
+	if err := json.Unmarshal(gotBuf, &gotRT); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, gotRT) {
+		t.Errorf("diverged from golden %s:\n  golden:  %s\n  current: %s", path, mustJSON(want), mustJSON(gotRT))
+	}
+}
+
+func mustJSON(v interface{}) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return "marshal error: " + err.Error()
+	}
+	return string(b)
+}

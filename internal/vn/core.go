@@ -83,6 +83,14 @@ type Core struct {
 	ctxs  []*context
 	next  int // round-robin pointer
 	stats CoreStats
+
+	// Settlement state for event-driven runs: cycles an engine jumps over
+	// are accounted lazily, at the context state frozen when the core last
+	// stepped (jumped-over cycles are activity-free, so the frozen state is
+	// exactly what per-cycle stepping would have observed).
+	settled       sim.Cycle
+	frozenWaiting uint64
+	frozenIdle    bool
 }
 
 // NewCore returns a core running prog with k hardware contexts, all
@@ -141,6 +149,9 @@ func (c *Core) Stats() *CoreStats { return &c.stats }
 // (round-robin), execute one instruction. Memory operations issue and mark
 // the context waiting; with k=1 that stalls the whole core.
 func (c *Core) Step(now sim.Cycle) {
+	c.settleThrough(now)
+	c.settled = now + 1
+	defer c.freeze()
 	if c.Halted() {
 		return
 	}
@@ -173,6 +184,55 @@ func (c *Core) Step(now sim.Cycle) {
 	c.stats.Retired.Inc()
 	c.execute(c.ctxs[sel])
 }
+
+// NextEvent reports now while any context is runnable, and Never when the
+// core is halted or every live context is parked on memory — the memory
+// port's own NextEvent pins the wakeup cycle.
+func (c *Core) NextEvent(now sim.Cycle) sim.Cycle {
+	for _, ctx := range c.ctxs {
+		if !ctx.halted && !ctx.waiting {
+			return now
+		}
+	}
+	return sim.Never
+}
+
+// freeze captures the context state that per-cycle accounting depends on,
+// for lazy settlement of jumped-over cycles.
+func (c *Core) freeze() {
+	c.frozenWaiting = 0
+	runnable := false
+	for _, ctx := range c.ctxs {
+		if ctx.halted {
+			continue
+		}
+		if ctx.waiting {
+			c.frozenWaiting++
+		} else {
+			runnable = true
+		}
+	}
+	c.frozenIdle = !runnable && c.frozenWaiting > 0
+}
+
+// settleThrough accounts MemWait and Idle for unaccounted cycles before t
+// at the frozen state, matching per-cycle stepping bit for bit.
+func (c *Core) settleThrough(t sim.Cycle) {
+	if t <= c.settled {
+		return
+	}
+	gap := uint64(t - c.settled)
+	c.settled = t
+	if c.frozenWaiting > 0 {
+		c.stats.MemWait.Add(gap * c.frozenWaiting)
+	}
+	if c.frozenIdle {
+		c.stats.Idle.Add(gap)
+	}
+}
+
+// Settle accounts stall statistics for jumped-over cycles (sim.Settler).
+func (c *Core) Settle(through sim.Cycle) { c.settleThrough(through) }
 
 func (c *Core) execute(ctx *context) {
 	if ctx.pc < 0 || ctx.pc >= len(c.prog.Instrs) {

@@ -32,6 +32,14 @@ func (b *backing) apply(r MemRequest) Word {
 	}
 }
 
+// dueReq is a request with its completion cycle. Because the latency is
+// fixed and issue times are nondecreasing, completion times are
+// nondecreasing too, so a FIFO keeps them sorted for free.
+type dueReq struct {
+	at sim.Cycle
+	r  MemRequest
+}
+
 // LatencyMemory is an infinite-bandwidth memory with a fixed round-trip
 // latency: the E1/E2 knob for "how far away is memory in a machine of this
 // size". Step must be called once per cycle.
@@ -39,7 +47,7 @@ type LatencyMemory struct {
 	store   *backing
 	latency sim.Cycle
 	now     sim.Cycle
-	due     map[sim.Cycle][]MemRequest
+	due     sim.FIFO[dueReq]
 	pending int
 }
 
@@ -48,12 +56,12 @@ func NewLatencyMemory(latency sim.Cycle) *LatencyMemory {
 	if latency < 1 {
 		latency = 1
 	}
-	return &LatencyMemory{store: newBacking(), latency: latency, due: map[sim.Cycle][]MemRequest{}}
+	return &LatencyMemory{store: newBacking(), latency: latency}
 }
 
 // Request issues r; its Done callback fires after the fixed latency.
 func (m *LatencyMemory) Request(r MemRequest) {
-	m.due[m.now+m.latency] = append(m.due[m.now+m.latency], r)
+	m.due.Push(dueReq{at: m.now + m.latency, r: r})
 	m.pending++
 }
 
@@ -61,18 +69,25 @@ func (m *LatencyMemory) Request(r MemRequest) {
 // time, in issue order, which serializes read-modify-writes.
 func (m *LatencyMemory) Step(now sim.Cycle) {
 	m.now = now
-	reqs := m.due[now]
-	if len(reqs) == 0 {
-		return
-	}
-	delete(m.due, now)
-	for _, r := range reqs {
-		v := m.store.apply(r)
-		m.pending -= 1
-		if r.Done != nil {
-			r.Done(v)
+	for m.due.Len() > 0 && m.due.Peek().at <= now {
+		d := m.due.Pop()
+		v := m.store.apply(d.r)
+		m.pending--
+		if d.r.Done != nil {
+			d.r.Done(v)
 		}
 	}
+}
+
+// NextEvent reports the earliest completion, or Never when idle.
+func (m *LatencyMemory) NextEvent(now sim.Cycle) sim.Cycle {
+	if m.due.Len() == 0 {
+		return sim.Never
+	}
+	if t := m.due.Peek().at; t > now {
+		return t
+	}
+	return now
 }
 
 // Pending reports outstanding requests.
@@ -92,10 +107,11 @@ type BankedMemory struct {
 	store       *backing
 	latency     sim.Cycle
 	serviceTime sim.Cycle
-	queue       []MemRequest
+	queue       sim.FIFO[MemRequest]
 	busyUntil   sim.Cycle
-	due         map[sim.Cycle][]completed
+	due         sim.FIFO[dueCompleted]
 	pending     int
+	settled     sim.Cycle // queue-length samples accounted through here
 
 	// QueueLen observes the waiting-queue length each cycle.
 	QueueLen metrics.Gauge
@@ -108,6 +124,14 @@ type completed struct {
 	v Word
 }
 
+// dueCompleted is a serviced request awaiting response delivery. Service
+// times are nondecreasing (one per Step), so a FIFO keeps completions
+// sorted by due cycle.
+type dueCompleted struct {
+	at sim.Cycle
+	c  completed
+}
+
 // NewBankedMemory returns a module that accepts one request per
 // serviceTime cycles and responds latency cycles after service.
 func NewBankedMemory(latency, serviceTime sim.Cycle) *BankedMemory {
@@ -117,40 +141,72 @@ func NewBankedMemory(latency, serviceTime sim.Cycle) *BankedMemory {
 	if serviceTime < 1 {
 		serviceTime = 1
 	}
-	return &BankedMemory{
-		store: newBacking(), latency: latency, serviceTime: serviceTime,
-		due: map[sim.Cycle][]completed{},
-	}
+	return &BankedMemory{store: newBacking(), latency: latency, serviceTime: serviceTime}
 }
 
-// Request queues r at the bank.
+// Request queues r at the bank. The gauge level is refreshed immediately so
+// that cycles an event-driven engine jumps over settle at the post-arrival
+// queue length, exactly as per-cycle sampling would have observed.
 func (m *BankedMemory) Request(r MemRequest) {
-	m.queue = append(m.queue, r)
+	m.queue.Push(r)
 	m.pending++
+	m.QueueLen.Set(int64(m.queue.Len()))
 }
 
 // Step services at most one queued request and delivers due responses.
 func (m *BankedMemory) Step(now sim.Cycle) {
-	for _, c := range m.due[now] {
+	m.settleThrough(now)
+	for m.due.Len() > 0 && m.due.Peek().at <= now {
+		d := m.due.Pop()
 		m.pending--
 		m.Served.Inc()
-		if c.r.Done != nil {
-			c.r.Done(c.v)
+		if d.c.r.Done != nil {
+			d.c.r.Done(d.c.v)
 		}
 	}
-	delete(m.due, now)
-	m.QueueLen.Set(int64(len(m.queue)))
+	m.QueueLen.Set(int64(m.queue.Len()))
 	m.QueueLen.Sample()
-	if now < m.busyUntil || len(m.queue) == 0 {
+	m.settled = now + 1
+	if now < m.busyUntil || m.queue.Len() == 0 {
 		return
 	}
-	r := m.queue[0]
-	copy(m.queue, m.queue[1:])
-	m.queue = m.queue[:len(m.queue)-1]
+	r := m.queue.Pop()
 	m.busyUntil = now + m.serviceTime
 	v := m.store.apply(r) // applied at service time: atomic and serialized
-	m.due[now+m.latency] = append(m.due[now+m.latency], completed{r: r, v: v})
+	m.due.Push(dueCompleted{at: now + m.latency, c: completed{r: r, v: v}})
+	// Refresh the gauge's frozen level: jumped-over cycles settle at the
+	// post-pop queue length, exactly as per-cycle sampling would observe.
+	m.QueueLen.Set(int64(m.queue.Len()))
 }
+
+// NextEvent reports the earliest cycle the bank can act: the next response
+// delivery, or the end of the current service if work is queued.
+func (m *BankedMemory) NextEvent(now sim.Cycle) sim.Cycle {
+	next := sim.Never
+	if m.due.Len() > 0 {
+		next = m.due.Peek().at
+	}
+	if m.queue.Len() > 0 && m.busyUntil < next {
+		next = m.busyUntil
+	}
+	if next < now {
+		next = now
+	}
+	return next
+}
+
+// settleThrough samples the frozen queue length once per unaccounted cycle
+// before t — exact for cycles an engine jumped over, because no request can
+// arrive or complete while every component is idle.
+func (m *BankedMemory) settleThrough(t sim.Cycle) {
+	if t > m.settled {
+		m.QueueLen.SampleN(uint64(t - m.settled))
+		m.settled = t
+	}
+}
+
+// Settle accounts queue-length samples for jumped-over cycles (sim.Settler).
+func (m *BankedMemory) Settle(through sim.Cycle) { m.settleThrough(through) }
 
 // Pending reports queued plus in-flight requests.
 func (m *BankedMemory) Pending() int { return m.pending }
