@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -41,7 +43,36 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit results as JSON")
 	ablations := flag.Bool("ablations", true, "include the A-series design ablations")
 	benchOut := flag.String("bench", "", "write simulator-speed benchmark results (Mcycles/s, Minstr/s, sweep wall time) to this JSON file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with `go tool pprof`)")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken at exit to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "critique-bench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "critique-bench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "critique-bench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile shows live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "critique-bench:", err)
+			}
+		}()
+	}
 
 	want := map[string]bool{}
 	for _, s := range strings.Split(*only, ",") {
@@ -111,6 +142,11 @@ type benchReport struct {
 	KernelWallMs    float64 `json:"kernel_wall_ms_per_run"`
 	McyclesPerSec   float64 `json:"mcycles_per_sec"`
 	MinstrPerSec    float64 `json:"minstr_per_sec"`
+	// KernelCounters reports the engine's scheduling counters for one
+	// kernel run: component steps actually executed, cycles the wake-queue
+	// jumped over, and wakes enqueued. steps_executed against sim_cycles is
+	// the sparse-activation win in one ratio.
+	KernelCounters sim.Counters `json:"kernel_engine_counters"`
 	// Baselines records simulated-cycle throughput for the von Neumann
 	// baseline machines on their experiment workloads, so baseline
 	// simulator speed is tracked across revisions alongside the TTDA kernel.
@@ -125,6 +161,9 @@ type baselineBench struct {
 	SimCycles     uint64  `json:"sim_cycles"`
 	WallMsPerRun  float64 `json:"wall_ms_per_run"`
 	McyclesPerSec float64 `json:"mcycles_per_sec"`
+	// Counters holds the engine's scheduling counters for the last run
+	// (zero for machines that do not expose their engine).
+	Counters sim.Counters `json:"engine_counters"`
 }
 
 // benchBaselines times each baseline machine on a workload shaped like its
@@ -133,12 +172,12 @@ type baselineBench struct {
 func benchBaselines(runs int) ([]baselineBench, error) {
 	cases := []struct {
 		machine, workload string
-		run               func() (sim.Cycle, error)
+		run               func() (sim.Cycle, *sim.Engine, error)
 	}{
-		{"vn-16ctx", "E2-style memloop, latency 200", func() (sim.Cycle, error) {
+		{"vn-16ctx", "E2-style memloop, latency 200", func() (sim.Cycle, *sim.Engine, error) {
 			prog, err := vn.Assemble(workload.MemLoopASM)
 			if err != nil {
-				return 0, err
+				return 0, nil, err
 			}
 			mem := vn.NewLatencyMemory(200)
 			c := vn.NewCore(prog, mem, 16)
@@ -151,25 +190,26 @@ func benchBaselines(runs int) ([]baselineBench, error) {
 			eng.Register(c)
 			elapsed, ok := eng.Run(c.Halted, 20_000_000)
 			if !ok {
-				return 0, fmt.Errorf("bench vn: run did not halt")
+				return 0, nil, fmt.Errorf("bench vn: run did not halt")
 			}
-			return elapsed, nil
+			return elapsed, eng, nil
 		}},
-		{"cmmp", "E7-style lock-protected counter, 8 processors", func() (sim.Cycle, error) {
+		{"cmmp", "E7-style lock-protected counter, 8 processors", func() (sim.Cycle, *sim.Engine, error) {
 			prog, err := vn.Assemble(workload.CounterLockASM)
 			if err != nil {
-				return 0, err
+				return 0, nil, err
 			}
 			m := cmmp.New(cmmp.Config{Processors: 8, Banks: 8}, prog, 1)
 			for q := 0; q < 8; q++ {
 				m.Core(q).Context(0).SetReg(5, 50)
 			}
-			return m.Run(50_000_000)
+			elapsed, err := m.Run(50_000_000)
+			return elapsed, m.Engine(), err
 		}},
-		{"cmstar", "E8-style cross-cluster memloop, distance 2", func() (sim.Cycle, error) {
+		{"cmstar", "E8-style cross-cluster memloop, distance 2", func() (sim.Cycle, *sim.Engine, error) {
 			prog, err := vn.Assemble(workload.MemLoopASM)
 			if err != nil {
-				return 0, err
+				return 0, nil, err
 			}
 			const clusterWords = 4096
 			m := cmstar.New(cmstar.Config{Clusters: 4, CoresPerCluster: 1, ClusterWords: clusterWords}, prog)
@@ -179,9 +219,10 @@ func benchBaselines(runs int) ([]baselineBench, error) {
 			h := m.Core(0, 0).Context(0)
 			h.SetReg(1, vn.Word(2*clusterWords))
 			h.SetReg(4, 100)
-			return m.Run(10_000_000)
+			elapsed, err := m.Run(10_000_000)
+			return elapsed, m.Engine(), err
 		}},
-		{"ultra", "E9-style hotspot faa loop, 16 processors, combining", func() (sim.Cycle, error) {
+		{"ultra", "E9-style hotspot faa loop, 16 processors, combining", func() (sim.Cycle, *sim.Engine, error) {
 			// HotspotASM issues a single faa; loop it so the measurement
 			// covers the combining network, not machine setup.
 			prog, err := vn.Assemble(`
@@ -194,31 +235,36 @@ loop:   li   r1, 0
         halt
 `)
 			if err != nil {
-				return 0, err
+				return 0, nil, err
 			}
 			m := ultra.New(ultra.Config{LogProcessors: 4, Combining: true}, prog)
 			for p := 0; p < m.NumProcessors(); p++ {
 				m.Core(p).Context(0).SetReg(4, vn.Word(1000+p))
 				m.Core(p).Context(0).SetReg(5, 100)
 			}
-			return m.Run(20_000_000)
+			elapsed, err := m.Run(20_000_000)
+			return elapsed, m.Engine(), err
 		}},
-		{"vliw", "E12-style synthetic schedule, 2000 bundles", func() (sim.Cycle, error) {
+		{"vliw", "E12-style synthetic schedule, 2000 bundles", func() (sim.Cycle, *sim.Engine, error) {
 			sched := vliw.SyntheticSchedule(2000, 4, 2, 4)
 			res := vliw.Run(sched, vliw.Config{HitLatency: 3, MissLatency: 20, MissRate: 0.05, Seed: 11})
-			return res.Cycles, nil
+			return res.Cycles, nil, nil
 		}},
 	}
 	var out []baselineBench
 	for _, bc := range cases {
 		var cycles sim.Cycle
+		var counters sim.Counters
 		start := time.Now()
 		for i := 0; i < runs; i++ {
-			c, err := bc.run()
+			c, eng, err := bc.run()
 			if err != nil {
 				return nil, err
 			}
 			cycles = c
+			if eng != nil {
+				counters = eng.Counters()
+			}
 		}
 		wall := time.Since(start)
 		out = append(out, baselineBench{
@@ -228,6 +274,7 @@ loop:   li   r1, 0
 			SimCycles:     uint64(cycles),
 			WallMsPerRun:  float64(wall.Microseconds()) / 1e3 / float64(runs),
 			McyclesPerSec: float64(cycles) * float64(runs) / fmaxf(1e-9, wall.Seconds()) / 1e6,
+			Counters:      counters,
 		})
 	}
 	return out, nil
@@ -252,6 +299,7 @@ func writeBench(path string, quick bool, selected []experiments.Result, sweepWal
 		runs = 3
 	}
 	var cycles, instrs uint64
+	var kernelCounters sim.Counters
 	start := time.Now()
 	for i := 0; i < runs; i++ {
 		m := core.NewMachine(core.Config{PEs: 8}, prog)
@@ -260,6 +308,7 @@ func writeBench(path string, quick bool, selected []experiments.Result, sweepWal
 		}
 		s := m.Summarize()
 		cycles, instrs = s.Cycles, s.Fired
+		kernelCounters = m.Engine().Counters()
 	}
 	wall := time.Since(start)
 	perExp := make(map[string]float64, len(selected))
@@ -279,6 +328,7 @@ func writeBench(path string, quick bool, selected []experiments.Result, sweepWal
 		KernelWallMs:     float64(wall.Microseconds()) / 1e3 / float64(runs),
 		McyclesPerSec:    float64(cycles) * float64(runs) / wall.Seconds() / 1e6,
 		MinstrPerSec:     float64(instrs) * float64(runs) / wall.Seconds() / 1e6,
+		KernelCounters:   kernelCounters,
 	}
 	if rep.Baselines, err = benchBaselines(runs); err != nil {
 		return err

@@ -121,7 +121,12 @@ type System struct {
 	// BusBusy tracks bus utilization.
 	BusTransactions metrics.Counter
 	BusBusy         metrics.Utilization
+
+	waker sim.Waker
 }
+
+// Attach receives the engine's waker (sim.Wakeable).
+func (s *System) Attach(w sim.Waker) { s.waker = w }
 
 // NewSystem returns a coherent cache system for n processors.
 func NewSystem(cfg Config, n int) *System {
@@ -150,6 +155,11 @@ func (s *System) Stats(i int) *CacheStats { return &s.stats[i] }
 // Request enqueues an access for processor cpu.
 func (s *System) Request(cpu int, a Access) {
 	s.reqs[cpu] = append(s.reqs[cpu], a)
+	if s.waker != nil {
+		if t := s.NextEvent(s.waker.Now()); t != sim.Never {
+			s.waker.Wake(s, t)
+		}
+	}
 }
 
 // Pending reports whether any request is outstanding.

@@ -46,7 +46,12 @@ type DirectorySystem struct {
 	DirOps           metrics.Counter
 	// DirQueueLen samples the directory's input queue.
 	DirQueueLen metrics.Gauge
+
+	waker sim.Waker
 }
+
+// Attach receives the engine's waker (sim.Wakeable).
+func (s *DirectorySystem) Attach(w sim.Waker) { s.waker = w }
 
 type dirEntry struct {
 	sharers map[int]bool
@@ -93,6 +98,11 @@ func (s *DirectorySystem) Stats(i int) *CacheStats { return &s.stats[i] }
 func (s *DirectorySystem) Request(cpu int, a Access) {
 	s.reqs[cpu] = append(s.reqs[cpu], a)
 	s.pending++
+	if s.waker != nil {
+		if t := s.NextEvent(s.waker.Now()); t != sim.Never {
+			s.waker.Wake(s, t)
+		}
+	}
 }
 
 // Pending reports whether work remains.

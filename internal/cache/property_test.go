@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/sim"
+	"repro/internal/simtest"
 )
 
 // NextEvent honesty for the coherence models: a random preloaded workload
@@ -100,6 +101,93 @@ func runDirectoryOnce(st accessStream, cpus int, netLat sim.Cycle, evented bool)
 	}
 	o := statsOutcome(elapsed, ok, cpus, s.Stats, sum)
 	return o, s.DirOps.Value(), s.DirQueueLen.Max(), s.DirQueueLen.Mean()
+}
+
+// runSnoopySkipping is runSnoopyOnce under exhaustive stepping with the
+// system wrapped in simtest.IdleSkipper: Steps its own NextEvent declares
+// idle are suppressed, which must not change any observable.
+func runSnoopySkipping(st accessStream, cpus int) (cacheOutcome, uint64, float64, uint64) {
+	s := NewSystem(Config{Sets: 4, Ways: 2, BlockWords: 2}, cpus)
+	var sum int64
+	for i := range st.acc {
+		a := st.acc[i]
+		a.Done = func(v int64) { sum = sum*31 + v }
+		s.Request(st.cpu[i], a)
+	}
+	skip := simtest.NewIdleSkipper(s)
+	sch := sim.NewScheduler()
+	sch.Register(skip)
+	elapsed, ok := sch.Run(func() bool { return !s.Pending() }, 1_000_000)
+	skip.Settle(sch.Now())
+	o := statsOutcome(elapsed, ok, cpus, s.Stats, sum)
+	return o, s.BusTransactions.Value(), s.BusBusy.Fraction(), skip.Skipped
+}
+
+// runDirectorySkipping is the directory-protocol variant.
+func runDirectorySkipping(st accessStream, cpus int, netLat sim.Cycle) (cacheOutcome, uint64, int64, float64, uint64) {
+	s := NewDirectorySystem(Config{Sets: 4, Ways: 2, BlockWords: 2}, cpus, netLat)
+	var sum int64
+	for i := range st.acc {
+		a := st.acc[i]
+		a.Done = func(v int64) { sum = sum*31 + v }
+		s.Request(st.cpu[i], a)
+	}
+	skip := simtest.NewIdleSkipper(s)
+	sch := sim.NewScheduler()
+	sch.Register(skip)
+	elapsed, ok := sch.Run(func() bool { return !s.Pending() }, 1_000_000)
+	skip.Settle(sch.Now())
+	o := statsOutcome(elapsed, ok, cpus, s.Stats, sum)
+	return o, s.DirOps.Value(), s.DirQueueLen.Max(), s.DirQueueLen.Mean(), skip.Skipped
+}
+
+// TestSnoopyIdleStepIsANoOp pins "NextEvent(now) > now implies Step(now)
+// is a no-op" for the snoopy system on random workloads.
+func TestSnoopyIdleStepIsANoOp(t *testing.T) {
+	var totalSkipped uint64
+	for seed := uint64(0); seed < 20; seed++ {
+		rng := sim.NewRNG(0x1d1e + seed)
+		cpus := 1 + rng.Intn(4)
+		st := randomStream(rng, cpus, 30+rng.Intn(80))
+		exOut, exBus, exFrac := runSnoopyOnce(st, cpus, false)
+		skOut, skBus, skFrac, skipped := runSnoopySkipping(st, cpus)
+		if !exOut.ok {
+			t.Fatalf("seed %d: exhaustive run hit the cycle limit", seed)
+		}
+		if exOut != skOut || exBus != skBus || exFrac != skFrac {
+			t.Errorf("seed %d (cpus=%d): an idle snoopy Step was not a no-op\nexhaustive: %+v bus=%d frac=%v\nskipping:   %+v bus=%d frac=%v",
+				seed, cpus, exOut, exBus, exFrac, skOut, skBus, skFrac)
+		}
+		totalSkipped += skipped
+	}
+	if totalSkipped == 0 {
+		t.Fatal("no Step was ever suppressed: the property was tested vacuously")
+	}
+}
+
+// TestDirectoryIdleStepIsANoOp is the directory-protocol variant, where
+// network latency opens real idle gaps between request and response.
+func TestDirectoryIdleStepIsANoOp(t *testing.T) {
+	var totalSkipped uint64
+	for seed := uint64(0); seed < 20; seed++ {
+		rng := sim.NewRNG(0x1d1f + seed)
+		cpus := 2 + rng.Intn(3)
+		netLat := sim.Cycle(1 + rng.Intn(8))
+		st := randomStream(rng, cpus, 30+rng.Intn(80))
+		exOut, exOps, exMax, exMean := runDirectoryOnce(st, cpus, netLat, false)
+		skOut, skOps, skMax, skMean, skipped := runDirectorySkipping(st, cpus, netLat)
+		if !exOut.ok {
+			t.Fatalf("seed %d: exhaustive run hit the cycle limit", seed)
+		}
+		if exOut != skOut || exOps != skOps || exMax != skMax || exMean != skMean {
+			t.Errorf("seed %d (cpus=%d netLat=%d): an idle directory Step was not a no-op\nexhaustive: %+v ops=%d qmax=%d qmean=%v\nskipping:   %+v ops=%d qmax=%d qmean=%v",
+				seed, cpus, netLat, exOut, exOps, exMax, exMean, skOut, skOps, skMax, skMean)
+		}
+		totalSkipped += skipped
+	}
+	if totalSkipped == 0 {
+		t.Fatal("no Step was ever suppressed: the property was tested vacuously")
+	}
 }
 
 func TestSnoopyEngineMatchesExhaustive(t *testing.T) {

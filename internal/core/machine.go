@@ -122,55 +122,47 @@ func NewMachine(cfg Config, prog *graph.Program) *Machine {
 		})
 	}
 	m.engine = sim.NewEngine()
-	m.engine.Register(&netDriver{m})
-	m.engine.Register(&isDriver{m: m})
-	m.engine.Register(&peDriver{m: m})
+	m.engine.Register(&machineDriver{m: m, isNext: sim.Never, peNext: sim.Never})
 	return m
 }
 
-// netDriver drives the interconnect as the machine's first engine
-// component. It also pins machine time to the engine clock at the top of
-// every tick: PE statistics and traces sample m.now mid-step.
-type netDriver struct{ m *Machine }
+// machineDriver drives the whole machine as one engine component: the
+// interconnect, the I-structure sweep, and the PE sweep, in the fixed
+// order the previous three separate drivers had. It pins machine time to
+// the engine clock at the top of every tick (PE statistics and traces
+// sample m.now mid-step). Merging the drivers keeps every mid-tick wake
+// (a PE waking a module after the module sweep ran) internal to one
+// component, so the cached NextEvent answer is exactly the min the old
+// per-driver poll computed. A cached sweep answer can be stale when a PE
+// wakes a module later in the same tick (a local d=1 bypass fired after
+// sweepIS ran); the engine still never jumps past the module's work,
+// because the firing PE's own next-work answer pins the tick at least
+// through the next cycle.
+type machineDriver struct {
+	m      *Machine
+	isNext sim.Cycle
+	peNext sim.Cycle
+}
 
-func (d *netDriver) Step(now sim.Cycle) {
+func (d *machineDriver) Step(now sim.Cycle) {
 	d.m.now = now
 	d.m.net.Step(now)
+	d.isNext = d.m.sweepIS(now)
+	d.peNext = d.m.sweepPEs(now)
 }
 
-func (d *netDriver) NextEvent(now sim.Cycle) sim.Cycle {
-	if d.m.net.Idle() {
-		return sim.Never
+func (d *machineDriver) NextEvent(now sim.Cycle) sim.Cycle {
+	next := d.isNext
+	if d.peNext < next {
+		next = d.peNext
 	}
-	return d.m.net.NextEvent(now)
+	if !d.m.net.Idle() {
+		if t := d.m.net.NextEvent(now); t < next {
+			next = t
+		}
+	}
+	return next
 }
-
-// isDriver sweeps the active I-structure modules each tick, caching the
-// earliest future event the sweep computed.
-type isDriver struct {
-	m    *Machine
-	next sim.Cycle
-}
-
-func (d *isDriver) Step(now sim.Cycle) { d.next = d.m.sweepIS(now) }
-
-// NextEvent reports the sweep's cached answer. The value can be stale when
-// a PE wakes a module later in the same tick (a local d=1 bypass fired
-// after sweepIS ran); the engine still never jumps past the module's work,
-// because the firing ALU's service time holds the busy horizon at least
-// through the next cycle.
-func (d *isDriver) NextEvent(now sim.Cycle) sim.Cycle { return d.next }
-
-// peDriver sweeps the active PEs each tick, caching the earliest future
-// event the sweep computed.
-type peDriver struct {
-	m    *Machine
-	next sim.Cycle
-}
-
-func (d *peDriver) Step(now sim.Cycle) { d.next = d.m.sweepPEs(now) }
-
-func (d *peDriver) NextEvent(now sim.Cycle) sim.Cycle { return d.next }
 
 // Program returns the loaded program.
 func (m *Machine) Program() *graph.Program { return m.prog }
@@ -460,6 +452,9 @@ func (m *Machine) checkClean() error {
 
 // Network returns the machine's interconnect (for statistics).
 func (m *Machine) Network() network.Network { return m.net }
+
+// Engine exposes the simulation engine (scheduling counters).
+func (m *Machine) Engine() *sim.Engine { return m.engine }
 
 // ISModules returns the per-PE I-structure modules.
 func (m *Machine) ISModules() []*istructure.Module { return m.is }

@@ -62,6 +62,45 @@ type Machine struct {
 	// retry holds refused crossbar sends for in-order reinjection.
 	retry  *network.RetryQueue
 	engine *sim.Engine
+
+	// Free lists recycle the two allocations on the memory hot path — one
+	// packet and one payload per crossbar crossing — so steady-state
+	// traffic allocates nothing. Both are exclusively owned: the crossbar
+	// drops its reference before deliver runs, and deliver copies what it
+	// needs out before recycling.
+	pktFree []*network.Packet
+	msgFree []*memMsg
+}
+
+// getMsg returns a zeroed payload, recycled when possible.
+func (m *Machine) getMsg() *memMsg {
+	if n := len(m.msgFree); n > 0 {
+		msg := m.msgFree[n-1]
+		m.msgFree = m.msgFree[:n-1]
+		*msg = memMsg{}
+		return msg
+	}
+	return &memMsg{}
+}
+
+// getPacket returns a packet carrying payload, recycled when possible.
+func (m *Machine) getPacket(src, dst int, payload interface{}) *network.Packet {
+	var pkt *network.Packet
+	if n := len(m.pktFree); n > 0 {
+		pkt = m.pktFree[n-1]
+		m.pktFree = m.pktFree[:n-1]
+		pkt.Reset()
+	} else {
+		pkt = &network.Packet{}
+	}
+	pkt.Src, pkt.Dst, pkt.Payload = src, dst, payload
+	return pkt
+}
+
+// putPacket recycles a delivered packet and its payload.
+func (m *Machine) putPacket(pkt *network.Packet, msg *memMsg) {
+	m.pktFree = append(m.pktFree, pkt)
+	m.msgFree = append(m.msgFree, msg)
 }
 
 // memMsg is a request or response crossing the crossbar.
@@ -113,12 +152,9 @@ type cpuPort struct {
 // Request routes the memory operation to its bank through the crossbar.
 func (p *cpuPort) Request(r vn.MemRequest) {
 	bank := int(r.Addr) % p.m.cfg.Banks
-	pkt := &network.Packet{
-		Src:     p.cpu,
-		Dst:     p.m.bankPort(bank),
-		Payload: &memMsg{req: r},
-	}
-	p.m.send(pkt)
+	msg := p.m.getMsg()
+	msg.req = r
+	p.m.send(p.m.getPacket(p.cpu, p.m.bankPort(bank), msg))
 }
 
 // send transmits with per-source retry on backpressure.
@@ -130,23 +166,22 @@ func (m *Machine) send(pkt *network.Packet) {
 func (m *Machine) deliver(pkt *network.Packet) {
 	msg := pkt.Payload.(*memMsg)
 	if msg.isReply {
-		msg.origDone(msg.value)
+		done, v := msg.origDone, msg.value
+		m.putPacket(pkt, msg)
+		done(v)
 		return
 	}
 	// arrived at a bank: perform the access, then send the reply back
 	bank := pkt.Dst - m.cfg.Processors
 	cpu := pkt.Src
 	req := msg.req
+	m.putPacket(pkt, msg)
 	orig := req.Done
-	localAddr := req.Addr / uint32(m.cfg.Banks)
-	req.Addr = localAddr
+	req.Addr = req.Addr / uint32(m.cfg.Banks)
 	req.Done = func(v vn.Word) {
-		reply := &network.Packet{
-			Src:     m.bankPort(bank),
-			Dst:     cpu,
-			Payload: &memMsg{isReply: true, value: v, origDone: orig},
-		}
-		m.send(reply)
+		rm := m.getMsg()
+		rm.isReply, rm.value, rm.origDone = true, v, orig
+		m.send(m.getPacket(m.bankPort(bank), cpu, rm))
 	}
 	m.banks[bank].Request(req)
 }
@@ -204,6 +239,9 @@ func (m *Machine) Peek(addr uint32) vn.Word {
 
 // Crossbar exposes the switch for statistics.
 func (m *Machine) Crossbar() *network.Crossbar { return m.xbar }
+
+// Engine exposes the simulation engine (scheduling counters).
+func (m *Machine) Engine() *sim.Engine { return m.engine }
 
 // MeanUtilization averages core utilization.
 func (m *Machine) MeanUtilization() float64 {

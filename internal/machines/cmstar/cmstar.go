@@ -72,6 +72,9 @@ type Machine struct {
 	cores  []*vn.Core // flattened: cluster c core k = cores[c*CoresPerCluster+k]
 	buses  []*vn.BankedMemory
 	events *sim.EventQueue
+	// pump is the registered event dispatcher, the wake target whenever a
+	// Kmap transit event is scheduled.
+	pump *eventPump
 	// kmapBusy serializes each cluster's outgoing remote references.
 	kmapBusy []sim.Cycle
 	now      sim.Cycle
@@ -97,7 +100,8 @@ func New(cfg Config, prog *vn.Program) *Machine {
 		}
 	}
 	m.engine = sim.NewEngine()
-	m.engine.Register(&eventPump{m: m})
+	m.pump = &eventPump{m: m}
+	m.engine.Register(m.pump)
 	for _, b := range m.buses {
 		m.engine.Register(b)
 	}
@@ -152,25 +156,31 @@ func (p *clusterPort) Request(r vn.MemRequest) {
 		dist = -dist
 	}
 	transit := m.cfg.HopLatency * sim.Cycle(dist)
-	start := m.now
+	// Issue time comes from the engine clock: the pump (which tracks m.now)
+	// only steps when events are due, but requests issue mid-tick.
+	start := m.engine.Now()
 	if m.kmapBusy[p.cluster] > start {
 		start = m.kmapBusy[p.cluster]
 	}
 	m.kmapBusy[p.cluster] = start + m.cfg.KmapService
-	issued := m.now
+	issued := m.engine.Now()
 	orig := r.Done
 	remote := r
 	remote.Addr = local
 	remote.Done = func(v vn.Word) {
 		// reply transits back; deliver to the core after the return trip
-		m.events.At(m.events.Now()+transit, func() {
+		at := m.events.Now() + transit
+		m.events.At(at, func() {
 			m.stats.RemoteLatency.Observe(uint64(m.now - issued))
 			orig(v)
 		})
+		m.engine.Wake(m.pump, at)
 	}
-	m.events.At(start+m.cfg.KmapService+transit, func() {
+	at := start + m.cfg.KmapService + transit
+	m.events.At(at, func() {
 		m.buses[target].Request(remote)
 	})
+	m.engine.Wake(m.pump, at)
 }
 
 // Halted reports whether every core halted.
@@ -228,6 +238,9 @@ func (m *Machine) Peek(addr uint32) vn.Word {
 
 // Stats returns machine-level reference statistics.
 func (m *Machine) Stats() *Stats { return &m.stats }
+
+// Engine exposes the simulation engine (scheduling counters).
+func (m *Machine) Engine() *sim.Engine { return m.engine }
 
 // MeanUtilization averages processor utilization.
 func (m *Machine) MeanUtilization() float64 {

@@ -59,7 +59,12 @@ type FullEmptyMemory struct {
 	// Retries counts the failed attempts themselves.
 	Served  metrics.Counter
 	Retries metrics.Counter
+
+	waker sim.Waker
 }
+
+// Attach receives the engine's waker (sim.Wakeable).
+func (m *FullEmptyMemory) Attach(w sim.Waker) { m.waker = w }
 
 type completed struct {
 	r vn.MemRequest
@@ -85,6 +90,11 @@ func NewFullEmptyMemory(latency, service sim.Cycle) *FullEmptyMemory {
 func (m *FullEmptyMemory) Request(r vn.MemRequest) {
 	m.queue.Push(r)
 	m.pending++
+	if m.waker != nil {
+		if t := m.NextEvent(m.waker.Now()); t != sim.Never {
+			m.waker.Wake(m, t)
+		}
+	}
 }
 
 // Pending reports queued plus in-flight requests.

@@ -103,6 +103,9 @@ type Machine struct {
 	net    *network.Omega
 	banks  []*bank
 	engine *sim.Engine
+	// bankArr is the registered bank component, the wake target when the
+	// network delivers a request into a bank queue.
+	bankArr *bankArray
 	// sendRetry holds injections refused by network backpressure.
 	sendRetry *network.RetryQueue
 }
@@ -125,9 +128,10 @@ func New(cfg Config, prog *vn.Program) *Machine {
 		m.cores = append(m.cores, vn.NewCore(prog, port, cfg.ContextsPerCore))
 	}
 	m.engine = sim.NewEngine()
+	m.bankArr = &bankArray{m: m}
 	m.engine.Register(m.sendRetry)
 	m.engine.Register(m.net)
-	m.engine.Register(&bankArray{m: m})
+	m.engine.Register(m.bankArr)
 	for _, c := range m.cores {
 		m.engine.Register(c)
 	}
@@ -154,9 +158,13 @@ func (p *cpuPort) Request(r vn.MemRequest) {
 	p.m.sendRetry.Send(pkt)
 }
 
-// arriveAtBank queues a request at its memory module.
+// arriveAtBank queues a request at its memory module and wakes the bank
+// component at the exact cycle it can act on the arrival.
 func (m *Machine) arriveAtBank(p *network.Packet) {
 	m.banks[p.Dst].queue = append(m.banks[p.Dst].queue, p)
+	if t := m.bankArr.NextEvent(m.engine.Now()); t != sim.Never {
+		m.engine.Wake(m.bankArr, t)
+	}
 }
 
 // arriveAtCore completes a memory operation at the issuing processor.
@@ -298,3 +306,6 @@ func (m *Machine) BankServed(b int) uint64 { return m.banks[b].served }
 
 // Network exposes the omega network for statistics.
 func (m *Machine) Network() *network.Omega { return m.net }
+
+// Engine exposes the simulation engine (scheduling counters).
+func (m *Machine) Engine() *sim.Engine { return m.engine }

@@ -1,6 +1,10 @@
 package network
 
-import "repro/internal/sim"
+import (
+	"math/bits"
+
+	"repro/internal/sim"
+)
 
 // Crossbar models the C.mmp-style n×n crossbar switch: every input has an
 // injection queue, every output accepts one packet per cycle, and transit
@@ -10,17 +14,36 @@ import "repro/internal/sim"
 // The paper's point about C.mmp is economic rather than architectural: a
 // crossbar's cost grows at least quadratically. Cost reports the standard
 // crosspoint count so experiments can plot it.
+//
+// Arbitration is cached rather than rescanned: reqs[out] is a bitmask over
+// inputs whose head-of-line packet addresses out, maintained on every
+// queue push/pop, so each output's round-robin grant is a find-first-set
+// over a couple of words instead of an O(ports) walk of every input queue
+// — the same grants, in the same order, at O(ports·words) per cycle
+// instead of O(ports²).
 type Crossbar struct {
+	clocked
 	ports       int
 	switchDelay sim.Cycle
 	deliver     Delivery
 
-	in       []*queue
-	rr       []int // per-output round-robin arbitration pointer
-	inflight map[sim.Cycle][]*Packet
+	in      []*queue
+	rr      []int      // per-output round-robin arbitration pointer
+	reqs    [][]uint64 // reqs[out]: bitmask of inputs whose head wants out
+	headDst []int      // cached head-of-line destination per input, -1 if empty
+
+	// inflight holds granted packets until transit completes. switchDelay
+	// is constant, so due cycles are nondecreasing and a FIFO keeps them
+	// sorted for free.
+	inflight sim.FIFO[flight]
 	pending  int
 	now      sim.Cycle
 	stats    *Stats
+}
+
+type flight struct {
+	at sim.Cycle
+	p  *Packet
 }
 
 // NewCrossbar returns an n-port crossbar. switchDelay is the input-to-
@@ -35,11 +58,15 @@ func NewCrossbar(ports int, switchDelay sim.Cycle, queueCap int) *Crossbar {
 		switchDelay: switchDelay,
 		in:          make([]*queue, ports),
 		rr:          make([]int, ports),
-		inflight:    map[sim.Cycle][]*Packet{},
+		reqs:        make([][]uint64, ports),
+		headDst:     make([]int, ports),
 		stats:       NewStats(),
 	}
+	words := (ports + 63) / 64
 	for i := range c.in {
 		c.in[i] = newQueue(queueCap)
+		c.reqs[i] = make([]uint64, words)
+		c.headDst[i] = -1
 	}
 	return c
 }
@@ -54,15 +81,60 @@ func (c *Crossbar) Ports() int { return c.ports }
 // SetDelivery registers the destination callback.
 func (c *Crossbar) SetDelivery(d Delivery) { c.deliver = d }
 
+// syncHead refreshes input i's cached head destination and the per-output
+// requester bitmasks after a push or pop changed the head of its queue.
+func (c *Crossbar) syncHead(i int) {
+	d := -1
+	if h := c.in[i].head(); h != nil {
+		d = h.Dst
+	}
+	if d == c.headDst[i] {
+		return
+	}
+	if o := c.headDst[i]; o >= 0 {
+		c.reqs[o][i>>6] &^= 1 << (uint(i) & 63)
+	}
+	if d >= 0 {
+		c.reqs[d][i>>6] |= 1 << (uint(i) & 63)
+	}
+	c.headDst[i] = d
+}
+
+// firstSetFrom returns the lowest set bit at or cyclically after start, or
+// -1 when the mask is empty. Bits at or above ports are never set.
+func firstSetFrom(mask []uint64, start int) int {
+	w := start >> 6
+	m := ^uint64(0) << (uint(start) & 63)
+	for i := w; i < len(mask); i++ {
+		if v := mask[i] & m; v != 0 {
+			return i<<6 + bits.TrailingZeros64(v)
+		}
+		m = ^uint64(0)
+	}
+	for i := 0; i <= w && i < len(mask); i++ {
+		v := mask[i]
+		if i == w {
+			v &^= ^uint64(0) << (uint(start) & 63)
+		}
+		if v != 0 {
+			return i<<6 + bits.TrailingZeros64(v)
+		}
+	}
+	return -1
+}
+
 // Send enqueues at the source's input queue.
 func (c *Crossbar) Send(p *Packet) bool {
+	c.now = c.clock(c, c.now)
 	if !c.in[p.Src].push(p) {
 		c.stats.Refused.Inc()
 		return false
 	}
+	c.syncHead(p.Src)
 	p.InjectedAt = c.now
 	c.pending++
 	c.stats.Injected.Inc()
+	c.rearm(c)
 	return true
 }
 
@@ -70,31 +142,24 @@ func (c *Crossbar) Send(p *Packet) bool {
 // delivers packets whose transit completes this cycle.
 func (c *Crossbar) Step(now sim.Cycle) {
 	c.now = now
-	for _, p := range c.inflight[now] {
+	for c.inflight.Len() > 0 && c.inflight.Peek().at <= now {
+		p := c.inflight.Pop().p
 		c.pending--
 		c.stats.delivered(p, now)
 		c.deliver(p)
 	}
-	delete(c.inflight, now)
 
-	// For each output, scan inputs starting at the round-robin pointer and
-	// grant the first whose head-of-line packet wants this output.
+	// For each output, grant the first requesting input at or cyclically
+	// after the round-robin pointer.
 	for out := 0; out < c.ports; out++ {
-		granted := -1
-		for k := 0; k < c.ports; k++ {
-			i := (c.rr[out] + k) % c.ports
-			if h := c.in[i].head(); h != nil && h.Dst == out {
-				granted = i
-				break
-			}
-		}
+		granted := firstSetFrom(c.reqs[out], c.rr[out])
 		if granted < 0 {
 			continue
 		}
 		p := c.in[granted].pop()
+		c.syncHead(granted)
 		p.Hops = 1
-		due := now + c.switchDelay
-		c.inflight[due] = append(c.inflight[due], p)
+		c.inflight.Push(flight{at: now + c.switchDelay, p: p})
 		c.rr[out] = (granted + 1) % c.ports
 	}
 }

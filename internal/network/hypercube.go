@@ -18,6 +18,7 @@ import (
 // Each link carries one packet per cycle in each direction; each node has
 // an injection queue and one input buffer per dimension.
 type Hypercube struct {
+	clocked
 	dim     int
 	n       int
 	deliver Delivery
@@ -172,6 +173,7 @@ func (h *Hypercube) Send(p *Packet) bool {
 		h.stats.Refused.Inc()
 		return false
 	}
+	h.now = h.clock(h, h.now)
 	if !h.in[p.Src][0].push(p) {
 		h.stats.Refused.Inc()
 		return false
@@ -180,6 +182,7 @@ func (h *Hypercube) Send(p *Packet) bool {
 	p.moved = ^sim.Cycle(0)
 	h.pending++
 	h.stats.Injected.Inc()
+	h.rearm(h)
 	return true
 }
 

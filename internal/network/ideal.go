@@ -13,6 +13,7 @@ import "repro/internal/sim"
 // event. This keeps the idle path O(1) with zero per-cycle allocation and
 // preserves the seed's delivery order (injection order within a cycle).
 type Ideal struct {
+	clocked
 	ports    int
 	latency  sim.Cycle
 	deliver  Delivery
@@ -52,10 +53,12 @@ func (n *Ideal) Latency() sim.Cycle { return n.latency }
 // Send schedules delivery Latency cycles after the current cycle. The
 // ideal network never refuses a packet.
 func (n *Ideal) Send(p *Packet) bool {
+	n.now = n.clock(n, n.now)
 	p.InjectedAt = n.now
 	p.Hops = 1
 	n.inflight.Push(timedPacket{due: n.now + n.latency, p: p})
 	n.stats.Injected.Inc()
+	n.rearm(n)
 	return true
 }
 

@@ -11,6 +11,7 @@ import (
 // buffer per incoming link; each link moves one packet per cycle. Optional
 // wraparound turns it into a torus (Illiac IV was an 8×8 end-around grid).
 type Mesh struct {
+	clocked
 	w, h    int
 	torus   bool
 	deliver Delivery
@@ -66,6 +67,7 @@ func (m *Mesh) Send(p *Packet) bool {
 	if p.Src < 0 || p.Src >= m.Ports() || p.Dst < 0 || p.Dst >= m.Ports() {
 		panic(fmt.Sprintf("network: mesh packet with bad endpoints %s", p))
 	}
+	m.now = m.clock(m, m.now)
 	if !m.in[p.Src][meshInject].push(p) {
 		m.stats.Refused.Inc()
 		return false
@@ -74,6 +76,7 @@ func (m *Mesh) Send(p *Packet) bool {
 	p.moved = ^sim.Cycle(0) // sentinel: not yet hopped
 	m.pending++
 	m.stats.Injected.Inc()
+	m.rearm(m)
 	return true
 }
 

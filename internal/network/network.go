@@ -37,6 +37,12 @@ func (p *Packet) String() string {
 	return fmt.Sprintf("pkt(%d->%d, hops=%d)", p.Src, p.Dst, p.Hops)
 }
 
+// Reset clears a packet for reuse from a free list, keeping the allocated
+// reverse-path capacity.
+func (p *Packet) Reset() {
+	*p = Packet{path: p.path[:0]}
+}
+
 type pathStep struct {
 	stage, sw int
 	inPort    int
@@ -71,6 +77,44 @@ type Network interface {
 	NextEvent(now sim.Cycle) sim.Cycle
 	// Stats exposes traffic counters.
 	Stats() *Stats
+}
+
+// clocked is the engine attachment embedded by every fabric: the Waker
+// captured at registration plus the slot-accurate clock and re-arm rules.
+// Unattached fabrics (driven by a hand-rolled loop or an exhaustive
+// scheduler) behave exactly as before: clock falls back to the fabric's
+// internally-stepped now and rearm is a no-op.
+type clocked struct {
+	waker sim.Waker
+}
+
+// Attach implements sim.Wakeable; the engine calls it at registration.
+func (k *clocked) Attach(w sim.Waker) { k.waker = w }
+
+// clock returns the cycle an exhaustive per-cycle engine would show on
+// self's own clock at this instant. Fabrics stamp packet times (InjectedAt,
+// moved) from Send/Reply — which run inside the *caller's* step — so the
+// fabric's own clock may lag the engine's by one tick; SlotNow reproduces
+// that lag exactly.
+func (k *clocked) clock(self sim.Component, fallback sim.Cycle) sim.Cycle {
+	if k.waker == nil {
+		return fallback
+	}
+	return k.waker.SlotNow(self)
+}
+
+// rearm tells an attached engine when self next needs a step; fabrics call
+// it after any mutation arriving from outside their own Step.
+func (k *clocked) rearm(self interface {
+	sim.Component
+	NextEvent(sim.Cycle) sim.Cycle
+}) {
+	if k.waker == nil {
+		return
+	}
+	if t := self.NextEvent(k.waker.Now()); t != sim.Never {
+		k.waker.Wake(self, t)
+	}
 }
 
 // steppedNextEvent is the NextEvent answer for switched fabrics that move

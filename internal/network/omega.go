@@ -33,6 +33,7 @@ type SplitFunc func(reply interface{}) (first, second interface{})
 // request's path backward, decombining where requests were merged. Every
 // link (forward and reverse) carries one packet per cycle.
 type Omega struct {
+	clocked
 	k, n      int
 	combining bool
 
@@ -105,6 +106,7 @@ func (o *Omega) Send(p *Packet) bool {
 	if p.Src < 0 || p.Src >= o.n || p.Dst < 0 || p.Dst >= o.n {
 		panic(fmt.Sprintf("network: omega packet with bad endpoints %s", p))
 	}
+	o.now = o.clock(o, o.now)
 	o.nextID++
 	p.id = o.nextID
 	p.path = p.path[:0]
@@ -116,6 +118,7 @@ func (o *Omega) Send(p *Packet) bool {
 	}
 	p.InjectedAt = o.now
 	o.stats.Injected.Inc()
+	o.rearm(o)
 	return true
 }
 
@@ -165,12 +168,15 @@ func (o *Omega) routeInto(stage, sw, inPort int, p *Packet) bool {
 // recorded path. The caller passes the original request packet (as handed
 // to the forward delivery callback) and the reply payload.
 func (o *Omega) Reply(request *Packet, payload interface{}) bool {
+	o.now = o.clock(o, o.now)
 	r := &Packet{
 		Src: request.Dst, Dst: request.Src, Payload: payload,
 		id: request.id, path: request.path,
 	}
 	r.InjectedAt = o.now
-	return o.reverseInto(r)
+	ok := o.reverseInto(r)
+	o.rearm(o)
+	return ok
 }
 
 // reverseInto places a reply at the switch named by its path tail.

@@ -18,6 +18,7 @@ import "repro/internal/sim"
 // sources (omega-network switches shared by two processors): the retry
 // sequence is exactly the order the packets were first refused in.
 type RetryQueue struct {
+	clocked
 	send  func(*Packet) bool
 	queue sim.FIFO[*Packet]
 	// queuedBySrc guards FIFO-per-source ordering on Send: a new packet
@@ -39,6 +40,7 @@ func (q *RetryQueue) Send(pkt *Packet) bool {
 	if q.queuedBySrc[pkt.Src] > 0 || !q.send(pkt) {
 		q.queue.Push(pkt)
 		q.queuedBySrc[pkt.Src]++
+		q.rearm(q)
 		return false
 	}
 	return true

@@ -141,3 +141,144 @@ func TestEngineSettlesOnExit(t *testing.T) {
 		t.Fatalf("settled through %d, want %d", s.settledThrough, elapsed)
 	}
 }
+
+// sleeper parks itself until an external Wake delivers work: its NextEvent
+// is Never while the inbox is empty, so only the wake-queue can revive it.
+type sleeper struct {
+	inbox   []Cycle // cycles work was handed over
+	handled []Cycle // cycles work was processed
+	stepped Cycle
+	waker   Waker
+}
+
+func (s *sleeper) Attach(w Waker) { s.waker = w }
+
+func (s *sleeper) Step(now Cycle) {
+	s.stepped++
+	if len(s.inbox) > 0 {
+		s.handled = append(s.handled, now)
+		s.inbox = s.inbox[1:]
+	}
+}
+
+func (s *sleeper) NextEvent(now Cycle) Cycle {
+	if len(s.inbox) == 0 {
+		return Never
+	}
+	return now
+}
+
+// feeder hands the sleeper one item at fixed times, waking it through the
+// engine exactly as a memory hands a core its completed load.
+type feeder struct {
+	times []Cycle
+	dst   *sleeper
+	waker Waker
+}
+
+func (f *feeder) Attach(w Waker) { f.waker = w }
+
+func (f *feeder) Step(now Cycle) {
+	for len(f.times) > 0 && f.times[0] <= now {
+		f.times = f.times[:copy(f.times, f.times[1:])]
+		f.dst.inbox = append(f.dst.inbox, now)
+		f.waker.Wake(f.dst, now)
+	}
+}
+
+func (f *feeder) NextEvent(now Cycle) Cycle {
+	if len(f.times) == 0 {
+		return Never
+	}
+	if t := f.times[0]; t > now {
+		return t
+	}
+	return now
+}
+
+// TestEngineWakeRevivesParkedComponent pins the Wake API: a component
+// whose NextEvent answered Never is revived by an external Wake, steps at
+// exactly the wake cycle, and costs zero steps while parked.
+func TestEngineWakeRevivesParkedComponent(t *testing.T) {
+	dst := &sleeper{}
+	src := &feeder{times: []Cycle{40, 41, 900}, dst: dst}
+	e := NewEngine()
+	e.Register(src)
+	e.Register(dst)
+	_, ok := e.Run(func() bool { return len(dst.handled) >= 3 }, 10_000)
+	if !ok {
+		t.Fatal("run did not finish")
+	}
+	want := []Cycle{40, 41, 900}
+	for i, w := range want {
+		if dst.handled[i] != w {
+			t.Fatalf("handled[%d] = %d, want %d (all: %v)", i, dst.handled[i], w, dst.handled)
+		}
+	}
+	if dst.stepped > 4 {
+		t.Fatalf("parked component stepped %d times; wake-queue should bound it near 3", dst.stepped)
+	}
+	c := e.Counters()
+	if c.WakesEnqueued == 0 {
+		t.Fatal("no wakes were counted")
+	}
+	if c.CyclesSkipped == 0 {
+		t.Fatal("no cycles were skipped despite an 859-cycle idle gap")
+	}
+	if c.StepsExecuted == 0 {
+		t.Fatal("no steps were counted")
+	}
+}
+
+// TestEngineWakeSameCycleLaterComponent: waking a later-registered
+// component at the current cycle, from inside a tick, must step it in the
+// same tick — the exhaustive engine's same-cycle visibility rule.
+func TestEngineWakeSameCycleLaterComponent(t *testing.T) {
+	dst := &sleeper{}
+	src := &feeder{times: []Cycle{7}, dst: dst}
+	e := NewEngine()
+	e.Register(src)
+	e.Register(dst)
+	_, ok := e.Run(func() bool { return len(dst.handled) >= 1 }, 100)
+	if !ok {
+		t.Fatal("run did not finish")
+	}
+	if dst.handled[0] != 7 {
+		t.Fatalf("handled at %d, want the same cycle the feeder fired (7)", dst.handled[0])
+	}
+}
+
+// TestEngineWakeUnregisteredPanics: waking a component the engine does not
+// own is a wiring bug and must fail loudly.
+func TestEngineWakeUnregisteredPanics(t *testing.T) {
+	e := NewEngine()
+	e.Register(&sleeper{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Wake on an unregistered component did not panic")
+		}
+	}()
+	e.Wake(&sleeper{}, 0)
+}
+
+// TestEngineLegacyFallback: registering a component without NextEvent
+// (not EventAware) must degrade to exhaustive stepping with unchanged
+// results — the ComponentFunc drivers in older experiments rely on it.
+func TestEngineLegacyFallback(t *testing.T) {
+	var plainSteps Cycle
+	plain := ComponentFunc(func(now Cycle) { plainSteps++ })
+	b := &beacon{period: 100, count: 3}
+	e := NewEngine()
+	e.Register(plain)
+	e.Register(b)
+	elapsed, ok := e.Run(func() bool { return Cycle(len(b.fired)) >= 3 }, 10_000)
+	if !ok {
+		t.Fatal("run did not finish")
+	}
+	if elapsed != 201 {
+		t.Fatalf("elapsed %d, want 201 (fire at 0, 100, 200 then done)", elapsed)
+	}
+	if plainSteps != elapsed {
+		t.Fatalf("plain component stepped %d times over %d cycles; legacy mode must step every cycle", plainSteps, elapsed)
+	}
+}

@@ -70,6 +70,13 @@ type context struct {
 	pc      int
 	waiting bool
 	halted  bool
+
+	// pendingRd is the destination register of the outstanding memory
+	// operation; done is the context's persistent completion callback. A
+	// context has at most one request in flight (waiting blocks issue), so
+	// one closure per context replaces one allocation per memory operation.
+	pendingRd uint8
+	done      func(Word)
 }
 
 // Core is a cycle-stepped processor with k hardware contexts. k=1 is the
@@ -91,7 +98,13 @@ type Core struct {
 	settled       sim.Cycle
 	frozenWaiting uint64
 	frozenIdle    bool
+
+	waker sim.Waker
 }
+
+// Attach receives the engine's waker (sim.Wakeable); memory completions
+// use it to re-arm the core the moment a context becomes runnable.
+func (c *Core) Attach(w sim.Waker) { c.waker = w }
 
 // NewCore returns a core running prog with k hardware contexts, all
 // started at pc 0 and runnable. Use Context to adjust initial state.
@@ -323,12 +336,21 @@ func (c *Core) execute(ctx *context) {
 func (c *Core) issueMem(ctx *context, req MemRequest, rd uint8) {
 	c.stats.MemOps.Inc()
 	ctx.waiting = true
-	req.Done = func(v Word) {
-		if rd != 0 {
-			ctx.regs[rd] = v
+	ctx.pendingRd = rd
+	if ctx.done == nil {
+		ctx.done = func(v Word) {
+			if ctx.pendingRd != 0 {
+				ctx.regs[ctx.pendingRd] = v
+			}
+			ctx.waiting = false
+			if c.waker != nil {
+				// The context just became runnable: the core's next event
+				// moved to now.
+				c.waker.Wake(c, c.waker.Now())
+			}
 		}
-		ctx.waiting = false
 	}
+	req.Done = ctx.done
 	c.mem.Request(req)
 }
 

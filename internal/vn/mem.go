@@ -49,7 +49,11 @@ type LatencyMemory struct {
 	now     sim.Cycle
 	due     sim.FIFO[dueReq]
 	pending int
+	waker   sim.Waker
 }
+
+// Attach receives the engine's waker (sim.Wakeable).
+func (m *LatencyMemory) Attach(w sim.Waker) { m.waker = w }
 
 // NewLatencyMemory returns a fixed-latency memory (minimum 1 cycle).
 func NewLatencyMemory(latency sim.Cycle) *LatencyMemory {
@@ -61,8 +65,14 @@ func NewLatencyMemory(latency sim.Cycle) *LatencyMemory {
 
 // Request issues r; its Done callback fires after the fixed latency.
 func (m *LatencyMemory) Request(r MemRequest) {
+	if m.waker != nil {
+		m.now = m.waker.SlotNow(m)
+	}
 	m.due.Push(dueReq{at: m.now + m.latency, r: r})
 	m.pending++
+	if m.waker != nil {
+		m.waker.Wake(m, m.due.Peek().at)
+	}
 }
 
 // Step completes requests due this cycle. Operations apply at completion
@@ -112,6 +122,7 @@ type BankedMemory struct {
 	due         sim.FIFO[dueCompleted]
 	pending     int
 	settled     sim.Cycle // queue-length samples accounted through here
+	waker       sim.Waker
 
 	// QueueLen observes the waiting-queue length each cycle.
 	QueueLen metrics.Gauge
@@ -144,10 +155,25 @@ func NewBankedMemory(latency, serviceTime sim.Cycle) *BankedMemory {
 	return &BankedMemory{store: newBacking(), latency: latency, serviceTime: serviceTime}
 }
 
+// Attach receives the engine's waker (sim.Wakeable).
+func (m *BankedMemory) Attach(w sim.Waker) { m.waker = w }
+
 // Request queues r at the bank. The gauge level is refreshed immediately so
 // that cycles an event-driven engine jumps over settle at the post-arrival
 // queue length, exactly as per-cycle sampling would have observed.
 func (m *BankedMemory) Request(r MemRequest) {
+	if m.waker != nil {
+		// Wake before the push below: Engine.Wake settles jumped-over gauge
+		// samples at the pre-arrival level. The wake cycle is the bank's
+		// exact post-arrival next event — the earlier of the next response
+		// delivery and the end of the current service (the queue is about
+		// to be non-empty).
+		next := m.busyUntil
+		if m.due.Len() > 0 && m.due.Peek().at < next {
+			next = m.due.Peek().at
+		}
+		m.waker.Wake(m, next)
+	}
 	m.queue.Push(r)
 	m.pending++
 	m.QueueLen.Set(int64(m.queue.Len()))

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/sim"
+	"repro/internal/simtest"
 )
 
 // These property tests pin the contract that makes the event-driven
@@ -112,6 +113,83 @@ func runVNOnce(t *testing.T, src string, contexts, iters int, latency, service s
 		qMax:     mem.QueueLen.Max(),
 		qMean:    mem.QueueLen.Mean(),
 		checksum: sum,
+	}
+}
+
+// runVNSkipping mirrors runVNOnce under exhaustive stepping, but wraps the
+// memory and the core in simtest.IdleSkipper so any Step a component's own
+// NextEvent declares idle is suppressed instead of executed. It returns
+// the outcome plus the number of suppressed Steps.
+func runVNSkipping(t *testing.T, src string, contexts, iters int, latency, service sim.Cycle) (vnOutcome, uint64) {
+	t.Helper()
+	prog, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v\nprogram:\n%s", err, src)
+	}
+	mem := NewBankedMemory(latency, service)
+	c := NewCore(prog, mem, contexts)
+	for i := 0; i < contexts; i++ {
+		c.Context(i).SetReg(1, Word(32*(i%3)))
+		c.Context(i).SetReg(4, Word(iters))
+	}
+	skipMem := simtest.NewIdleSkipper(mem)
+	skipCore := simtest.NewIdleSkipper(c)
+	sch := sim.NewScheduler()
+	sch.Register(skipMem)
+	sch.Register(skipCore)
+	elapsed, ok := sch.Run(func() bool { return c.Halted() && mem.Pending() == 0 }, 5_000_000)
+	// The plain Scheduler never settles; account the trailing skipped
+	// cycles the way sim.Engine.Run does on exit.
+	skipMem.Settle(sch.Now())
+	skipCore.Settle(sch.Now())
+	var sum Word
+	for a := uint32(0); a < 128; a++ {
+		sum = sum*31 + mem.Peek(a)
+	}
+	s := c.Stats()
+	return vnOutcome{
+		elapsed:  elapsed,
+		ok:       ok,
+		busy:     s.Busy.Value(),
+		idle:     s.Idle.Value(),
+		memOps:   s.MemOps.Value(),
+		memWait:  s.MemWait.Value(),
+		switches: s.Switches.Value(),
+		retired:  s.Retired.Value(),
+		served:   mem.Served.Value(),
+		qMax:     mem.QueueLen.Max(),
+		qMean:    mem.QueueLen.Mean(),
+		checksum: sum,
+	}, skipMem.Skipped + skipCore.Skipped
+}
+
+// TestIdleStepIsANoOp pins the second half of the honesty contract on
+// random vn programs: suppressing every Step a component's NextEvent
+// declares idle must leave every observable bit-identical. This is the
+// property the wake-queue engine leans on — components it never enqueues
+// are components whose Step it may soundly never call.
+func TestIdleStepIsANoOp(t *testing.T) {
+	var totalSkipped uint64
+	for seed := uint64(0); seed < 25; seed++ {
+		rng := sim.NewRNG(0x51caffe + seed)
+		src := randomProgram(rng)
+		contexts := 1 + rng.Intn(6)
+		iters := 3 + rng.Intn(30)
+		latency := sim.Cycle(1 + rng.Intn(80))
+		service := sim.Cycle(1 + rng.Intn(4))
+		exhaustive := runVNOnce(t, src, contexts, iters, latency, service, false)
+		skipping, skipped := runVNSkipping(t, src, contexts, iters, latency, service)
+		if !exhaustive.ok {
+			t.Fatalf("seed %d: exhaustive run hit the cycle limit\nprogram:\n%s", seed, src)
+		}
+		if exhaustive != skipping {
+			t.Errorf("seed %d (contexts=%d iters=%d latency=%d service=%d): an idle Step was not a no-op\nexhaustive: %+v\nskipping:   %+v\nprogram:\n%s",
+				seed, contexts, iters, latency, service, exhaustive, skipping, src)
+		}
+		totalSkipped += skipped
+	}
+	if totalSkipped == 0 {
+		t.Fatal("no Step was ever suppressed: the property was tested vacuously")
 	}
 }
 
