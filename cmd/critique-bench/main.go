@@ -10,6 +10,7 @@
 //	critique-bench -only E4,E9
 //	critique-bench -markdown   # emit the EXPERIMENTS.md body
 //	critique-bench -bench BENCH.json   # also write kernel-speed measurements
+//	critique-bench -conformance 25     # cross-machine conformance smoke run
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/conformance"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/id"
@@ -45,7 +47,17 @@ func main() {
 	benchOut := flag.String("bench", "", "write simulator-speed benchmark results (Mcycles/s, Minstr/s, sweep wall time) to this JSON file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with `go tool pprof`)")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken at exit to this file")
+	confSmoke := flag.Int("conformance", 0, "run N seeds of the cross-machine conformance harness and exit (nonzero exit on any violation)")
 	flag.Parse()
+
+	if *confSmoke > 0 {
+		rep := conformance.Sweep(*confSmoke)
+		fmt.Println(rep.Summary())
+		if len(rep.Violations) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

@@ -22,6 +22,7 @@ package emulator
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 
@@ -34,18 +35,43 @@ type Config struct {
 	// Dim is the hypercube dimension: 2^Dim PE+switch modules. The
 	// paper's facility was 32 to 128 processors (dim 5 to 7).
 	Dim int
+	// Nodes, when non-zero, sets the module count directly and overrides
+	// Dim. It must be a power of two (a hypercube has 2^k corners); a
+	// single-node "cube" (Nodes=1, dimension zero) is valid and runs the
+	// whole program on one PE+switch module.
+	Nodes int
 	// MaxMessages bounds total message traffic as a runaway guard.
 	MaxMessages uint64
 }
 
-func (c Config) withDefaults() Config {
-	if c.Dim <= 0 {
-		c.Dim = 5
+// maxDim bounds the cube: beyond 2^20 nodes the goroutine-per-node model
+// is certainly a configuration mistake.
+const maxDim = 20
+
+// resolve validates the size parameters and returns the effective
+// dimension.
+func (c Config) resolve() (Config, error) {
+	switch {
+	case c.Nodes < 0:
+		return c, fmt.Errorf("emulator: negative node count %d", c.Nodes)
+	case c.Nodes > 0:
+		if c.Nodes&(c.Nodes-1) != 0 {
+			return c, fmt.Errorf("emulator: node count %d is not a power of two (a %d-dim hypercube has 2^%d corners)",
+				c.Nodes, bits.Len(uint(c.Nodes)), bits.Len(uint(c.Nodes)))
+		}
+		c.Dim = bits.TrailingZeros(uint(c.Nodes))
+	case c.Dim < 0:
+		return c, fmt.Errorf("emulator: negative dimension %d", c.Dim)
+	case c.Dim == 0:
+		c.Dim = 5 // historical default: the paper's 32-processor facility
+	}
+	if c.Dim > maxDim {
+		return c, fmt.Errorf("emulator: dimension %d exceeds the %d-dim limit", c.Dim, maxDim)
 	}
 	if c.MaxMessages == 0 {
 		c.MaxMessages = 500_000_000
 	}
-	return c
+	return c, nil
 }
 
 // message is one packet between switch modules.
@@ -163,9 +189,24 @@ type cell struct {
 	waiters []replyTag
 }
 
-// New builds a facility for the program.
+// New builds a facility for the program with a defaulted configuration;
+// it panics on an invalid size (use Build to get the error instead).
 func New(cfg Config, prog *graph.Program) *Facility {
-	cfg = cfg.withDefaults()
+	f, err := Build(cfg, prog)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Build validates cfg and assembles a facility for the program. Invalid
+// sizes — a non-power-of-two node count, a negative dimension — are
+// reported as errors.
+func Build(cfg Config, prog *graph.Program) (*Facility, error) {
+	cfg, err := cfg.resolve()
+	if err != nil {
+		return nil, err
+	}
 	n := 1 << cfg.Dim
 	f := &Facility{
 		cfg:     cfg,
@@ -187,7 +228,7 @@ func New(cfg Config, prog *graph.Program) *Facility {
 		f.nodes = append(f.nodes, nd)
 	}
 	f.recomputeTablesLocked()
-	return f
+	return f, nil
 }
 
 // KillLink disables the dimension-k link at nd (both directions) and

@@ -63,6 +63,7 @@ func All(opt Options) []Result {
 		E11Emulator,
 		E12VLIW,
 		E13ParallelismGrail,
+		E14ConformanceSweep,
 	)
 }
 

@@ -174,8 +174,8 @@ func TestAllRunsEverything(t *testing.T) {
 		t.Skip("All() in quick mode still takes seconds")
 	}
 	results := All(quick)
-	if len(results) != 13 {
-		t.Fatalf("expected 13 experiments, got %d", len(results))
+	if len(results) != 14 {
+		t.Fatalf("expected 14 experiments, got %d", len(results))
 	}
 	for _, r := range results {
 		requireOK(t, r)
@@ -234,6 +234,26 @@ func TestE13Shape(t *testing.T) {
 	serial := seriesColumn(t, r, 3, "max width")
 	if serial[len(serial)-1] > serial[0]*2 {
 		t.Fatalf("serial loop width must stay flat: %v", serial)
+	}
+}
+
+func TestE14Shape(t *testing.T) {
+	r := E14ConformanceSweep(quick)
+	requireOK(t, r)
+	if len(r.Tables) != 1 {
+		t.Fatalf("expected 1 table, got %d", len(r.Tables))
+	}
+	rows := r.Tables[0].Rows
+	if len(rows) != 4 {
+		t.Fatalf("expected one row per oracle family, got %d", len(rows))
+	}
+	for _, row := range rows {
+		if row[1] == "0" {
+			t.Fatalf("oracle family %v ran zero checks", row[0])
+		}
+		if row[2] != "0" {
+			t.Fatalf("oracle family %v reported violations: %v", row[0], row[2])
+		}
 	}
 }
 

@@ -1,0 +1,75 @@
+package id
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// fuzzSeeds is the corpus both targets start from: the prelude's APPEND
+// definition, the paper's Figure 2-2 trapezoid program (E5's workload),
+// and a handful of adversarial fragments.
+var fuzzSeeds = []string{
+	preludeAppend,
+	workload.TrapezoidID,
+	workload.CollatzID,
+	workload.ProducerConsumerID,
+	"def main(n) = n;",
+	"def f(x) = if x < 2 then x else f(x - 1);\ndef main(n) = f(n);",
+	"def main(n) = (initial s <- 0 for i from 1 to n do new s <- s + i return s);",
+	"def main(n) = { a = array(n); a[0] <- 1; a[0] };",
+	"def main(", // truncated
+	"def main(n) = (initial s <- 0 for i from", // truncated mid-loop
+	"def def def",
+	"def main(n) = x;",       // unbound variable
+	"def main(n) = f(n);",    // unbound function
+	"def main(n) = n + + n;", // malformed operator chain
+	"def main(n) = \"str\" + n;",
+	"def main(n) = 9999999999999999999999999;", // overflowing literal
+	"def main(n) = n; def main(n) = n;",        // duplicate definition
+	"def main(n, n) = n;",                      // duplicate parameter
+	"def main(n) = (initial s <- 0 for i from 1 to n do new q <- s return s);",
+	"\x00\xff\xfe",
+	"def main(n) = if n then 1 else 2;", // non-bool condition
+}
+
+// FuzzParse asserts the lexer and parser never panic: any input either
+// parses or returns an error.
+func FuzzParse(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if file == nil {
+			t.Fatal("Parse returned nil file and nil error")
+		}
+	})
+}
+
+// FuzzCompile pushes every parseable input through the whole pipeline —
+// prelude injection, type checking, graph compilation, optimization,
+// validation — asserting malformed programs come back as errors, never
+// panics.
+func FuzzCompile(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Compile(src)
+		if err != nil {
+			return
+		}
+		if prog == nil {
+			t.Fatal("Compile returned nil program and nil error")
+		}
+		// A program that compiled must also validate: Compile's contract
+		// is that its output is executable.
+		if verr := prog.Validate(); verr != nil {
+			t.Fatalf("compiled program fails validation: %v\nsource:\n%s", verr, src)
+		}
+	})
+}

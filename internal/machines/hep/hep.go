@@ -230,3 +230,6 @@ func (m *Machine) Run(limit sim.Cycle) (sim.Cycle, error) {
 	}
 	return elapsed, nil
 }
+
+// Engine exposes the simulation engine (scheduling counters).
+func (m *Machine) Engine() *sim.Engine { return m.engine }
