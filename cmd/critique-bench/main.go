@@ -48,6 +48,7 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with `go tool pprof`)")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken at exit to this file")
 	confSmoke := flag.Int("conformance", 0, "run N seeds of the cross-machine conformance harness and exit (nonzero exit on any violation)")
+	shards := flag.Int("shards", 0, "run shardable machines on the conservative parallel kernel with N shards (0 = sequential; results are bit-identical either way)")
 	flag.Parse()
 
 	if *confSmoke > 0 {
@@ -95,7 +96,7 @@ func main() {
 	}
 
 	sweepStart := time.Now()
-	results := experiments.All(experiments.Options{Quick: *quick})
+	results := experiments.All(experiments.Options{Quick: *quick, Shards: *shards})
 	if *ablations {
 		results = append(results, experiments.Ablations(experiments.Options{Quick: *quick})...)
 	}
@@ -139,6 +140,11 @@ func main() {
 // simulator speed across revisions (BENCH_*.json).
 type benchReport struct {
 	Quick bool `json:"quick"`
+	// GoMaxProcs is the scheduler-thread count of the measuring host. A
+	// 1-CPU environment cannot exhibit parallel-kernel speedup (the
+	// engine steps shards inline there); readers of KernelShards need
+	// this to interpret the speedup column.
+	GoMaxProcs int `json:"gomaxprocs"`
 	// SweepWallMs is the wall time of the full experiment sweep run by
 	// this invocation, and SweepExperiments the experiment count behind it.
 	SweepWallMs      float64 `json:"sweep_wall_ms"`
@@ -159,10 +165,32 @@ type benchReport struct {
 	// jumped over, and wakes enqueued. steps_executed against sim_cycles is
 	// the sparse-activation win in one ratio.
 	KernelCounters sim.Counters `json:"kernel_engine_counters"`
+	// KernelShards sweeps the same kernel workload across parallel-kernel
+	// shard counts: shards=1 is the sequential engine, shards>1 the
+	// conservative parallel kernel. Simulated cycles are identical across
+	// the sweep (bit-identity); wall time and the per-worker step counters
+	// are what move.
+	KernelShards []kernelShardBench `json:"kernel_shards"`
 	// Baselines records simulated-cycle throughput for the von Neumann
 	// baseline machines on their experiment workloads, so baseline
 	// simulator speed is tracked across revisions alongside the TTDA kernel.
 	Baselines []baselineBench `json:"baselines"`
+}
+
+// kernelShardBench is one shard count's measurement on the shard-sweep
+// kernel workload.
+type kernelShardBench struct {
+	Shards        int     `json:"shards"`
+	Runs          int     `json:"runs"`
+	SimCycles     uint64  `json:"sim_cycles"`
+	WallMsPerRun  float64 `json:"wall_ms_per_run"`
+	McyclesPerSec float64 `json:"mcycles_per_sec"`
+	// SpeedupVsSeq is sequential wall time divided by this entry's wall
+	// time (1.0 for the shards=1 row by construction).
+	SpeedupVsSeq float64 `json:"speedup_vs_seq"`
+	// WorkerSteps counts shard steps executed per worker goroutine
+	// (empty for the sequential row).
+	WorkerSteps []uint64 `json:"worker_steps,omitempty"`
 }
 
 // baselineBench is one baseline machine's throughput measurement.
@@ -184,12 +212,12 @@ type baselineBench struct {
 func benchBaselines(runs int) ([]baselineBench, error) {
 	cases := []struct {
 		machine, workload string
-		run               func() (sim.Cycle, *sim.Engine, error)
+		run               func() (sim.Cycle, sim.Counters, error)
 	}{
-		{"vn-16ctx", "E2-style memloop, latency 200", func() (sim.Cycle, *sim.Engine, error) {
+		{"vn-16ctx", "E2-style memloop, latency 200", func() (sim.Cycle, sim.Counters, error) {
 			prog, err := vn.Assemble(workload.MemLoopASM)
 			if err != nil {
-				return 0, nil, err
+				return 0, sim.Counters{}, err
 			}
 			mem := vn.NewLatencyMemory(200)
 			c := vn.NewCore(prog, mem, 16)
@@ -202,26 +230,26 @@ func benchBaselines(runs int) ([]baselineBench, error) {
 			eng.Register(c)
 			elapsed, ok := eng.Run(c.Halted, 20_000_000)
 			if !ok {
-				return 0, nil, fmt.Errorf("bench vn: run did not halt")
+				return 0, sim.Counters{}, fmt.Errorf("bench vn: run did not halt")
 			}
-			return elapsed, eng, nil
+			return elapsed, eng.Counters(), nil
 		}},
-		{"cmmp", "E7-style lock-protected counter, 8 processors", func() (sim.Cycle, *sim.Engine, error) {
+		{"cmmp", "E7-style lock-protected counter, 8 processors", func() (sim.Cycle, sim.Counters, error) {
 			prog, err := vn.Assemble(workload.CounterLockASM)
 			if err != nil {
-				return 0, nil, err
+				return 0, sim.Counters{}, err
 			}
 			m := cmmp.New(cmmp.Config{Processors: 8, Banks: 8}, prog, 1)
 			for q := 0; q < 8; q++ {
 				m.Core(q).Context(0).SetReg(5, 50)
 			}
 			elapsed, err := m.Run(50_000_000)
-			return elapsed, m.Engine(), err
+			return elapsed, m.Engine().Counters(), err
 		}},
-		{"cmstar", "E8-style cross-cluster memloop, distance 2", func() (sim.Cycle, *sim.Engine, error) {
+		{"cmstar", "E8-style cross-cluster memloop, distance 2", func() (sim.Cycle, sim.Counters, error) {
 			prog, err := vn.Assemble(workload.MemLoopASM)
 			if err != nil {
-				return 0, nil, err
+				return 0, sim.Counters{}, err
 			}
 			const clusterWords = 4096
 			m := cmstar.New(cmstar.Config{Clusters: 4, CoresPerCluster: 1, ClusterWords: clusterWords}, prog)
@@ -232,9 +260,9 @@ func benchBaselines(runs int) ([]baselineBench, error) {
 			h.SetReg(1, vn.Word(2*clusterWords))
 			h.SetReg(4, 100)
 			elapsed, err := m.Run(10_000_000)
-			return elapsed, m.Engine(), err
+			return elapsed, m.Engine().Counters(), err
 		}},
-		{"ultra", "E9-style hotspot faa loop, 16 processors, combining", func() (sim.Cycle, *sim.Engine, error) {
+		{"ultra", "E9-style hotspot faa loop, 16 processors, combining", func() (sim.Cycle, sim.Counters, error) {
 			// HotspotASM issues a single faa; loop it so the measurement
 			// covers the combining network, not machine setup.
 			prog, err := vn.Assemble(`
@@ -247,7 +275,7 @@ loop:   li   r1, 0
         halt
 `)
 			if err != nil {
-				return 0, nil, err
+				return 0, sim.Counters{}, err
 			}
 			m := ultra.New(ultra.Config{LogProcessors: 4, Combining: true}, prog)
 			for p := 0; p < m.NumProcessors(); p++ {
@@ -255,12 +283,12 @@ loop:   li   r1, 0
 				m.Core(p).Context(0).SetReg(5, 100)
 			}
 			elapsed, err := m.Run(20_000_000)
-			return elapsed, m.Engine(), err
+			return elapsed, m.Engine().Counters(), err
 		}},
-		{"vliw", "E12-style synthetic schedule, 2000 bundles", func() (sim.Cycle, *sim.Engine, error) {
+		{"vliw", "E12-style synthetic schedule, 2000 bundles", func() (sim.Cycle, sim.Counters, error) {
 			sched := vliw.SyntheticSchedule(2000, 4, 2, 4)
 			res := vliw.Run(sched, vliw.Config{HitLatency: 3, MissLatency: 20, MissRate: 0.05, Seed: 11})
-			return res.Cycles, nil, nil
+			return res.Cycles, res.Engine, nil
 		}},
 	}
 	var out []baselineBench
@@ -269,14 +297,12 @@ loop:   li   r1, 0
 		var counters sim.Counters
 		start := time.Now()
 		for i := 0; i < runs; i++ {
-			c, eng, err := bc.run()
+			c, cnt, err := bc.run()
 			if err != nil {
 				return nil, err
 			}
 			cycles = c
-			if eng != nil {
-				counters = eng.Counters()
-			}
+			counters = cnt
 		}
 		wall := time.Since(start)
 		out = append(out, baselineBench{
@@ -327,8 +353,13 @@ func writeBench(path string, quick bool, selected []experiments.Result, sweepWal
 	for _, r := range selected {
 		perExp[r.ID] = float64(r.Wall.Microseconds()) / 1e3
 	}
+	shardSweep, err := benchKernelShards(quick)
+	if err != nil {
+		return err
+	}
 	rep := benchReport{
 		Quick:            quick,
+		GoMaxProcs:       runtime.GOMAXPROCS(0),
 		SweepWallMs:      float64(sweepWall.Microseconds()) / 1e3,
 		SweepExperiments: len(selected),
 		ExperimentWallMs: perExp,
@@ -341,6 +372,7 @@ func writeBench(path string, quick bool, selected []experiments.Result, sweepWal
 		McyclesPerSec:    float64(cycles) * float64(runs) / wall.Seconds() / 1e6,
 		MinstrPerSec:     float64(instrs) * float64(runs) / wall.Seconds() / 1e6,
 		KernelCounters:   kernelCounters,
+		KernelShards:     shardSweep,
 	}
 	if rep.Baselines, err = benchBaselines(runs); err != nil {
 		return err
@@ -358,6 +390,65 @@ func writeBench(path string, quick bool, selected []experiments.Result, sweepWal
 	fmt.Fprintf(os.Stderr, "critique-bench: wrote %s (%.2f Mcycles/s, %.2f Minstr/s, sweep %.0f ms)\n",
 		path, rep.McyclesPerSec, rep.MinstrPerSec, rep.SweepWallMs)
 	return f.Close()
+}
+
+// benchKernelShards times the TTDA shard-sweep kernel — matmul(6) on 8
+// PEs, enough parallel work for the worker goroutines to amortize the
+// per-cycle barrier — at shard counts 1, 2, 4, 8. The shards=1 row runs
+// the sequential engine and anchors the speedup column.
+func benchKernelShards(quick bool) ([]kernelShardBench, error) {
+	prog, err := id.Compile(workload.MatMulID)
+	if err != nil {
+		return nil, err
+	}
+	n := token.Int(6)
+	runs := 5
+	if quick {
+		n = token.Int(4)
+		runs = 2
+	}
+	var out []kernelShardBench
+	for _, shards := range []int{1, 2, 4, 8} {
+		var cycles uint64
+		var workers []uint64
+		start := time.Now()
+		for i := 0; i < runs; i++ {
+			m := core.NewMachine(core.Config{PEs: 8, Shards: shards}, prog)
+			if _, err := m.Run(1_000_000_000, n); err != nil {
+				return nil, err
+			}
+			cycles = m.Summarize().Cycles
+			workers = m.WorkerSteps()
+		}
+		wall := time.Since(start)
+		b := kernelShardBench{
+			Shards:        shards,
+			Runs:          runs,
+			SimCycles:     cycles,
+			WallMsPerRun:  float64(wall.Microseconds()) / 1e3 / float64(runs),
+			McyclesPerSec: float64(cycles) * float64(runs) / fmaxf(1e-9, wall.Seconds()) / 1e6,
+			WorkerSteps:   workers,
+		}
+		if len(out) == 0 {
+			b.SpeedupVsSeq = 1
+		} else {
+			b.SpeedupVsSeq = out[0].WallMsPerRun / fmaxf(1e-9, b.WallMsPerRun)
+		}
+		if cycles != out0Cycles(out, cycles) {
+			return nil, fmt.Errorf("shard sweep: shards=%d simulated %d cycles, sequential simulated %d — bit-identity broken", shards, cycles, out0Cycles(out, cycles))
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// out0Cycles returns the sequential row's cycle count, or fallback when the
+// sweep is still empty.
+func out0Cycles(out []kernelShardBench, fallback uint64) uint64 {
+	if len(out) == 0 {
+		return fallback
+	}
+	return out[0].SimCycles
 }
 
 // jsonResult shadows experiments.Result with a marshalable error field.

@@ -99,15 +99,18 @@ func runInterp(c *compiled) (int64, *graph.Interp, error) {
 
 // forceLegacy registers an inert non-EventAware component, flipping the
 // engine into its exhaustive per-cycle fallback — the engine-honesty
-// oracle's second arm.
-func forceLegacy(e *sim.Engine) {
+// oracle's second arm. It accepts any driver with Register so machines
+// that expose sim.Driver work too; only sequential engines are ever
+// forced (the parallel engine requires EventAware components).
+func forceLegacy(e interface{ Register(sim.Component) }) {
 	e.Register(sim.ComponentFunc(func(sim.Cycle) {}))
 }
 
 // runTTDA executes the dataflow graph on the cycle-accurate tagged-token
-// machine.
-func runTTDA(c *compiled, pes int, netLatency sim.Cycle, legacy bool) (Snapshot, error) {
-	m := core.NewMachine(core.Config{PEs: pes, NetLatency: netLatency}, c.prog)
+// machine. shards > 1 selects the conservative parallel kernel (never
+// combined with legacy, which requires the sequential engine).
+func runTTDA(c *compiled, pes int, netLatency sim.Cycle, legacy bool, shards int) (Snapshot, error) {
+	m := core.NewMachine(core.Config{PEs: pes, NetLatency: netLatency, Shards: shards}, c.prog)
 	if legacy {
 		forceLegacy(m.Engine())
 	}
@@ -197,8 +200,8 @@ func park(total, contexts int, coreAt func(int) *vn.Core, prog *vn.Program) {
 }
 
 // runCmmp executes the asm form on core 0 of a 2-processor C.mmp.
-func runCmmp(c *compiled, switchDelay sim.Cycle, legacy bool) (Snapshot, error) {
-	m := cmmp.New(cmmp.Config{Processors: 2, Banks: 2, SwitchDelay: switchDelay}, c.asm, 1)
+func runCmmp(c *compiled, switchDelay sim.Cycle, legacy bool, shards int) (Snapshot, error) {
+	m := cmmp.New(cmmp.Config{Processors: 2, Banks: 2, SwitchDelay: switchDelay, Shards: shards}, c.asm, 1)
 	park(2, 1, m.Core, c.asm)
 	if legacy {
 		forceLegacy(m.Engine())
@@ -226,8 +229,10 @@ func cmstarConfig(hopLatency sim.Cycle) cmstar.Config {
 
 // runCmstar executes the asm form on core 0 of cluster 0 of an 8-cluster
 // Cm*; all data addresses are inter-cluster references.
-func runCmstar(c *compiled, hopLatency sim.Cycle, legacy bool) (Snapshot, error) {
-	m := cmstar.New(cmstarConfig(hopLatency), c.asm)
+func runCmstar(c *compiled, hopLatency sim.Cycle, legacy bool, shards int) (Snapshot, error) {
+	cfg := cmstarConfig(hopLatency)
+	cfg.Shards = shards
+	m := cmstar.New(cfg, c.asm)
 	park(m.NumCores(), 1, m.CoreAt, c.asm)
 	if legacy {
 		forceLegacy(m.Engine())
@@ -248,8 +253,8 @@ func runCmstar(c *compiled, hopLatency sim.Cycle, legacy bool) (Snapshot, error)
 
 // runUltra executes the asm form on core 0 of a 4-processor
 // Ultracomputer.
-func runUltra(c *compiled, combining, legacy bool) (Snapshot, error) {
-	m := ultra.New(ultra.Config{LogProcessors: 2, Combining: combining}, c.asm)
+func runUltra(c *compiled, combining, legacy bool, shards int) (Snapshot, error) {
+	m := ultra.New(ultra.Config{LogProcessors: 2, Combining: combining, Shards: shards}, c.asm)
 	park(m.NumProcessors(), 1, m.Core, c.asm)
 	if legacy {
 		forceLegacy(m.Engine())
@@ -272,8 +277,8 @@ func runUltra(c *compiled, combining, legacy bool) (Snapshot, error) {
 // hardware contexts; both contexts of core 0 run the identical program
 // (the fold is idempotent across streams), exercising the full/empty
 // memory's retry path.
-func runHEP(c *compiled, legacy bool) (Snapshot, error) {
-	m := hep.New(hep.Config{Processors: 2, ContextsPerCore: 1, MemLatency: 4}, c.asm)
+func runHEP(c *compiled, legacy bool, shards int) (Snapshot, error) {
+	m := hep.New(hep.Config{Processors: 2, ContextsPerCore: 1, MemLatency: 4, Shards: shards}, c.asm)
 	park(2, 1, m.Core, c.asm)
 	if legacy {
 		forceLegacy(m.Engine())

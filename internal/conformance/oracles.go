@@ -18,6 +18,7 @@ const (
 	OracleDeterminism Oracle = "determinism"
 	OracleMetamorphic Oracle = "metamorphic"
 	OracleHonesty     Oracle = "engine-honesty"
+	OracleParallel    Oracle = "parallel-equivalence"
 )
 
 // Violation is one failed check, carrying enough to reproduce it.
@@ -93,6 +94,7 @@ func checkSeed(seed uint64) (*counter, []Violation) {
 	checkDeterminism(ct, c)
 	checkMetamorphic(ct, c)
 	checkHonesty(ct, c)
+	checkParallel(ct, c)
 	return ct, ct.vs
 }
 
@@ -113,7 +115,7 @@ func checkResults(ct *counter, c *compiled) {
 	iv, _, err := runInterp(c)
 	expect("interp", iv, err)
 
-	ts, err := runTTDA(c, 2, 4, false)
+	ts, err := runTTDA(c, 2, 4, false, 0)
 	expect("ttda", ts.Result, err)
 
 	ev, err := runEmulator(c, 4)
@@ -124,16 +126,16 @@ func checkResults(ct *counter, c *compiled) {
 		expect(fmt.Sprintf("vn/k=%d", k), s.Result, err)
 	}
 
-	cs, err := runCmmp(c, 2, false)
+	cs, err := runCmmp(c, 2, false, 0)
 	expect("cmmp", cs.Result, err)
 
-	ms, err := runCmstar(c, 8, false)
+	ms, err := runCmstar(c, 8, false, 0)
 	expect("cmstar", ms.Result, err)
 
-	us, err := runUltra(c, true, false)
+	us, err := runUltra(c, true, false, 0)
 	expect("ultra", us.Result, err)
 
-	hs, err := runHEP(c, false)
+	hs, err := runHEP(c, false, 0)
 	expect("hep", hs.Result, err)
 
 	cv, _, err := runConnection(c)
@@ -155,12 +157,12 @@ func checkDeterminism(ct *counter, c *compiled) {
 		})
 	}
 
-	twice("ttda", func() (Snapshot, error) { return runTTDA(c, 2, 4, false) })
+	twice("ttda", func() (Snapshot, error) { return runTTDA(c, 2, 4, false, 0) })
 	twice("vn", func() (Snapshot, error) { return runVN(c, 2, 4, true) })
-	twice("cmmp", func() (Snapshot, error) { return runCmmp(c, 2, false) })
-	twice("cmstar", func() (Snapshot, error) { return runCmstar(c, 8, false) })
-	twice("ultra", func() (Snapshot, error) { return runUltra(c, true, false) })
-	twice("hep", func() (Snapshot, error) { return runHEP(c, false) })
+	twice("cmmp", func() (Snapshot, error) { return runCmmp(c, 2, false, 0) })
+	twice("cmstar", func() (Snapshot, error) { return runCmstar(c, 8, false, 0) })
+	twice("ultra", func() (Snapshot, error) { return runUltra(c, true, false, 0) })
+	twice("hep", func() (Snapshot, error) { return runHEP(c, false, 0) })
 	twice("connection", func() (Snapshot, error) {
 		v, steps, err := runConnection(c)
 		return Snapshot{Result: v, Cycles: uint64(steps)}, err
@@ -219,11 +221,11 @@ func checkMetamorphic(ct *counter, c *compiled) {
 		return s.Cycles, err
 	})
 	checkLatencyMonotone(ct, "cmmp", []sim.Cycle{1, 4, 12}, func(lat sim.Cycle) (uint64, error) {
-		s, err := runCmmp(c, lat, false)
+		s, err := runCmmp(c, lat, false, 0)
 		return s.Cycles, err
 	})
 	checkLatencyMonotone(ct, "cmstar", []sim.Cycle{2, 8, 24}, func(lat sim.Cycle) (uint64, error) {
-		s, err := runCmstar(c, lat, false)
+		s, err := runCmstar(c, lat, false, 0)
 		return s.Cycles, err
 	})
 	checkLatencyMonotone(ct, "vliw", []sim.Cycle{2, 8, 20}, func(lat sim.Cycle) (uint64, error) {
@@ -236,7 +238,7 @@ func checkMetamorphic(ct *counter, c *compiled) {
 		return
 	}
 	for _, pes := range []int{1, 2, 4} {
-		s, err := runTTDA(c, pes, 4, false)
+		s, err := runTTDA(c, pes, 4, false, 0)
 		checkCriticalPathBound(ct, it.Depth(), pes, s.Cycles, err)
 	}
 
@@ -311,12 +313,52 @@ func checkHonesty(ct *counter, c *compiled) {
 		})
 	}
 
-	pair("ttda", func(l bool) (Snapshot, error) { return runTTDA(c, 2, 4, l) })
+	pair("ttda", func(l bool) (Snapshot, error) { return runTTDA(c, 2, 4, l, 0) })
 	pair("vn", func(l bool) (Snapshot, error) { return runVN(c, 2, 4, !l) })
-	pair("cmmp", func(l bool) (Snapshot, error) { return runCmmp(c, 2, l) })
-	pair("cmstar", func(l bool) (Snapshot, error) { return runCmstar(c, 8, l) })
-	pair("ultra", func(l bool) (Snapshot, error) { return runUltra(c, true, l) })
-	pair("hep", func(l bool) (Snapshot, error) { return runHEP(c, l) })
+	pair("cmmp", func(l bool) (Snapshot, error) { return runCmmp(c, 2, l, 0) })
+	pair("cmstar", func(l bool) (Snapshot, error) { return runCmstar(c, 8, l, 0) })
+	pair("ultra", func(l bool) (Snapshot, error) { return runUltra(c, true, l, 0) })
+	pair("hep", func(l bool) (Snapshot, error) { return runHEP(c, l, 0) })
+}
+
+// --- oracle 5: parallel-vs-sequential equivalence ---------------------
+
+// parallelShardCounts are the shard counts the parallel oracle exercises
+// against the sequential reference on every machine and seed.
+var parallelShardCounts = []int{2, 4, 8}
+
+// checkParallel runs every shardable machine once on the sequential engine
+// and once per shard count on the conservative parallel kernel, demanding
+// bit-identical simulated observables. Engine counters are excluded: the
+// two kernels schedule differently by construction (the parallel engine
+// ticks its net driver every cycle), but everything the simulated machine
+// itself produced — results, cycle counts, statistics — must match exactly.
+func checkParallel(ct *counter, c *compiled) {
+	fan := func(machine string, run func(shards int) (Snapshot, error)) {
+		seq, err := run(0)
+		if err != nil {
+			ct.fail(OracleParallel, machine, err)
+			return
+		}
+		want := seq.Observables()
+		for _, n := range parallelShardCounts {
+			par, err := run(n)
+			if err != nil {
+				ct.fail(OracleParallel, fmt.Sprintf("%s/shards=%d", machine, n), err)
+				continue
+			}
+			got := par.Observables()
+			ct.check(OracleParallel, fmt.Sprintf("%s/shards=%d", machine, n), got == want, func() string {
+				return fmt.Sprintf("parallel run diverged from sequential:\n  sequential %+v\n  parallel   %+v", want, got)
+			})
+		}
+	}
+
+	fan("ttda", func(n int) (Snapshot, error) { return runTTDA(c, 4, 4, false, n) })
+	fan("cmmp", func(n int) (Snapshot, error) { return runCmmp(c, 2, false, n) })
+	fan("cmstar", func(n int) (Snapshot, error) { return runCmstar(c, 8, false, n) })
+	fan("ultra", func(n int) (Snapshot, error) { return runUltra(c, true, false, n) })
+	fan("hep", func(n int) (Snapshot, error) { return runHEP(c, false, n) })
 }
 
 // --- sweep -----------------------------------------------------------
@@ -340,7 +382,7 @@ func Sweep(n int) Report {
 func (r Report) Summary() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "conformance: %d programs, %d checks", r.Programs, r.Checks)
-	for _, o := range []Oracle{OracleResult, OracleDeterminism, OracleMetamorphic, OracleHonesty} {
+	for _, o := range []Oracle{OracleResult, OracleDeterminism, OracleMetamorphic, OracleHonesty, OracleParallel} {
 		fmt.Fprintf(&b, ", %s=%d", o, r.PerOracle[o])
 	}
 	if len(r.Violations) == 0 {

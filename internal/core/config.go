@@ -37,6 +37,15 @@ type Config struct {
 	// every operation.
 	OpTime func(graph.Opcode) sim.Cycle
 
+	// Shards > 1 runs the machine on the conservative parallel simulation
+	// kernel: PEs and their co-located I-structure modules are split into
+	// that many contiguous shards, each stepped by a pinned worker
+	// goroutine, with cross-shard effects deferred to a per-cycle commit
+	// barrier. Results, cycle counts, and statistics are bit-identical to
+	// the sequential run (Shards <= 1). Ignored when Trace is set —
+	// tracing samples machine state mid-step and stays single-threaded.
+	Shards int
+
 	// MatchBandwidth is how many tokens the waiting-matching section
 	// accepts per cycle. The default 2 models a dual-ported associative
 	// store so one two-operand instruction can be enabled per cycle.

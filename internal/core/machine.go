@@ -30,19 +30,26 @@ type Machine struct {
 	// Active lists: ids of components that currently hold queued work,
 	// kept sorted ascending so sweeps visit components in the same fixed
 	// order as stepping every component (part of the determinism
-	// contract). The dirty flags defer sorting to the next sweep.
-	peQueue  []int
+	// contract). Sequential runs use these machine-wide lists; sharded
+	// runs give each shard its own pair over its contiguous id range.
+	peQ      idQueue
 	peActive []bool
-	peDirty  bool
-	isQueue  []int
+	isQ      idQueue
 	isActive []bool
-	isDirty  bool
 
-	// engine drives the run: the network, the I-structure sweep, and the
-	// PE sweep are its three registered components, and its busy horizon
-	// (the latest ALU/controller busy-until cycle ever scheduled) makes
-	// quiescence a comparison instead of a machine-wide scan.
-	engine *sim.Engine
+	// engine drives the run; its busy horizon (the latest ALU/controller
+	// busy-until cycle ever scheduled) makes quiescence a comparison
+	// instead of a machine-wide scan. Sequential machines register one
+	// driver with sim.Engine; sharded machines run on sim.ParallelEngine
+	// (see parallel_core.go).
+	engine sim.Driver
+	seqDrv *machineDriver
+	par    *sim.ParallelEngine
+	netDrv *netDriver
+	// shards is non-nil iff the machine runs the conservative-parallel
+	// kernel; shardOf maps a PE/module id to its owning shard.
+	shards  []*coreShard
+	shardOf []int
 
 	// context manager state (conceptually distributed; centralized here
 	// with its cost charged through the PE controller's d=2 path)
@@ -121,9 +128,35 @@ func NewMachine(cfg Config, prog *graph.Program) *Machine {
 			Respond:   func(r istructure.Response) { m.isRespond(i, r) },
 		})
 	}
-	m.engine = sim.NewEngine()
-	m.engine.Register(&machineDriver{m: m, isNext: sim.Never, peNext: sim.Never})
+	shards := cfg.Shards
+	if cfg.Trace != nil {
+		// Tracing samples machine state mid-step; keep it on the
+		// deterministic single-threaded path.
+		shards = 1
+	}
+	if shards > 1 && cfg.PEs > 1 {
+		m.setupShards(shards)
+	} else {
+		eng := sim.NewEngine()
+		m.engine = eng
+		m.seqDrv = &machineDriver{m: m, isNext: sim.Never, peNext: sim.Never}
+		eng.Register(m.seqDrv)
+	}
 	return m
+}
+
+// idQueue is one active list: component ids holding work, sorted ascending
+// at the next sweep (the dirty flag defers the sort).
+type idQueue struct {
+	ids   []int
+	dirty bool
+}
+
+func (q *idQueue) push(id int) {
+	if n := len(q.ids); n > 0 && id < q.ids[n-1] {
+		q.dirty = true
+	}
+	q.ids = append(q.ids, id)
 }
 
 // machineDriver drives the whole machine as one engine component: the
@@ -142,13 +175,20 @@ type machineDriver struct {
 	m      *Machine
 	isNext sim.Cycle
 	peNext sim.Cycle
+	// inStep marks the window in which a wake must fold into the cached
+	// answers: a PE's local d=1 bypass wakes its module after the module
+	// sweep already ran, and without the fold the module's next-cycle
+	// work would be invisible to NextEvent.
+	inStep bool
 }
 
 func (d *machineDriver) Step(now sim.Cycle) {
+	d.inStep = true
 	d.m.now = now
 	d.m.net.Step(now)
-	d.isNext = d.m.sweepIS(now)
-	d.peNext = d.m.sweepPEs(now)
+	d.isNext = d.m.sweepISQ(now, &d.m.isQ)
+	d.peNext = d.m.sweepPEsQ(now, &d.m.peQ)
+	d.inStep = false
 }
 
 func (d *machineDriver) NextEvent(now sim.Cycle) sim.Cycle {
@@ -170,28 +210,61 @@ func (m *Machine) Program() *graph.Program { return m.prog }
 // Now returns the current cycle.
 func (m *Machine) Now() sim.Cycle { return m.now }
 
-// wakePE puts a PE on the active list (no-op if already there).
+// wakePE puts a PE on its active list. In sharded mode it also wakes the
+// owning runner when called from a serial context (a network delivery or a
+// commit-time push); wakes from the shard's own step need no engine call —
+// the runner's post-commit NextEvent poll subsumes them.
 func (m *Machine) wakePE(id int) {
+	if m.shards != nil {
+		sh := m.shards[m.shardOf[id]]
+		if !m.peActive[id] {
+			m.peActive[id] = true
+			sh.peQ.push(id)
+		}
+		if !sh.inStep {
+			m.par.Wake(sh, m.par.Now())
+			m.par.Wake(m.netDrv, m.par.Now())
+		}
+		return
+	}
 	if m.peActive[id] {
 		return
 	}
 	m.peActive[id] = true
-	if n := len(m.peQueue); n > 0 && id < m.peQueue[n-1] {
-		m.peDirty = true
-	}
-	m.peQueue = append(m.peQueue, id)
+	m.peQ.push(id)
 }
 
-// wakeIS puts an I-structure module on the active list.
+// wakeIS puts an I-structure module on its active list. A wake landing
+// while the driving sweep is mid-step (a PE's local d=1 bypass, after the
+// module sweep already ran this cycle) folds the module's next-cycle work
+// into the cached next-event answer, keeping NextEvent honest in both the
+// sequential and the sharded mode.
 func (m *Machine) wakeIS(id int) {
-	if m.isActive[id] {
+	if m.shards != nil {
+		sh := m.shards[m.shardOf[id]]
+		if !m.isActive[id] {
+			m.isActive[id] = true
+			sh.isQ.push(id)
+		}
+		if sh.inStep {
+			if t := m.now + 1; t < sh.isNext {
+				sh.isNext = t
+			}
+		} else {
+			m.par.Wake(sh, m.par.Now())
+			m.par.Wake(m.netDrv, m.par.Now())
+		}
 		return
 	}
-	m.isActive[id] = true
-	if n := len(m.isQueue); n > 0 && id < m.isQueue[n-1] {
-		m.isDirty = true
+	if !m.isActive[id] {
+		m.isActive[id] = true
+		m.isQ.push(id)
 	}
-	m.isQueue = append(m.isQueue, id)
+	if d := m.seqDrv; d.inStep {
+		if t := m.now + 1; t < d.isNext {
+			d.isNext = t
+		}
+	}
 }
 
 // noteBusy extends the machine-wide busy horizon. Busy-until values only
@@ -199,13 +272,17 @@ func (m *Machine) wakeIS(id int) {
 // current values.
 func (m *Machine) noteBusy(t sim.Cycle) { m.engine.NoteBusy(t) }
 
-// deliver routes a network packet arriving at its destination PE.
+// deliver routes a network packet arriving at its destination PE. It runs
+// in a serial context in both modes (inside the machine driver's step, or
+// the parallel kernel's serial phase).
 func (m *Machine) deliver(p *network.Packet) {
 	switch payload := p.Payload.(type) {
 	case token.Token:
 		m.pes[p.Dst].accept(payload)
 	case isRequest:
-		m.enqueueIS(p.Dst, payload)
+		if err := m.enqueueIS(p.Dst, payload); err != nil {
+			m.fail(err)
+		}
 	default:
 		panic(fmt.Sprintf("core: unknown network payload %T", p.Payload))
 	}
@@ -217,8 +294,10 @@ func (m *Machine) homeModule(addr uint32) int { return int(addr) % m.cfg.PEs }
 // localAddr converts a global address to a module-local one.
 func (m *Machine) localAddr(addr uint32) uint32 { return addr / uint32(m.cfg.PEs) }
 
-// enqueueIS hands a d=1 request to the I-structure module at pe.
-func (m *Machine) enqueueIS(pe int, r isRequest) {
+// enqueueIS hands a d=1 request to the I-structure module at pe. The error
+// is returned (not recorded) so callers in a shard's parallel step can
+// defer it.
+func (m *Machine) enqueueIS(pe int, r isRequest) error {
 	req := istructure.Request{
 		Op:    r.op,
 		Addr:  m.localAddr(r.addr),
@@ -229,11 +308,15 @@ func (m *Machine) enqueueIS(pe int, r isRequest) {
 	}
 	m.wakeIS(pe)
 	if err := m.is[pe].Enqueue(req); err != nil {
-		m.fail(fmt.Errorf("core: I-structure request failed: %v", err))
+		return fmt.Errorf("core: I-structure request failed: %v", err)
 	}
+	return nil
 }
 
 // isRespond forwards a FETCH response as a d=0 token from the module's PE.
+// The response lands in the module's own PE's output queue, so in sharded
+// mode it stays inside the owning shard; only the response counter is
+// global, accumulated per shard and folded at commit.
 func (m *Machine) isRespond(pe int, r istructure.Response) {
 	rt := r.ReplyTo.(replyTag)
 	t := token.Token{
@@ -245,7 +328,11 @@ func (m *Machine) isRespond(pe int, r istructure.Response) {
 	}
 	t.PE = t.Tag.HomePE(m.cfg.PEs)
 	m.pes[pe].emit(t)
-	m.stats.ISResponses++
+	if sh := m.pes[pe].sh; sh != nil {
+		sh.isResponses++
+	} else {
+		m.stats.ISResponses++
+	}
 }
 
 // allocate reserves n I-structure cells and returns the base address.
@@ -298,25 +385,33 @@ func (m *Machine) fail(err error) {
 
 // quiescent reports whether no work remains anywhere in the machine. With
 // active lists and the busy horizon this is O(1) instead of a scan over
-// every PE and module.
+// every PE and module (O(shards) in sharded mode).
 func (m *Machine) quiescent() bool {
-	return len(m.peQueue) == 0 && len(m.isQueue) == 0 &&
+	if m.shards != nil {
+		for _, sh := range m.shards {
+			if len(sh.peQ.ids) > 0 || len(sh.isQ.ids) > 0 {
+				return false
+			}
+		}
+		return m.net.Pending() == 0 && m.now >= m.engine.BusyHorizon()
+	}
+	return len(m.peQ.ids) == 0 && len(m.isQ.ids) == 0 &&
 		m.net.Pending() == 0 && m.now >= m.engine.BusyHorizon()
 }
 
-// sweepIS steps the active I-structure modules in ascending id order,
-// returning the earliest future cycle any of them can act.
-func (m *Machine) sweepIS(now sim.Cycle) sim.Cycle {
-	if len(m.isQueue) == 0 {
+// sweepISQ steps the listed active I-structure modules in ascending id
+// order, returning the earliest future cycle any of them can act.
+func (m *Machine) sweepISQ(now sim.Cycle, q *idQueue) sim.Cycle {
+	if len(q.ids) == 0 {
 		return sim.Never
 	}
-	if m.isDirty {
-		sort.Ints(m.isQueue)
-		m.isDirty = false
+	if q.dirty {
+		sort.Ints(q.ids)
+		q.dirty = false
 	}
 	next := sim.Never
-	keep := m.isQueue[:0]
-	for _, id := range m.isQueue {
+	keep := q.ids[:0]
+	for _, id := range q.ids {
 		mod := m.is[id]
 		if t := mod.NextEvent(now); t > now {
 			keep = append(keep, id)
@@ -335,24 +430,30 @@ func (m *Machine) sweepIS(now sim.Cycle) sim.Cycle {
 			next = t
 		}
 	}
-	m.isQueue = keep
+	q.ids = keep
 	return next
 }
 
-// sweepPEs steps the active PEs in ascending id order, returning the
-// earliest future cycle any of them can act.
-func (m *Machine) sweepPEs(now sim.Cycle) sim.Cycle {
-	if len(m.peQueue) == 0 {
+// sweepPEsQ steps the listed active PEs in ascending id order, returning
+// the earliest future cycle any of them can act.
+func (m *Machine) sweepPEsQ(now sim.Cycle, q *idQueue) sim.Cycle {
+	if len(q.ids) == 0 {
 		return sim.Never
 	}
-	if m.peDirty {
-		sort.Ints(m.peQueue)
-		m.peDirty = false
+	if q.dirty {
+		sort.Ints(q.ids)
+		q.dirty = false
 	}
 	next := sim.Never
-	keep := m.peQueue[:0]
-	for _, id := range m.peQueue {
+	keep := q.ids[:0]
+	for _, id := range q.ids {
 		pe := m.pes[id]
+		if !pe.hasQueuedWork() {
+			// Possible only in sharded mode: a commit-phase retry drain
+			// emptied the PE after its sweep kept it.
+			m.peActive[id] = false
+			continue
+		}
 		if t := pe.nextWork(now); t > now {
 			keep = append(keep, id)
 			if t < next {
@@ -370,7 +471,7 @@ func (m *Machine) sweepPEs(now sim.Cycle) sim.Cycle {
 			next = t
 		}
 	}
-	m.peQueue = keep
+	q.ids = keep
 	return next
 }
 
@@ -435,7 +536,7 @@ func (m *Machine) finishStats() {
 func (m *Machine) checkClean() error {
 	stranded := 0
 	for _, pe := range m.pes {
-		stranded += len(pe.waiting)
+		stranded += pe.waiting.Len()
 	}
 	if stranded != 0 {
 		return fmt.Errorf("core: program %q halted with %d unmatched tokens in waiting-matching stores", m.prog.Name, stranded)
@@ -453,8 +554,18 @@ func (m *Machine) checkClean() error {
 // Network returns the machine's interconnect (for statistics).
 func (m *Machine) Network() network.Network { return m.net }
 
-// Engine exposes the simulation engine (scheduling counters).
-func (m *Machine) Engine() *sim.Engine { return m.engine }
+// Engine exposes the simulation engine (scheduling counters). Sequential
+// machines return a *sim.Engine, sharded ones a *sim.ParallelEngine.
+func (m *Machine) Engine() sim.Driver { return m.engine }
+
+// WorkerSteps reports per-shard runner step counts, or nil for a
+// sequential machine.
+func (m *Machine) WorkerSteps() []uint64 {
+	if m.par == nil {
+		return nil
+	}
+	return m.par.WorkerSteps()
+}
 
 // ISModules returns the per-PE I-structure modules.
 func (m *Machine) ISModules() []*istructure.Module { return m.is }

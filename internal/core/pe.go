@@ -24,13 +24,19 @@ import (
 type PE struct {
 	m  *Machine
 	id int
+	// sh is the owning shard when the machine runs the conservative
+	// parallel kernel (nil on the sequential path). While set, every
+	// effect that escapes the shard — network sends, manager operations,
+	// context-table mutations, faults — is appended to sh's deferred-op
+	// log instead of applied (see parallel_core.go).
+	sh *coreShard
 
 	// input queue: tokens from the network and the local bypass path
 	input sim.FIFO[token.Token]
 
-	// waiting-matching section
-	waiting     map[token.ActivityName]*partial
-	partialFree []*partial // recycled match records
+	// waiting-matching section: an open-addressed table over a slab of
+	// partial-match records (see matchtable.go).
+	waiting matchTable
 
 	// enabled instructions waiting for instruction fetch
 	enabled sim.FIFO[enabledInstr]
@@ -103,7 +109,7 @@ type PEStats struct {
 }
 
 func newPE(m *Machine, id int) *PE {
-	return &PE{m: m, id: id, waiting: map[token.ActivityName]*partial{}}
+	return &PE{m: m, id: id}
 }
 
 // accept receives a token at the input section.
@@ -203,8 +209,52 @@ func (pe *PE) step(now sim.Cycle) {
 	pe.stepInput(now)
 }
 
+// fail records an execution fault, deferring it in sharded mode so the
+// first fault in sequential evaluation order wins in both modes.
+func (pe *PE) fail(err error) {
+	if pe.sh != nil {
+		pe.sh.push(shardOp{kind: opFail, pe: pe, err: err})
+		return
+	}
+	pe.m.fail(err)
+}
+
+// noteBusy extends the busy horizon: directly in sequential mode, through
+// the shard's accumulator (folded at commit) in sharded mode.
+func (pe *PE) noteBusy(t sim.Cycle) {
+	if sh := pe.sh; sh != nil {
+		if t > sh.busyMax {
+			sh.busyMax = t
+		}
+		return
+	}
+	pe.m.noteBusy(t)
+}
+
+// sendPkt injects a packet, queueing it for in-order retry on refusal. In
+// sharded mode the send is deferred to the commit phase; the log replays
+// sends in exactly the sequential order, so refusals match too.
+func (pe *PE) sendPkt(pkt *network.Packet) {
+	if pe.sh != nil {
+		pe.sh.push(shardOp{kind: opNetSend, pe: pe, pkt: pkt})
+		return
+	}
+	if !pe.m.net.Send(pkt) {
+		pe.netRetry.Push(pkt)
+		return
+	}
+	pe.stats.NetSends.Inc()
+}
+
 // stepNetRetry re-attempts refused network sends in order.
 func (pe *PE) stepNetRetry() {
+	if pe.netRetry.Len() == 0 {
+		return
+	}
+	if pe.sh != nil {
+		pe.sh.push(shardOp{kind: opNetRetry, pe: pe})
+		return
+	}
 	for pe.netRetry.Len() > 0 {
 		if !pe.m.net.Send(pe.netRetry.Peek()) {
 			return
@@ -226,12 +276,7 @@ func (pe *PE) stepOutput(now sim.Cycle) {
 			pe.input.Push(t)
 			continue
 		}
-		pkt := &network.Packet{Src: pe.id, Dst: t.PE, Payload: t}
-		if !pe.m.net.Send(pkt) {
-			pe.netRetry.Push(pkt)
-			continue
-		}
-		pe.stats.NetSends.Inc()
+		pe.sendPkt(&network.Packet{Src: pe.id, Dst: t.PE, Payload: t})
 	}
 }
 
@@ -251,7 +296,7 @@ func (pe *PE) stepALU(now sim.Cycle) {
 	in := blk.Instr(e.act.Statement)
 	d := pe.m.cfg.OpTime(in.Op)
 	pe.aluBusyUntil = now + d
-	pe.m.noteBusy(pe.aluBusyUntil)
+	pe.noteBusy(pe.aluBusyUntil)
 	if d == 0 {
 		d = 1 // the firing cycle itself counts busy even for free ops
 	}
@@ -269,14 +314,26 @@ func (pe *PE) stepFetch() {
 	pe.aluQ.Push(pe.enabled.Pop())
 }
 
-// stepController services one d=2 manager request.
+// stepController services one d=2 manager request. The occupancy is local;
+// the request body touches the shared context manager and allocator, so in
+// sharded mode it executes at the commit barrier.
 func (pe *PE) stepController(now sim.Cycle) {
 	if now < pe.ctrlBusyUntil || pe.ctrlQ.Len() == 0 {
 		return
 	}
 	r := pe.ctrlQ.Pop()
 	pe.ctrlBusyUntil = now + pe.m.cfg.ControllerTime
-	pe.m.noteBusy(pe.ctrlBusyUntil)
+	pe.noteBusy(pe.ctrlBusyUntil)
+	if pe.sh != nil {
+		pe.sh.push(shardOp{kind: opCtrl, pe: pe, in: r.instr, act: r.act, vals: [2]token.Value{r.value}})
+		return
+	}
+	pe.execCtrl(r)
+}
+
+// execCtrl performs a d=2 manager operation. Serial contexts only: the
+// sequential controller step, or the parallel kernel's commit phase.
+func (pe *PE) execCtrl(r ctrlRequest) {
 	switch r.instr.Op {
 	case graph.OpGetContext:
 		u := pe.m.getContext(r.instr.Target, r.act, graph.BlockID(r.act.CodeBlock), r.instr.ReturnDests)
@@ -314,7 +371,7 @@ func (pe *PE) stepInput(now sim.Cycle) {
 	capLimit := pe.m.cfg.MatchCapacity
 	for i := 0; i < bw && pe.input.Len() > 0; i++ {
 		t := pe.input.Pop()
-		overflowing := capLimit > 0 && len(pe.waiting) >= capLimit && t.NT >= 2
+		overflowing := capLimit > 0 && pe.waiting.Len() >= capLimit && t.NT >= 2
 		pe.classify(t)
 		if overflowing {
 			pe.stats.Overflows.Inc()
@@ -337,19 +394,8 @@ func (pe *PE) classify(t token.Token) {
 	default:
 		// d=1 and d=2 tokens are generated internally and routed directly
 		// at the output section; arriving here is a machine bug.
-		pe.m.fail(fmt.Errorf("core: unexpected %s token at input section", t.Class))
+		pe.fail(fmt.Errorf("core: unexpected %s token at input section", t.Class))
 	}
-}
-
-// newPartial takes a match record from the free list, or allocates one.
-func (pe *PE) newPartial() *partial {
-	if n := len(pe.partialFree); n > 0 {
-		p := pe.partialFree[n-1]
-		pe.partialFree = pe.partialFree[:n-1]
-		*p = partial{}
-		return p
-	}
-	return &partial{}
 }
 
 // match pairs tokens by activity name (associative lookup).
@@ -361,24 +407,23 @@ func (pe *PE) match(t token.Token) {
 		return
 	}
 	key := t.Tag.Activity
-	p, ok := pe.waiting[key]
-	if !ok {
-		p = pe.newPartial()
-		pe.waiting[key] = p
-		pe.stats.MatchStoreOccupancy.Update(uint64(pe.m.now), int64(len(pe.waiting)))
+	p := pe.waiting.lookup(key)
+	if p == nil {
+		p = pe.waiting.insert(key)
+		pe.stats.MatchStoreOccupancy.Update(uint64(pe.m.now), int64(pe.waiting.Len()))
 	}
 	if p.have[t.Port] {
-		pe.m.fail(fmt.Errorf("core: duplicate token at %s port %d", key, t.Port))
+		pe.fail(fmt.Errorf("core: duplicate token at %s port %d", key, t.Port))
 		return
 	}
 	p.vals[t.Port] = t.Value
 	p.have[t.Port] = true
 	if p.have[0] && p.have[1] {
-		delete(pe.waiting, key)
-		pe.stats.MatchStoreOccupancy.Update(uint64(pe.m.now), int64(len(pe.waiting)))
-		pe.partialFree = append(pe.partialFree, p)
+		vals := p.vals
+		pe.waiting.remove(key)
+		pe.stats.MatchStoreOccupancy.Update(uint64(pe.m.now), int64(pe.waiting.Len()))
 		pe.stats.Matches.Inc()
-		pe.enabled.Push(enabledInstr{act: key, vals: p.vals})
+		pe.enabled.Push(enabledInstr{act: key, vals: vals})
 	}
 }
 
@@ -427,7 +472,10 @@ func (pe *PE) sendToken(act token.ActivityName, blkID graph.BlockID, stmt uint16
 }
 
 // execute performs one instruction, the heart of the ALU stage. Its case
-// analysis must agree exactly with the reference interpreter.
+// analysis must agree exactly with the reference interpreter. Cases that
+// touch the shared context table (SEND-ARG/L, RETURN/L⁻¹) run at the
+// commit barrier in sharded mode; everything else touches only this PE,
+// its co-located I-structure module, or the deferred-op log.
 func (pe *PE) execute(blk *graph.CodeBlock, in *graph.Instruction, e enabledInstr) {
 	act := e.act
 	vals := e.vals
@@ -438,7 +486,7 @@ func (pe *PE) execute(blk *graph.CodeBlock, in *graph.Instruction, e enabledInst
 	case in.Op.IsPure():
 		v, err := graph.Eval(in.Op, vals[0], vals[1])
 		if err != nil {
-			pe.m.fail(fmt.Errorf("core: %v at %s %s", err, act, in.Op))
+			pe.fail(fmt.Errorf("core: %v at %s %s", err, act, in.Op))
 			return
 		}
 		pe.sendToDests(act, in.Dests, v)
@@ -448,7 +496,7 @@ func (pe *PE) execute(blk *graph.CodeBlock, in *graph.Instruction, e enabledInst
 	case graph.OpSwitch:
 		c, err := vals[1].AsBool()
 		if err != nil {
-			pe.m.fail(fmt.Errorf("core: switch control at %s: %v", act, err))
+			pe.fail(fmt.Errorf("core: switch control at %s: %v", act, err))
 			return
 		}
 		if c {
@@ -461,61 +509,30 @@ func (pe *PE) execute(blk *graph.CodeBlock, in *graph.Instruction, e enabledInst
 		pe.stats.TokensD2.Inc()
 		pe.ctrlQ.Push(ctrlRequest{act: act, instr: in, value: vals[0]})
 	case graph.OpSendArg, graph.OpL:
-		h, err := vals[0].AsInt()
-		if err != nil {
-			pe.m.fail(fmt.Errorf("core: %s handle at %s: %v", in.Op, act, err))
+		if pe.sh != nil {
+			pe.sh.push(shardOp{kind: opExec, pe: pe, in: in, act: act, vals: vals})
 			return
 		}
-		rec, ok := pe.m.ctxs[token.Context(h)]
-		if !ok {
-			pe.m.fail(fmt.Errorf("core: %s at %s: unknown context %d", in.Op, act, h))
-			return
-		}
-		callee := pe.m.prog.Block(rec.block)
-		if int(in.ArgIndex) >= len(callee.Entries) {
-			pe.m.fail(fmt.Errorf("core: %s at %s: arg %d out of range", in.Op, act, in.ArgIndex))
-			return
-		}
-		rec.argsSent++
-		newAct := token.ActivityName{
-			Context:    token.Context(h),
-			CodeBlock:  uint16(rec.block),
-			Statement:  callee.Entries[in.ArgIndex],
-			Initiation: 1,
-		}
-		block := rec.block
-		pe.m.maybeFreeContext(token.Context(h), rec)
-		pe.sendToken(newAct, block, newAct.Statement, 0, vals[1])
+		pe.execSendArg(in, act, vals)
 	case graph.OpD:
 		pe.sendToDestsInit(act, in.Dests, vals[0], act.Initiation+1)
 	case graph.OpDInv:
 		pe.sendToDestsInit(act, in.Dests, vals[0], 1)
 	case graph.OpReturn, graph.OpLInv:
-		if act.Context == 0 {
-			pe.trace(TraceResult, "%s", vals[0])
-			pe.m.results = append(pe.m.results, vals[0])
+		if pe.sh != nil {
+			pe.sh.push(shardOp{kind: opExec, pe: pe, in: in, act: act, vals: vals})
 			return
 		}
-		rec, ok := pe.m.ctxs[act.Context]
-		if !ok {
-			pe.m.fail(fmt.Errorf("core: %s at %s: unknown context", in.Op, act))
-			return
-		}
-		rec.returned = true
-		for _, d := range rec.returnDests {
-			newAct := token.ActivityName{
-				Context:    rec.parent.Context,
-				CodeBlock:  uint16(rec.parentBlock),
-				Statement:  d.Stmt,
-				Initiation: rec.parent.Initiation,
-			}
-			pe.sendToken(newAct, rec.parentBlock, d.Stmt, d.Port, vals[0])
-		}
-		pe.m.maybeFreeContext(act.Context, rec)
+		pe.execReturn(in, act, vals)
 	case graph.OpFetch:
+		// Reading nextAddr from a shard's parallel step is benign: it is
+		// written only at the commit barrier, and an address allocated in
+		// cycle t cannot reach a consumer before t+2 (the base travels
+		// through at least the output and input sections), so the bound
+		// checked here always predates this cycle.
 		addr, err := vals[0].AsInt()
 		if err != nil || addr < 0 || uint32(addr) >= pe.m.nextAddr {
-			pe.m.fail(fmt.Errorf("core: fetch at %s: bad address %s", act, vals[0]))
+			pe.fail(fmt.Errorf("core: fetch at %s: bad address %s", act, vals[0]))
 			return
 		}
 		d := in.Dests[0]
@@ -534,7 +551,7 @@ func (pe *PE) execute(blk *graph.CodeBlock, in *graph.Instruction, e enabledInst
 	case graph.OpStore:
 		addr, err := vals[0].AsInt()
 		if err != nil || addr < 0 || uint32(addr) >= pe.m.nextAddr {
-			pe.m.fail(fmt.Errorf("core: store at %s: bad address %s", act, vals[0]))
+			pe.fail(fmt.Errorf("core: store at %s: bad address %s", act, vals[0]))
 			return
 		}
 		pe.trace(TraceISWrite, "addr=%d value=%s", addr, vals[1])
@@ -542,23 +559,81 @@ func (pe *PE) execute(blk *graph.CodeBlock, in *graph.Instruction, e enabledInst
 	case graph.OpSink, graph.OpNop:
 		// absorbed
 	default:
-		pe.m.fail(fmt.Errorf("core: cannot execute %s", in.Op))
+		pe.fail(fmt.Errorf("core: cannot execute %s", in.Op))
 	}
 }
 
-// emitIS routes a d=1 request toward the owning I-structure module.
+// execSendArg performs SEND-ARG/L: look up the callee's invocation record,
+// count the argument, and ship it to the callee's entry. Serial contexts
+// only (it reads and mutates the shared context table).
+func (pe *PE) execSendArg(in *graph.Instruction, act token.ActivityName, vals [2]token.Value) {
+	h, err := vals[0].AsInt()
+	if err != nil {
+		pe.m.fail(fmt.Errorf("core: %s handle at %s: %v", in.Op, act, err))
+		return
+	}
+	rec, ok := pe.m.ctxs[token.Context(h)]
+	if !ok {
+		pe.m.fail(fmt.Errorf("core: %s at %s: unknown context %d", in.Op, act, h))
+		return
+	}
+	callee := pe.m.prog.Block(rec.block)
+	if int(in.ArgIndex) >= len(callee.Entries) {
+		pe.m.fail(fmt.Errorf("core: %s at %s: arg %d out of range", in.Op, act, in.ArgIndex))
+		return
+	}
+	rec.argsSent++
+	newAct := token.ActivityName{
+		Context:    token.Context(h),
+		CodeBlock:  uint16(rec.block),
+		Statement:  callee.Entries[in.ArgIndex],
+		Initiation: 1,
+	}
+	block := rec.block
+	pe.m.maybeFreeContext(token.Context(h), rec)
+	pe.sendToken(newAct, block, newAct.Statement, 0, vals[1])
+}
+
+// execReturn performs RETURN/L⁻¹: deliver the value to the parent's return
+// destinations (or the program results in context 0) and retire the
+// invocation record. Serial contexts only.
+func (pe *PE) execReturn(in *graph.Instruction, act token.ActivityName, vals [2]token.Value) {
+	if act.Context == 0 {
+		pe.trace(TraceResult, "%s", vals[0])
+		pe.m.results = append(pe.m.results, vals[0])
+		return
+	}
+	rec, ok := pe.m.ctxs[act.Context]
+	if !ok {
+		pe.m.fail(fmt.Errorf("core: %s at %s: unknown context", in.Op, act))
+		return
+	}
+	rec.returned = true
+	for _, d := range rec.returnDests {
+		newAct := token.ActivityName{
+			Context:    rec.parent.Context,
+			CodeBlock:  uint16(rec.parentBlock),
+			Statement:  d.Stmt,
+			Initiation: rec.parent.Initiation,
+		}
+		pe.sendToken(newAct, rec.parentBlock, d.Stmt, d.Port, vals[0])
+	}
+	pe.m.maybeFreeContext(act.Context, rec)
+}
+
+// emitIS routes a d=1 request toward the owning I-structure module. The
+// local bypass reaches only this PE's own module, so in sharded mode it
+// stays inside the shard; remote requests go through the (deferred) send
+// path.
 func (pe *PE) emitIS(r isRequest) {
 	pe.stats.TokensD1.Inc()
 	home := pe.m.homeModule(r.addr)
 	if home == pe.id {
 		pe.stats.LocalBypass.Inc()
-		pe.m.enqueueIS(home, r)
+		if err := pe.m.enqueueIS(home, r); err != nil {
+			pe.fail(err)
+		}
 		return
 	}
-	pkt := &network.Packet{Src: pe.id, Dst: home, Payload: r}
-	if !pe.m.net.Send(pkt) {
-		pe.netRetry.Push(pkt)
-		return
-	}
-	pe.stats.NetSends.Inc()
+	pe.sendPkt(&network.Packet{Src: pe.id, Dst: home, Payload: r})
 }

@@ -113,5 +113,8 @@ func (pe *PE) trace(kind TraceKind, format string, args ...interface{}) {
 	})
 }
 
-// traceActivity formats an activity for trace details.
-func traceActivity(act token.ActivityName) string { return act.String() }
+// traceActivity passes an activity through for trace details unformatted:
+// trace arguments are evaluated even when tracing is off, so returning the
+// value (whose String method fmt invokes lazily inside record) keeps the
+// Sprintf off the firing hot path.
+func traceActivity(act token.ActivityName) token.ActivityName { return act }

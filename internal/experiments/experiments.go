@@ -17,6 +17,11 @@ import (
 type Options struct {
 	// Quick shrinks sweeps for use in tests and benchmarks.
 	Quick bool
+	// Shards > 1 runs the shardable machines (TTDA, C.mmp, Cm*,
+	// Ultracomputer, HEP) on the conservative parallel kernel with that
+	// many shards. Results are bit-identical to sequential runs, so every
+	// experiment table and finding is unchanged; only wall time moves.
+	Shards int
 }
 
 // Result is one experiment's output.

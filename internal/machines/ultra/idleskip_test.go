@@ -1,0 +1,51 @@
+package ultra
+
+import (
+	"testing"
+
+	"repro/internal/vn"
+	"repro/internal/workload"
+)
+
+// TestCombiningQuietStretchesAreSkipped pins the idle accounting fix: with
+// combining, a burst collapses to one merged request, and while the memory
+// module services it the network is empty and every processor is blocked —
+// the engine must jump those cycles, not tick through them. (Before the
+// module held replies until service completion there was nothing to skip:
+// replies were emitted at service start and always overlapped the busy
+// window.)
+func TestCombiningQuietStretchesAreSkipped(t *testing.T) {
+	prog, err := vn.Assemble(workload.HotspotASM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(Config{LogProcessors: 6, Combining: true}, prog)
+	for p := 0; p < m.NumProcessors(); p++ {
+		m.Core(p).Context(0).SetReg(4, vn.Word(1000+p))
+	}
+	if _, err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if c := m.Engine().Counters(); c.CyclesSkipped == 0 {
+		t.Fatalf("combining hotspot burst skipped no cycles: %+v", c)
+	}
+}
+
+// TestPacketPoolRecycles pins the omega packet pool: after a full burst,
+// retired requests and consumed replies sit in the free list, so a second
+// identical burst acquires from the pool instead of allocating.
+func TestPacketPoolRecycles(t *testing.T) {
+	m := setupHotspot(t, true, 3)
+	if _, err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	o := m.Network()
+	p := o.AcquirePacket()
+	if p.Hops != 0 || p.Payload != nil {
+		t.Fatalf("recycled packet not reset: %+v", p)
+	}
+	o.ReleasePacket(p)
+	if q := o.AcquirePacket(); q != p {
+		t.Fatal("released packet was not recycled")
+	}
+}

@@ -27,6 +27,9 @@ type Config struct {
 	QueueCap int
 	// ContextsPerCore gives each processor k hardware contexts.
 	ContextsPerCore int
+	// Shards > 1 runs the processors on the conservative parallel kernel
+	// (sim.ParallelEngine), bit-identical to the sequential engine.
+	Shards int
 }
 
 func (c Config) withDefaults() Config {
@@ -80,12 +83,20 @@ type plainReq struct {
 	req vn.MemRequest
 }
 
-// bank is one memory module on the omega network's memory side.
+// bank is one memory module on the omega network's memory side. The
+// module is occupied for BankService cycles per request; the reply leaves
+// when service completes, not at service start — the quiet stretches this
+// opens in the network (request absorbed, reply not yet emitted) are what
+// the engine's idle skipping exploits.
 type bank struct {
 	words     map[uint32]vn.Word
 	queue     []*network.Packet
 	busyUntil sim.Cycle
-	// pendingReplies holds replies refused by a full reverse queue.
+	// inService is the request being processed (present when pkt != nil);
+	// its reply is emitted when service completes at busyUntil.
+	inService pendingReply
+	// pendingReplies holds completed replies refused by a full reverse
+	// queue, retried every cycle.
 	pendingReplies []pendingReply
 	served         uint64
 }
@@ -93,6 +104,7 @@ type bank struct {
 type pendingReply struct {
 	pkt     *network.Packet
 	payload interface{}
+	due     sim.Cycle
 }
 
 // Machine is the assembled Ultracomputer model.
@@ -102,7 +114,7 @@ type Machine struct {
 	cores  []*vn.Core
 	net    *network.Omega
 	banks  []*bank
-	engine *sim.Engine
+	engine sim.Driver
 	// bankArr is the registered bank component, the wake target when the
 	// network delivers a request into a bank queue.
 	bankArr *bankArray
@@ -127,13 +139,23 @@ func New(cfg Config, prog *vn.Program) *Machine {
 		port := &cpuPort{m: m, cpu: p}
 		m.cores = append(m.cores, vn.NewCore(prog, port, cfg.ContextsPerCore))
 	}
-	m.engine = sim.NewEngine()
 	m.bankArr = &bankArray{m: m}
-	m.engine.Register(m.sendRetry)
-	m.engine.Register(m.net)
-	m.engine.Register(m.bankArr)
-	for _, c := range m.cores {
-		m.engine.Register(c)
+	if cfg.Shards > 1 && n > 1 {
+		par := sim.NewParallelEngine()
+		m.engine = par
+		par.Register(m.sendRetry)
+		par.Register(m.net)
+		par.Register(m.bankArr)
+		vn.ShardCores(par, m.cores, cfg.Shards)
+	} else {
+		eng := sim.NewEngine()
+		m.engine = eng
+		eng.Register(m.sendRetry)
+		eng.Register(m.net)
+		eng.Register(m.bankArr)
+		for _, c := range m.cores {
+			eng.Register(c)
+		}
 	}
 	return m
 }
@@ -154,7 +176,8 @@ func (p *cpuPort) Request(r vn.MemRequest) {
 	} else {
 		payload = plainReq{req: r}
 	}
-	pkt := &network.Packet{Src: p.cpu, Dst: dst, Payload: payload}
+	pkt := p.m.net.AcquirePacket()
+	pkt.Src, pkt.Dst, pkt.Payload = p.cpu, dst, payload
 	p.m.sendRetry.Send(pkt)
 }
 
@@ -167,17 +190,26 @@ func (m *Machine) arriveAtBank(p *network.Packet) {
 	}
 }
 
-// arriveAtCore completes a memory operation at the issuing processor.
+// arriveAtCore completes a memory operation at the issuing processor and
+// recycles the reply packet.
 func (m *Machine) arriveAtCore(p *network.Packet) {
 	r := p.Payload.(reply)
+	m.net.ReleasePacket(p)
 	if r.done != nil {
 		r.done(r.val)
 	}
 }
 
-// stepBank services one request per BankService cycles and retries refused
-// replies.
+// stepBank emits replies whose service completed, retries refused replies,
+// and begins servicing the next queued request once the module is free.
 func (m *Machine) stepBank(b *bank, now sim.Cycle) {
+	if b.inService.pkt != nil && now >= b.inService.due {
+		pr := b.inService
+		b.inService = pendingReply{}
+		if !m.net.Reply(pr.pkt, pr.payload) {
+			b.pendingReplies = append(b.pendingReplies, pr)
+		}
+	}
 	if len(b.pendingReplies) > 0 {
 		rest := b.pendingReplies[:0]
 		for _, pr := range b.pendingReplies {
@@ -187,7 +219,7 @@ func (m *Machine) stepBank(b *bank, now sim.Cycle) {
 		}
 		b.pendingReplies = rest
 	}
-	if now < b.busyUntil || len(b.queue) == 0 {
+	if now < b.busyUntil || len(b.queue) == 0 || b.inService.pkt != nil {
 		return
 	}
 	pkt := b.queue[0]
@@ -220,9 +252,7 @@ func (m *Machine) stepBank(b *bank, now sim.Cycle) {
 	default:
 		panic(fmt.Sprintf("ultra: unknown bank payload %T", pkt.Payload))
 	}
-	if !m.net.Reply(pkt, payload) {
-		b.pendingReplies = append(b.pendingReplies, pendingReply{pkt: pkt, payload: payload})
-	}
+	b.inService = pendingReply{pkt: pkt, payload: payload, due: b.busyUntil}
 }
 
 // bankArray steps every memory module in index order as one engine
@@ -240,6 +270,15 @@ func (a *bankArray) NextEvent(now sim.Cycle) sim.Cycle {
 	for _, b := range a.m.banks {
 		if len(b.pendingReplies) > 0 {
 			return now
+		}
+		if b.inService.pkt != nil {
+			t := b.inService.due
+			if t < now {
+				t = now
+			}
+			if t < next {
+				next = t
+			}
 		}
 		if len(b.queue) > 0 {
 			t := b.busyUntil
@@ -270,7 +309,7 @@ func (m *Machine) busy() bool {
 		return true
 	}
 	for _, b := range m.banks {
-		if len(b.queue) > 0 || len(b.pendingReplies) > 0 {
+		if len(b.queue) > 0 || b.inService.pkt != nil || len(b.pendingReplies) > 0 {
 			return true
 		}
 	}
@@ -308,4 +347,12 @@ func (m *Machine) BankServed(b int) uint64 { return m.banks[b].served }
 func (m *Machine) Network() *network.Omega { return m.net }
 
 // Engine exposes the simulation engine (scheduling counters).
-func (m *Machine) Engine() *sim.Engine { return m.engine }
+func (m *Machine) Engine() sim.Driver { return m.engine }
+
+// WorkerSteps reports per-worker shard-step counts (nil when sequential).
+func (m *Machine) WorkerSteps() []uint64 {
+	if par, ok := m.engine.(*sim.ParallelEngine); ok {
+		return par.WorkerSteps()
+	}
+	return nil
+}

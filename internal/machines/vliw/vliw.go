@@ -46,6 +46,10 @@ type Result struct {
 	StallCycles sim.Cycle
 	Misses      uint64
 	Loads       uint64
+	// Engine holds the scheduling counters of the run's internal engine,
+	// so benchmarks can report VLIW scheduler behaviour like every other
+	// machine's instead of all-zero placeholders.
+	Engine sim.Counters
 }
 
 // OpsPerCycle is the effective issue rate, the figure of merit that
@@ -149,6 +153,7 @@ func Run(schedule []Bundle, cfg Config) Result {
 	// Loads still outstanding here have their scheduled consumers beyond
 	// the end of the schedule; nothing waits for them.
 	res.Cycles = elapsed
+	res.Engine = eng.Counters()
 	return res
 }
 

@@ -94,4 +94,10 @@ func (n *Ideal) NextEvent(now sim.Cycle) sim.Cycle {
 // Stats returns traffic counters.
 func (n *Ideal) Stats() *Stats { return n.stats }
 
-var _ Network = (*Ideal)(nil)
+// Lookahead: every delivery happens exactly Latency cycles after Send.
+func (n *Ideal) Lookahead() sim.Cycle { return n.latency }
+
+var (
+	_ Network     = (*Ideal)(nil)
+	_ Lookaheader = (*Ideal)(nil)
+)

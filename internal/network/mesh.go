@@ -218,4 +218,11 @@ func abs(v int) int {
 	return v
 }
 
-var _ Network = (*Mesh)(nil)
+// Lookahead: a mesh packet spends at least one cycle in its injection
+// queue before the earliest possible ejection at its destination.
+func (m *Mesh) Lookahead() sim.Cycle { return 1 }
+
+var (
+	_ Network     = (*Mesh)(nil)
+	_ Lookaheader = (*Mesh)(nil)
+)

@@ -40,6 +40,12 @@ type Omega struct {
 	deliverFwd Delivery // at the memory side
 	deliverRpl Delivery // back at the processor side
 
+	// free recycles packets whose network life has ended: retired request
+	// packets (consumed by Reply or a decombine) and released replies.
+	// Reply packets are always built from it, so steady-state traffic
+	// allocates nothing once the pool is primed.
+	free []*Packet
+
 	// fwd[s][sw][port] and rev[s][sw][port] are switch output queues.
 	fwd, rev  [][][2]*queue
 	decombine []map[uint64]*splitRecord // per stage: pending decombines
@@ -95,6 +101,29 @@ func (o *Omega) SetDelivery(d Delivery) { o.deliverFwd = d }
 
 // SetReplyDelivery registers the processor-side callback for replies.
 func (o *Omega) SetReplyDelivery(d Delivery) { o.deliverRpl = d }
+
+// acquire returns a zeroed packet, recycled when possible.
+func (o *Omega) acquire() *Packet {
+	if n := len(o.free); n > 0 {
+		p := o.free[n-1]
+		o.free = o.free[:n-1]
+		p.Reset()
+		return p
+	}
+	return &Packet{}
+}
+
+// AcquirePacket returns a recycled packet for injection via Send. Using it
+// is optional; Send accepts any packet.
+func (o *Omega) AcquirePacket() *Packet { return o.acquire() }
+
+// ReleasePacket returns a delivered packet to the free list. Ownership
+// rules: Send transfers the request packet to the network; the forward
+// delivery callback owns it until it passes it back to Reply, which
+// retires it into the pool on success. The reply delivery callback owns
+// the reply packet it receives and should release it here once consumed.
+// After releasing, the caller must drop every reference.
+func (o *Omega) ReleasePacket(p *Packet) { o.free = append(o.free, p) }
 
 // shuffle applies the perfect shuffle to a wire index.
 func (o *Omega) shuffle(w int) int {
@@ -166,17 +195,27 @@ func (o *Omega) routeInto(stage, sw, inPort int, p *Packet) bool {
 
 // Reply sends the response for a delivered request backward along its
 // recorded path. The caller passes the original request packet (as handed
-// to the forward delivery callback) and the reply payload.
+// to the forward delivery callback) and the reply payload. On success the
+// request packet is consumed: its recorded path moves to the reply and the
+// packet itself returns to the free list, so the caller must drop its
+// reference. On refusal (reverse queue full) the request is untouched and
+// the caller retries later.
 func (o *Omega) Reply(request *Packet, payload interface{}) bool {
 	o.now = o.clock(o, o.now)
-	r := &Packet{
-		Src: request.Dst, Dst: request.Src, Payload: payload,
-		id: request.id, path: request.path,
-	}
+	r := o.acquire()
+	r.Src, r.Dst, r.Payload = request.Dst, request.Src, payload
+	r.id, r.path = request.id, request.path
 	r.InjectedAt = o.now
-	ok := o.reverseInto(r)
+	if !o.reverseInto(r) {
+		r.path = nil // still owned by the request
+		o.ReleasePacket(r)
+		o.rearm(o)
+		return false
+	}
+	request.path = nil // now owned by the reply
+	o.ReleasePacket(request)
 	o.rearm(o)
-	return ok
+	return true
 }
 
 // reverseInto places a reply at the switch named by its path tail.
@@ -203,11 +242,14 @@ func (o *Omega) reverseInto(r *Packet) bool {
 		first, second := rec.split(r.Payload)
 		r.Payload = first
 		partner := rec.partner
-		reply := &Packet{
-			Src: r.Src, Dst: partner.Src, Payload: second,
-			id: partner.id, path: partner.path[:len(partner.path)-1],
-		}
+		reply := o.acquire()
+		reply.Src, reply.Dst, reply.Payload = r.Src, partner.Src, second
+		reply.id, reply.path = partner.id, partner.path[:len(partner.path)-1]
 		reply.InjectedAt = o.now
+		// The partner request is fully consumed: its path now belongs to
+		// the decombined reply, and the packet returns to the pool.
+		partner.path = nil
+		o.ReleasePacket(partner)
 		// The partner reply enters the same reverse flow; if its queue is
 		// full it is retried next cycle via the deferred list.
 		if !o.reverseInto(reply) {
@@ -308,4 +350,16 @@ func (o *Omega) NextEvent(now sim.Cycle) sim.Cycle { return steppedNextEvent(o.P
 // both count as Delivered.
 func (o *Omega) Stats() *Stats { return o.stats }
 
-var _ Network = (*Omega)(nil)
+// Lookahead: a forward packet crosses one switch stage per cycle, so no
+// request injected at t can reach the memory side before t+Stages().
+func (o *Omega) Lookahead() sim.Cycle {
+	if o.k < 1 {
+		return 1
+	}
+	return sim.Cycle(o.k)
+}
+
+var (
+	_ Network     = (*Omega)(nil)
+	_ Lookaheader = (*Omega)(nil)
+)

@@ -1,0 +1,45 @@
+package sim
+
+// Span is a contiguous run [Lo, Hi) of sequentially-ordered units —
+// component indices in a machine's canonical registration order.
+type Span struct {
+	Lo, Hi int
+}
+
+// Len reports the number of units in the span.
+func (s Span) Len() int { return s.Hi - s.Lo }
+
+// PlanShards partitions units sequentially-ordered units into at most
+// shards contiguous, balanced spans. The spans cover [0, units) exactly
+// once, in ascending order, and their sizes differ by at most one.
+//
+// Contiguity and ascending order are load-bearing, not cosmetic: the
+// commit phase drains shard logs in shard order, and only a partition
+// that preserves the sequential unit order makes that drain replay
+// cross-shard effects in the exact order the sequential engine produced
+// them. Requesting more shards than units yields units singleton spans;
+// shards < 1 is treated as 1. units < 1 yields nil.
+func PlanShards(units, shards int) []Span {
+	if units < 1 {
+		return nil
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > units {
+		shards = units
+	}
+	spans := make([]Span, 0, shards)
+	base := units / shards
+	extra := units % shards
+	lo := 0
+	for s := 0; s < shards; s++ {
+		size := base
+		if s < extra {
+			size++
+		}
+		spans = append(spans, Span{Lo: lo, Hi: lo + size})
+		lo += size
+	}
+	return spans
+}

@@ -1,0 +1,74 @@
+package sim
+
+import "testing"
+
+func TestPlanShardsCoversExactlyOnce(t *testing.T) {
+	for units := 1; units <= 40; units++ {
+		for shards := 1; shards <= 12; shards++ {
+			spans := PlanShards(units, shards)
+			covered := make([]int, units)
+			prevHi := 0
+			for _, sp := range spans {
+				if sp.Lo != prevHi {
+					t.Fatalf("units=%d shards=%d: span %+v not contiguous with previous end %d", units, shards, sp, prevHi)
+				}
+				if sp.Len() < 1 {
+					t.Fatalf("units=%d shards=%d: empty span %+v", units, shards, sp)
+				}
+				for u := sp.Lo; u < sp.Hi; u++ {
+					covered[u]++
+				}
+				prevHi = sp.Hi
+			}
+			if prevHi != units {
+				t.Fatalf("units=%d shards=%d: spans end at %d", units, shards, prevHi)
+			}
+			for u, c := range covered {
+				if c != 1 {
+					t.Fatalf("units=%d shards=%d: unit %d covered %d times", units, shards, u, c)
+				}
+			}
+		}
+	}
+}
+
+func TestPlanShardsBalance(t *testing.T) {
+	spans := PlanShards(10, 4)
+	if len(spans) != 4 {
+		t.Fatalf("want 4 spans, got %d", len(spans))
+	}
+	min, max := spans[0].Len(), spans[0].Len()
+	for _, sp := range spans {
+		if sp.Len() < min {
+			min = sp.Len()
+		}
+		if sp.Len() > max {
+			max = sp.Len()
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("unbalanced spans: min %d max %d (%v)", min, max, spans)
+	}
+}
+
+func TestPlanShardsDegenerate(t *testing.T) {
+	if got := PlanShards(0, 4); got != nil {
+		t.Fatalf("0 units: want nil, got %v", got)
+	}
+	if got := PlanShards(5, 1); len(got) != 1 || got[0] != (Span{0, 5}) {
+		t.Fatalf("1 shard: want [{0 5}], got %v", got)
+	}
+	if got := PlanShards(5, 0); len(got) != 1 || got[0] != (Span{0, 5}) {
+		t.Fatalf("0 shards treated as 1: got %v", got)
+	}
+	// More shards than units: one singleton span per unit.
+	got := PlanShards(3, 8)
+	if len(got) != 3 {
+		t.Fatalf("3 units 8 shards: want 3 spans, got %v", got)
+	}
+	for i, sp := range got {
+		if sp.Lo != i || sp.Hi != i+1 {
+			t.Fatalf("3 units 8 shards: span %d = %+v, want {%d %d}", i, sp, i, i+1)
+		}
+	}
+}
