@@ -26,6 +26,7 @@ import (
 	"repro/internal/conformance"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/graph"
 	"repro/internal/id"
 	"repro/internal/machines/cmmp"
 	"repro/internal/machines/cmstar"
@@ -49,6 +50,7 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a heap profile taken at exit to this file")
 	confSmoke := flag.Int("conformance", 0, "run N seeds of the cross-machine conformance harness and exit (nonzero exit on any violation)")
 	shards := flag.Int("shards", 0, "run shardable machines on the conservative parallel kernel with N shards (0 = sequential; results are bit-identical either way)")
+	compiled := flag.Bool("compiled", false, "run TTDA simulations through the ahead-of-time compiled execution plan (results are bit-identical either way)")
 	flag.Parse()
 
 	if *confSmoke > 0 {
@@ -96,9 +98,9 @@ func main() {
 	}
 
 	sweepStart := time.Now()
-	results := experiments.All(experiments.Options{Quick: *quick, Shards: *shards})
+	results := experiments.All(experiments.Options{Quick: *quick, Shards: *shards, Compiled: *compiled})
 	if *ablations {
-		results = append(results, experiments.Ablations(experiments.Options{Quick: *quick})...)
+		results = append(results, experiments.Ablations(experiments.Options{Quick: *quick, Compiled: *compiled})...)
 	}
 	sweepWall := time.Since(sweepStart)
 	failed := 0
@@ -160,6 +162,14 @@ type benchReport struct {
 	KernelWallMs    float64 `json:"kernel_wall_ms_per_run"`
 	McyclesPerSec   float64 `json:"mcycles_per_sec"`
 	MinstrPerSec    float64 `json:"minstr_per_sec"`
+	// CompileMs is the one-time graph.Compile cost (constant folding and
+	// dead-arc elimination included) for the kernel program, and
+	// CompiledMcyclesPerSec the kernel's throughput when the machine runs
+	// the precompiled plan instead of interpreting the graph. Simulated
+	// cycles are bit-identical between the two modes; only wall time moves.
+	CompileMs             float64 `json:"compile_ms"`
+	CompiledKernelWallMs  float64 `json:"compiled_kernel_wall_ms_per_run"`
+	CompiledMcyclesPerSec float64 `json:"compiled_mcycles_per_sec"`
 	// KernelCounters reports the engine's scheduling counters for one
 	// kernel run: component steps actually executed, cycles the wake-queue
 	// jumped over, and wakes enqueued. steps_executed against sim_cycles is
@@ -349,6 +359,30 @@ func writeBench(path string, quick bool, selected []experiments.Result, sweepWal
 		kernelCounters = m.Engine().Counters()
 	}
 	wall := time.Since(start)
+
+	// Compiled mode on the same kernel: one plan build (timed), then the
+	// same run loop against the plan. Bit-identity with the interpreted
+	// runs above is asserted, not assumed.
+	compileStart := time.Now()
+	plan, err := graph.Compile(prog, graph.WithConstantFolding(), graph.WithDeadArcElimination())
+	if err != nil {
+		return err
+	}
+	compileWall := time.Since(compileStart)
+	var cCycles uint64
+	cStart := time.Now()
+	for i := 0; i < runs; i++ {
+		m := core.NewMachineWithPlan(core.Config{PEs: 8}, plan)
+		if _, err := m.Run(1_000_000_000, token.Int(4)); err != nil {
+			return err
+		}
+		cCycles = m.Summarize().Cycles
+	}
+	cWall := time.Since(cStart)
+	if cCycles != cycles {
+		return fmt.Errorf("compiled kernel simulated %d cycles, interpreted %d — bit-identity broken", cCycles, cycles)
+	}
+
 	perExp := make(map[string]float64, len(selected))
 	for _, r := range selected {
 		perExp[r.ID] = float64(r.Wall.Microseconds()) / 1e3
@@ -373,6 +407,10 @@ func writeBench(path string, quick bool, selected []experiments.Result, sweepWal
 		MinstrPerSec:     float64(instrs) * float64(runs) / wall.Seconds() / 1e6,
 		KernelCounters:   kernelCounters,
 		KernelShards:     shardSweep,
+
+		CompileMs:             float64(compileWall.Microseconds()) / 1e3,
+		CompiledKernelWallMs:  float64(cWall.Microseconds()) / 1e3 / float64(runs),
+		CompiledMcyclesPerSec: float64(cCycles) * float64(runs) / fmaxf(1e-9, cWall.Seconds()) / 1e6,
 	}
 	if rep.Baselines, err = benchBaselines(runs); err != nil {
 		return err
@@ -387,8 +425,8 @@ func writeBench(path string, quick bool, selected []experiments.Result, sweepWal
 		f.Close()
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "critique-bench: wrote %s (%.2f Mcycles/s, %.2f Minstr/s, sweep %.0f ms)\n",
-		path, rep.McyclesPerSec, rep.MinstrPerSec, rep.SweepWallMs)
+	fmt.Fprintf(os.Stderr, "critique-bench: wrote %s (%.2f Mcycles/s interpreted, %.2f compiled, compile %.1f ms, sweep %.0f ms)\n",
+		path, rep.McyclesPerSec, rep.CompiledMcyclesPerSec, rep.CompileMs, rep.SweepWallMs)
 	return f.Close()
 }
 

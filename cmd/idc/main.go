@@ -81,8 +81,8 @@ func main() {
 	switch {
 	case *stats:
 		fmt.Printf("program %q: %d blocks, %d instructions\n", prog.Name, len(prog.Blocks), prog.NumInstructions())
-		for op, n := range prog.Stats() {
-			fmt.Printf("  %-8s %d\n", op, n)
+		for _, oc := range prog.Stats() {
+			fmt.Printf("  %-8s %d\n", oc.Op, oc.N)
 		}
 	case *dot:
 		fmt.Print(prog.Dot())

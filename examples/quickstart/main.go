@@ -25,9 +25,8 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("compiled %d code blocks, %d instructions\n", len(prog.Blocks), prog.NumInstructions())
-	st := prog.Stats()
 	fmt.Printf("loop operators: %d L, %d D, %d D-1, %d L-1 (Figure 2-2's context machinery)\n\n",
-		st[graph.OpL], st[graph.OpD], st[graph.OpDInv], st[graph.OpLInv])
+		prog.CountOp(graph.OpL), prog.CountOp(graph.OpD), prog.CountOp(graph.OpDInv), prog.CountOp(graph.OpLInv))
 
 	// Integrate f(x)=x^2 over [0,1] with 100 intervals; exact answer 1/3.
 	args := []token.Value{token.Float(0), token.Float(1), token.Float(100)}

@@ -108,9 +108,11 @@ func forceLegacy(e interface{ Register(sim.Component) }) {
 
 // runTTDA executes the dataflow graph on the cycle-accurate tagged-token
 // machine. shards > 1 selects the conservative parallel kernel (never
-// combined with legacy, which requires the sequential engine).
-func runTTDA(c *compiled, pes int, netLatency sim.Cycle, legacy bool, shards int) (Snapshot, error) {
-	m := core.NewMachine(core.Config{PEs: pes, NetLatency: netLatency, Shards: shards}, c.prog)
+// combined with legacy, which requires the sequential engine); compiledPlan
+// selects the ahead-of-time compiled dispatch core, which the
+// compiled-equivalence oracle pins against the interpreted core.
+func runTTDA(c *compiled, pes int, netLatency sim.Cycle, legacy bool, shards int, compiledPlan bool) (Snapshot, error) {
+	m := core.NewMachine(core.Config{PEs: pes, NetLatency: netLatency, Shards: shards, Compiled: compiledPlan}, c.prog)
 	if legacy {
 		forceLegacy(m.Engine())
 	}

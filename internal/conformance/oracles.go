@@ -9,7 +9,7 @@ import (
 	"repro/internal/vn"
 )
 
-// Oracle names the four check families.
+// Oracle names the six check families.
 type Oracle string
 
 // Oracle families.
@@ -19,6 +19,7 @@ const (
 	OracleMetamorphic Oracle = "metamorphic"
 	OracleHonesty     Oracle = "engine-honesty"
 	OracleParallel    Oracle = "parallel-equivalence"
+	OracleCompiled    Oracle = "compiled-equivalence"
 )
 
 // Violation is one failed check, carrying enough to reproduce it.
@@ -71,7 +72,7 @@ func (c *counter) fail(o Oracle, machine string, err error) {
 	c.check(o, machine, false, func() string { return err.Error() })
 }
 
-// CheckSeed generates workload seed and runs all four oracle families
+// CheckSeed generates workload seed and runs all six oracle families
 // over the machine fleet, returning every violation (empty means the
 // fleet conforms on this program).
 func CheckSeed(seed uint64) []Violation {
@@ -95,6 +96,7 @@ func checkSeed(seed uint64) (*counter, []Violation) {
 	checkMetamorphic(ct, c)
 	checkHonesty(ct, c)
 	checkParallel(ct, c)
+	checkCompiled(ct, c)
 	return ct, ct.vs
 }
 
@@ -115,7 +117,7 @@ func checkResults(ct *counter, c *compiled) {
 	iv, _, err := runInterp(c)
 	expect("interp", iv, err)
 
-	ts, err := runTTDA(c, 2, 4, false, 0)
+	ts, err := runTTDA(c, 2, 4, false, 0, false)
 	expect("ttda", ts.Result, err)
 
 	ev, err := runEmulator(c, 4)
@@ -157,7 +159,7 @@ func checkDeterminism(ct *counter, c *compiled) {
 		})
 	}
 
-	twice("ttda", func() (Snapshot, error) { return runTTDA(c, 2, 4, false, 0) })
+	twice("ttda", func() (Snapshot, error) { return runTTDA(c, 2, 4, false, 0, false) })
 	twice("vn", func() (Snapshot, error) { return runVN(c, 2, 4, true) })
 	twice("cmmp", func() (Snapshot, error) { return runCmmp(c, 2, false, 0) })
 	twice("cmstar", func() (Snapshot, error) { return runCmstar(c, 8, false, 0) })
@@ -238,7 +240,7 @@ func checkMetamorphic(ct *counter, c *compiled) {
 		return
 	}
 	for _, pes := range []int{1, 2, 4} {
-		s, err := runTTDA(c, pes, 4, false, 0)
+		s, err := runTTDA(c, pes, 4, false, 0, false)
 		checkCriticalPathBound(ct, it.Depth(), pes, s.Cycles, err)
 	}
 
@@ -313,7 +315,7 @@ func checkHonesty(ct *counter, c *compiled) {
 		})
 	}
 
-	pair("ttda", func(l bool) (Snapshot, error) { return runTTDA(c, 2, 4, l, 0) })
+	pair("ttda", func(l bool) (Snapshot, error) { return runTTDA(c, 2, 4, l, 0, false) })
 	pair("vn", func(l bool) (Snapshot, error) { return runVN(c, 2, 4, !l) })
 	pair("cmmp", func(l bool) (Snapshot, error) { return runCmmp(c, 2, l, 0) })
 	pair("cmstar", func(l bool) (Snapshot, error) { return runCmstar(c, 8, l, 0) })
@@ -354,11 +356,50 @@ func checkParallel(ct *counter, c *compiled) {
 		}
 	}
 
-	fan("ttda", func(n int) (Snapshot, error) { return runTTDA(c, 4, 4, false, n) })
+	fan("ttda", func(n int) (Snapshot, error) { return runTTDA(c, 4, 4, false, n, false) })
 	fan("cmmp", func(n int) (Snapshot, error) { return runCmmp(c, 2, false, n) })
 	fan("cmstar", func(n int) (Snapshot, error) { return runCmstar(c, 8, false, n) })
 	fan("ultra", func(n int) (Snapshot, error) { return runUltra(c, true, false, n) })
 	fan("hep", func(n int) (Snapshot, error) { return runHEP(c, false, n) })
+}
+
+// --- oracle 6: compiled-vs-interpreted equivalence --------------------
+
+// checkCompiled runs the TTDA once through the interpreted dispatch core
+// and once through the ahead-of-time compiled plan, demanding the FULL
+// snapshot — results, cycles, machine statistics, and the engine's own
+// counters — be bit-identical. Compilation is a pure host-side speedup: it
+// may not perturb even the scheduler's wake pattern. A second check
+// crosses the compiled plan with the conservative parallel kernel against
+// the interpreted sequential reference.
+func checkCompiled(ct *counter, c *compiled) {
+	interp, err1 := runTTDA(c, 2, 4, false, 0, false)
+	plan, err2 := runTTDA(c, 2, 4, false, 0, true)
+	if err1 != nil || err2 != nil {
+		ct.fail(OracleCompiled, "ttda", fmt.Errorf("run errors: %v / %v", err1, err2))
+		return
+	}
+	ct.check(OracleCompiled, "ttda", interp == plan, func() string {
+		return fmt.Sprintf("compiled run diverged from interpreted (full snapshot):\n  interpreted %+v\n  compiled    %+v", interp, plan)
+	})
+
+	seq, err := runTTDA(c, 4, 4, false, 0, false)
+	if err != nil {
+		ct.fail(OracleCompiled, "ttda/pes=4", err)
+		return
+	}
+	want := seq.Observables()
+	for _, n := range parallelShardCounts {
+		par, err := runTTDA(c, 4, 4, false, n, true)
+		if err != nil {
+			ct.fail(OracleCompiled, fmt.Sprintf("ttda/compiled/shards=%d", n), err)
+			continue
+		}
+		got := par.Observables()
+		ct.check(OracleCompiled, fmt.Sprintf("ttda/compiled/shards=%d", n), got == want, func() string {
+			return fmt.Sprintf("compiled parallel run diverged from interpreted sequential:\n  sequential %+v\n  parallel   %+v", want, got)
+		})
+	}
 }
 
 // --- sweep -----------------------------------------------------------
@@ -382,7 +423,7 @@ func Sweep(n int) Report {
 func (r Report) Summary() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "conformance: %d programs, %d checks", r.Programs, r.Checks)
-	for _, o := range []Oracle{OracleResult, OracleDeterminism, OracleMetamorphic, OracleHonesty, OracleParallel} {
+	for _, o := range []Oracle{OracleResult, OracleDeterminism, OracleMetamorphic, OracleHonesty, OracleParallel, OracleCompiled} {
 		fmt.Fprintf(&b, ", %s=%d", o, r.PerOracle[o])
 	}
 	if len(r.Violations) == 0 {

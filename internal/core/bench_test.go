@@ -1,0 +1,50 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/id"
+	"repro/internal/sim"
+	"repro/internal/token"
+	"repro/internal/workload"
+)
+
+// benchRun drives one full matmul(4) run on 8 PEs — the kernel point the
+// bench harness (cmd/critique-bench) reports mcycles_per_sec for.
+func benchRun(b *testing.B, compiled bool) {
+	prog, err := id.Compile(workload.MatMulID)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var plan *graph.CompiledGraph
+	if compiled {
+		if plan, err = graph.Compile(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var cycles uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var m *Machine
+		if compiled {
+			m = NewMachineWithPlan(Config{PEs: 8}, plan)
+		} else {
+			m = NewMachine(Config{PEs: 8}, prog)
+		}
+		if _, err := m.Run(500_000_000, token.Int(4)); err != nil {
+			b.Fatal(err)
+		}
+		cycles += uint64(m.Now())
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		perRun := float64(cycles) / float64(b.N)
+		secs := b.Elapsed().Seconds() / float64(b.N)
+		b.ReportMetric(perRun/secs/1e6, "mcycles/s")
+	}
+	_ = sim.Cycle(0)
+}
+
+func BenchmarkMatMul4Interpreted(b *testing.B) { benchRun(b, false) }
+func BenchmarkMatMul4Compiled(b *testing.B)    { benchRun(b, true) }

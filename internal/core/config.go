@@ -34,8 +34,17 @@ type Config struct {
 	NetLatency sim.Cycle
 
 	// OpTime gives per-opcode ALU service times; nil means one cycle for
-	// every operation.
+	// every operation. The function must be pure: it is sampled once per
+	// opcode at machine construction into a dense table.
 	OpTime func(graph.Opcode) sim.Cycle
+
+	// Compiled executes the ahead-of-time compiled plan (graph.Compile)
+	// instead of walking the IR per token. The plan is a pure host-side
+	// acceleration: simulated behaviour — results, cycle counts, every
+	// statistic, even the engine's scheduling counters — is bit-identical
+	// to the interpreted path, which the conformance suite's
+	// compiled-equivalence oracle and the -compiled golden runs enforce.
+	Compiled bool
 
 	// Shards > 1 runs the machine on the conservative parallel simulation
 	// kernel: PEs and their co-located I-structure modules are split into

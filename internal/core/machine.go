@@ -23,9 +23,16 @@ import (
 type Machine struct {
 	cfg  Config
 	prog *graph.Program
-	pes  []*PE
-	net  network.Network
-	is   []*istructure.Module
+	// plan is the ahead-of-time compiled execution plan (Config.Compiled
+	// or NewMachineWithPlan); nil selects the IR-walking paths. Both paths
+	// simulate bit-identically — the plan only removes host-side work.
+	plan *graph.CompiledGraph
+	// opTimes is Config.OpTime sampled per opcode at construction, so the
+	// ALU issue path indexes a dense table instead of calling a closure.
+	opTimes [graph.NumOpcodes]sim.Cycle
+	pes     []*PE
+	net     network.Network
+	is      []*istructure.Module
 
 	// Active lists: ids of components that currently hold queued work,
 	// kept sorted ascending so sweeps visit components in the same fixed
@@ -53,8 +60,14 @@ type Machine struct {
 
 	// context manager state (conceptually distributed; centralized here
 	// with its cost charged through the PE controller's d=2 path)
-	nextCtx  token.Context
-	ctxs     map[token.Context]*ctxRecord
+	nextCtx token.Context
+	// ctxs is indexed directly by context number (slot 0 is the top-level
+	// pseudo-context and stays nil): context numbers are handed out
+	// monotonically, so a dense slice replaces a map on the SEND-ARG/RETURN
+	// path. A freed context leaves a nil slot; records are recycled via
+	// ctxFree.
+	ctxs     []*ctxRecord
+	ctxLive  int
 	ctxFree  []*ctxRecord // recycled invocation records
 	ctxFreed uint64
 	ctxPeak  int
@@ -73,7 +86,10 @@ type ctxRecord struct {
 	block       graph.BlockID
 	parent      token.ActivityName
 	parentBlock graph.BlockID
-	returnDests []graph.Dest
+	// returnDests (interpreted mode) and returnDestsC (compiled mode) name
+	// the caller-side receivers; exactly one is non-nil per machine mode.
+	returnDests  []graph.Dest
+	returnDestsC []graph.CDest
 	// reclamation state (see graph.Interp: non-strict calls may return
 	// before all arguments arrive)
 	argsSent int
@@ -102,10 +118,13 @@ func NewMachine(cfg Config, prog *graph.Program) *Machine {
 		cfg:      cfg,
 		prog:     prog,
 		nextCtx:  1,
-		ctxs:     map[token.Context]*ctxRecord{},
+		ctxs:     make([]*ctxRecord, 1, 64),
 		isLimit:  cfg.ISCellsPerPE * uint32(cfg.PEs),
 		peActive: make([]bool, cfg.PEs),
 		isActive: make([]bool, cfg.PEs),
+	}
+	for op := graph.Opcode(0); int(op) < graph.NumOpcodes; op++ {
+		m.opTimes[op] = cfg.OpTime(op)
 	}
 	m.net = cfg.Net
 	if m.net == nil {
@@ -142,6 +161,17 @@ func NewMachine(cfg Config, prog *graph.Program) *Machine {
 		m.seqDrv = &machineDriver{m: m, isNext: sim.Never, peNext: sim.Never}
 		eng.Register(m.seqDrv)
 	}
+	return m
+}
+
+// NewMachineWithPlan builds a machine that executes a pre-compiled plan
+// (graph.Compile), amortizing compilation across many runs of the same
+// program. The machine simulates exactly what NewMachine with
+// Config.Compiled does.
+func NewMachineWithPlan(cfg Config, plan *graph.CompiledGraph) *Machine {
+	cfg.Compiled = true
+	m := NewMachine(cfg, plan.Prog)
+	m.plan = plan
 	return m
 }
 
@@ -276,13 +306,17 @@ func (m *Machine) noteBusy(t sim.Cycle) { m.engine.NoteBusy(t) }
 // in a serial context in both modes (inside the machine driver's step, or
 // the parallel kernel's serial phase).
 func (m *Machine) deliver(p *network.Packet) {
+	if p.HasTok {
+		m.pes[p.Dst].accept(p.Tok)
+		m.pes[p.Dst].putPkt(p)
+		return
+	}
 	switch payload := p.Payload.(type) {
-	case token.Token:
-		m.pes[p.Dst].accept(payload)
 	case isRequest:
 		if err := m.enqueueIS(p.Dst, payload); err != nil {
 			m.fail(err)
 		}
+		m.pes[p.Dst].putPkt(p)
 	default:
 		panic(fmt.Sprintf("core: unknown network payload %T", p.Payload))
 	}
@@ -345,8 +379,8 @@ func (m *Machine) allocate(n uint32) (uint32, error) {
 	return base, nil
 }
 
-// getContext allocates a fresh invocation context.
-func (m *Machine) getContext(target graph.BlockID, parent token.ActivityName, parentBlock graph.BlockID, returnDests []graph.Dest) token.Context {
+// allocCtx reserves the next context number and a recycled record.
+func (m *Machine) allocCtx() (token.Context, *ctxRecord) {
 	u := m.nextCtx
 	m.nextCtx++
 	var rec *ctxRecord
@@ -357,11 +391,36 @@ func (m *Machine) getContext(target graph.BlockID, parent token.ActivityName, pa
 	} else {
 		rec = &ctxRecord{}
 	}
-	rec.block, rec.parent, rec.parentBlock, rec.returnDests = target, parent, parentBlock, returnDests
-	m.ctxs[u] = rec
-	if live := len(m.ctxs); live > m.ctxPeak {
-		m.ctxPeak = live
+	m.ctxs = append(m.ctxs, rec) // index u == old len(m.ctxs)
+	m.ctxLive++
+	if m.ctxLive > m.ctxPeak {
+		m.ctxPeak = m.ctxLive
 	}
+	return u, rec
+}
+
+// ctxLookup resolves a context number to its live invocation record, or nil
+// when the number was never allocated or already reclaimed. Handles arrive
+// in token values, so the bound check guards against corrupt programs.
+func (m *Machine) ctxLookup(u token.Context) *ctxRecord {
+	if uint64(u) >= uint64(len(m.ctxs)) {
+		return nil
+	}
+	return m.ctxs[u]
+}
+
+// getContext allocates a fresh invocation context.
+func (m *Machine) getContext(target graph.BlockID, parent token.ActivityName, parentBlock graph.BlockID, returnDests []graph.Dest) token.Context {
+	u, rec := m.allocCtx()
+	rec.block, rec.parent, rec.parentBlock, rec.returnDests = target, parent, parentBlock, returnDests
+	return u
+}
+
+// getContextC is getContext for the compiled path: return destinations come
+// from the plan's lowered CDest arrays.
+func (m *Machine) getContextC(target graph.BlockID, parent token.ActivityName, parentBlock graph.BlockID, returnDests []graph.CDest) token.Context {
+	u, rec := m.allocCtx()
+	rec.block, rec.parent, rec.parentBlock, rec.returnDestsC = target, parent, parentBlock, returnDests
 	return u
 }
 
@@ -370,7 +429,8 @@ func (m *Machine) getContext(target graph.BlockID, parent token.ActivityName, pa
 // for reuse; callers must not touch rec afterwards.
 func (m *Machine) maybeFreeContext(u token.Context, rec *ctxRecord) {
 	if rec.returned && rec.argsSent >= len(m.prog.Block(rec.block).Entries) {
-		delete(m.ctxs, u)
+		m.ctxs[u] = nil
+		m.ctxLive--
 		m.ctxFree = append(m.ctxFree, rec)
 		m.ctxFreed++
 	}
@@ -487,6 +547,13 @@ func (m *Machine) Run(limit sim.Cycle, args ...token.Value) ([]token.Value, erro
 	}
 	if err := m.prog.Validate(); err != nil {
 		return nil, err
+	}
+	if m.cfg.Compiled && m.plan == nil {
+		cg, err := graph.Compile(m.prog)
+		if err != nil {
+			return nil, err
+		}
+		m.plan = cg
 	}
 	for j, v := range args {
 		act := token.ActivityName{Context: 0, CodeBlock: uint16(entry.ID), Statement: entry.Entries[j], Initiation: 1}

@@ -79,6 +79,49 @@ func (t *matchTable) lookup(k token.ActivityName) *partial {
 	}
 }
 
+// lookupOrInsert returns the partial record for k, inserting a zeroed one
+// when absent (inserted reports which). It fuses the lookup-then-insert
+// pair the matching section performs on every first-operand arrival into
+// one probe sequence: the failed lookup already found the insertion
+// bucket, so insert-after-miss need not rehash and re-probe.
+func (t *matchTable) lookupOrInsert(k token.ActivityName) (p *partial, inserted bool) {
+	if t.idx == nil {
+		t.init(matchTableMinBuckets)
+	}
+	b := uint32(hashActivity(k)) & t.mask
+	for {
+		s := t.idx[b]
+		if s == matchEmpty {
+			break
+		}
+		if t.keys[b] == k {
+			return &t.slab[s], false
+		}
+		b = (b + 1) & t.mask
+	}
+	if uint32(t.n) >= (t.mask+1)/4*3 {
+		t.grow()
+		// Growth rehashed every binding; the probe position is stale.
+		b = uint32(hashActivity(k)) & t.mask
+		for t.idx[b] != matchEmpty {
+			b = (b + 1) & t.mask
+		}
+	}
+	var s int32
+	if n := len(t.free); n > 0 {
+		s = t.free[n-1]
+		t.free = t.free[:n-1]
+		t.slab[s] = partial{}
+	} else {
+		s = int32(len(t.slab))
+		t.slab = append(t.slab, partial{})
+	}
+	t.keys[b] = k
+	t.idx[b] = s
+	t.n++
+	return &t.slab[s], true
+}
+
 // insert adds a zeroed partial record for k, which must be absent, and
 // returns it.
 func (t *matchTable) insert(k token.ActivityName) *partial {

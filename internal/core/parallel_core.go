@@ -92,7 +92,10 @@ type shardOp struct {
 	kind opKind
 	pe   *PE
 	pkt  *network.Packet
+	// in (interpreted mode) or cin (compiled mode) names the deferred
+	// instruction for opCtrl/opExec; at most one is non-nil.
 	in   *graph.Instruction
+	cin  *graph.CInstr
 	act  token.ActivityName
 	vals [2]token.Value
 	err  error
@@ -219,8 +222,20 @@ func (m *Machine) applyOp(op *shardOp) {
 		}
 		pe.stats.NetSends.Inc()
 	case opCtrl:
+		if op.cin != nil {
+			pe.execCtrlC(ctrlRequest{act: op.act, cin: op.cin, value: op.vals[0]})
+			return
+		}
 		pe.execCtrl(ctrlRequest{act: op.act, instr: op.in, value: op.vals[0]})
 	case opExec:
+		if op.cin != nil {
+			if op.cin.Kind == graph.KindSendArg {
+				pe.execSendArgC(op.cin, op.act, op.vals)
+			} else {
+				pe.execReturnC(op.cin, op.act, op.vals)
+			}
+			return
+		}
 		switch op.in.Op {
 		case graph.OpSendArg, graph.OpL:
 			pe.execSendArg(op.in, op.act, op.vals)

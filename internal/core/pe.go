@@ -38,11 +38,14 @@ type PE struct {
 	// partial-match records (see matchtable.go).
 	waiting matchTable
 
-	// enabled instructions waiting for instruction fetch
-	enabled sim.FIFO[enabledInstr]
-
-	// instruction fetch → ALU operand queue
-	aluQ sim.FIFO[enabledInstr]
+	// ready holds enabled instructions in pipeline order: the first aluN
+	// entries have passed instruction fetch (the ALU operand queue), the
+	// rest await fetch. Fetch moves a token across the boundary by
+	// incrementing aluN — the transfer preserves FIFO order, so one ring
+	// with a boundary count replaces two rings and the per-fetch copy of a
+	// record between them.
+	ready sim.FIFO[enabledInstr]
+	aluN  int
 
 	// ALU occupancy
 	aluBusyUntil sim.Cycle
@@ -52,6 +55,13 @@ type PE struct {
 
 	// outgoing network packets refused by backpressure, retried in order
 	netRetry sim.FIFO[*network.Packet]
+
+	// pktFree recycles this PE's delivered packets. Gets happen on the
+	// PE's own send path (its shard's parallel phase, or the sequential
+	// sweep); puts happen at delivery, which is always a serial context —
+	// the two never overlap, so the list needs no lock even in sharded
+	// runs.
+	pktFree []*network.Packet
 
 	// PE controller queue (d=2 requests)
 	ctrlQ         sim.FIFO[ctrlRequest]
@@ -79,10 +89,12 @@ type enabledInstr struct {
 	vals [2]token.Value
 }
 
-// ctrlRequest is a d=2 manager operation.
+// ctrlRequest is a d=2 manager operation. Exactly one of instr
+// (interpreted mode) and cin (compiled mode) is non-nil.
 type ctrlRequest struct {
 	act   token.ActivityName // the requesting instruction instance
 	instr *graph.Instruction
+	cin   *graph.CInstr
 	value token.Value // operand (allocation size, or trigger)
 }
 
@@ -130,7 +142,7 @@ func (pe *PE) emit(t token.Token) {
 // waiting store may hold half-matched tokens; those are checked separately
 // at termination).
 func (pe *PE) hasQueuedWork() bool {
-	return pe.input.Len() > 0 || pe.enabled.Len() > 0 || pe.aluQ.Len() > 0 ||
+	return pe.input.Len() > 0 || pe.ready.Len() > 0 ||
 		pe.outQ.Len() > 0 || pe.netRetry.Len() > 0 || pe.ctrlQ.Len() > 0
 }
 
@@ -145,16 +157,16 @@ func (pe *PE) nextWork(now sim.Cycle) sim.Cycle {
 		return now
 	}
 	next := sim.Never
-	if pe.aluQ.Len() > 0 {
+	if pe.aluN > 0 {
 		if pe.aluBusyUntil <= now {
 			return now
 		}
 		next = pe.aluBusyUntil
 	}
-	if pe.enabled.Len() > 0 {
+	if pe.ready.Len() > pe.aluN {
 		// Fetch progresses as soon as the operand queue has room; a full
 		// queue drains when the ALU next retires an instruction.
-		if pe.aluQ.Len() < aluQueueDepth {
+		if pe.aluN < aluQueueDepth {
 			return now
 		}
 		if pe.aluBusyUntil < next {
@@ -231,6 +243,22 @@ func (pe *PE) noteBusy(t sim.Cycle) {
 	pe.m.noteBusy(t)
 }
 
+// getPkt takes a packet from the PE's free list (or allocates one).
+func (pe *PE) getPkt() *network.Packet {
+	if n := len(pe.pktFree); n > 0 {
+		p := pe.pktFree[n-1]
+		pe.pktFree = pe.pktFree[:n-1]
+		return p
+	}
+	return &network.Packet{}
+}
+
+// putPkt recycles a delivered packet. Serial contexts only.
+func (pe *PE) putPkt(p *network.Packet) {
+	p.Reset()
+	pe.pktFree = append(pe.pktFree, p)
+}
+
 // sendPkt injects a packet, queueing it for in-order retry on refusal. In
 // sharded mode the send is deferred to the commit phase; the log replays
 // sends in exactly the sequential order, so refusals match too.
@@ -270,13 +298,15 @@ func (pe *PE) stepNetRetry() {
 func (pe *PE) stepOutput(now sim.Cycle) {
 	bw := pe.m.cfg.OutputBandwidth
 	for i := 0; i < bw && pe.outQ.Len() > 0; i++ {
-		t := pe.outQ.Pop()
+		t := pe.outQ.PopNoClear() // token.Token is pointer-free
 		if t.PE == pe.id {
 			pe.stats.LocalBypass.Inc()
 			pe.input.Push(t)
 			continue
 		}
-		pe.sendPkt(&network.Packet{Src: pe.id, Dst: t.PE, Payload: t})
+		pkt := pe.getPkt()
+		pkt.Src, pkt.Dst, pkt.Tok, pkt.HasTok = pe.id, t.PE, t, true
+		pe.sendPkt(pkt)
 	}
 }
 
@@ -288,13 +318,30 @@ const aluQueueDepth = 4
 // per cycle; paired with SetTotal at end of run this reproduces exactly
 // the utilization a per-cycle busy tick would record.
 func (pe *PE) stepALU(now sim.Cycle) {
-	if now < pe.aluBusyUntil || pe.aluQ.Len() == 0 {
+	if now < pe.aluBusyUntil || pe.aluN == 0 {
 		return
 	}
-	e := pe.aluQ.Pop()
+	e := pe.ready.PopNoClear() // enabledInstr is pointer-free
+	pe.aluN--
+	if plan := pe.m.plan; plan != nil {
+		cin := &plan.Blocks[e.act.CodeBlock].Instrs[e.act.Statement]
+		d := pe.m.opTimes[cin.Op]
+		pe.aluBusyUntil = now + d
+		pe.noteBusy(pe.aluBusyUntil)
+		if d == 0 {
+			d = 1 // the firing cycle itself counts busy even for free ops
+		}
+		pe.stats.ALU.AddBusy(uint64(d))
+		if pe.m.cfg.Trace != nil {
+			pe.trace(TraceFire, "%s %s", cin.Op, traceActivity(e.act))
+		}
+		pe.executeC(cin, e)
+		pe.stats.Fired.Inc()
+		return
+	}
 	blk := pe.m.prog.Block(graph.BlockID(e.act.CodeBlock))
 	in := blk.Instr(e.act.Statement)
-	d := pe.m.cfg.OpTime(in.Op)
+	d := pe.m.opTimes[in.Op]
 	pe.aluBusyUntil = now + d
 	pe.noteBusy(pe.aluBusyUntil)
 	if d == 0 {
@@ -306,12 +353,13 @@ func (pe *PE) stepALU(now sim.Cycle) {
 	pe.stats.Fired.Inc()
 }
 
-// stepFetch moves one enabled instruction into the ALU operand queue.
+// stepFetch moves one enabled instruction into the ALU operand queue (a
+// boundary shift in the shared ready ring).
 func (pe *PE) stepFetch() {
-	if pe.enabled.Len() == 0 || pe.aluQ.Len() >= aluQueueDepth {
+	if pe.ready.Len() <= pe.aluN || pe.aluN >= aluQueueDepth {
 		return
 	}
-	pe.aluQ.Push(pe.enabled.Pop())
+	pe.aluN++
 }
 
 // stepController services one d=2 manager request. The occupancy is local;
@@ -325,7 +373,11 @@ func (pe *PE) stepController(now sim.Cycle) {
 	pe.ctrlBusyUntil = now + pe.m.cfg.ControllerTime
 	pe.noteBusy(pe.ctrlBusyUntil)
 	if pe.sh != nil {
-		pe.sh.push(shardOp{kind: opCtrl, pe: pe, in: r.instr, act: r.act, vals: [2]token.Value{r.value}})
+		pe.sh.push(shardOp{kind: opCtrl, pe: pe, in: r.instr, cin: r.cin, act: r.act, vals: [2]token.Value{r.value}})
+		return
+	}
+	if r.cin != nil {
+		pe.execCtrlC(r)
 		return
 	}
 	pe.execCtrl(r)
@@ -370,7 +422,7 @@ func (pe *PE) stepInput(now sim.Cycle) {
 	bw := pe.m.cfg.MatchBandwidth
 	capLimit := pe.m.cfg.MatchCapacity
 	for i := 0; i < bw && pe.input.Len() > 0; i++ {
-		t := pe.input.Pop()
+		t := pe.input.PopNoClear() // token.Token is pointer-free
 		overflowing := capLimit > 0 && pe.waiting.Len() >= capLimit && t.NT >= 2
 		pe.classify(t)
 		if overflowing {
@@ -403,13 +455,12 @@ func (pe *PE) match(t token.Token) {
 	if t.NT <= 1 {
 		var vals [2]token.Value
 		vals[t.Port] = t.Value
-		pe.enabled.Push(enabledInstr{act: t.Tag.Activity, vals: vals})
+		pe.ready.Push(enabledInstr{act: t.Tag.Activity, vals: vals})
 		return
 	}
 	key := t.Tag.Activity
-	p := pe.waiting.lookup(key)
-	if p == nil {
-		p = pe.waiting.insert(key)
+	p, inserted := pe.waiting.lookupOrInsert(key)
+	if inserted {
 		pe.stats.MatchStoreOccupancy.Update(uint64(pe.m.now), int64(pe.waiting.Len()))
 	}
 	if p.have[t.Port] {
@@ -423,7 +474,7 @@ func (pe *PE) match(t token.Token) {
 		pe.waiting.remove(key)
 		pe.stats.MatchStoreOccupancy.Update(uint64(pe.m.now), int64(pe.waiting.Len()))
 		pe.stats.Matches.Inc()
-		pe.enabled.Push(enabledInstr{act: key, vals: vals})
+		pe.ready.Push(enabledInstr{act: key, vals: vals})
 	}
 }
 
@@ -572,8 +623,8 @@ func (pe *PE) execSendArg(in *graph.Instruction, act token.ActivityName, vals [2
 		pe.m.fail(fmt.Errorf("core: %s handle at %s: %v", in.Op, act, err))
 		return
 	}
-	rec, ok := pe.m.ctxs[token.Context(h)]
-	if !ok {
+	rec := pe.m.ctxLookup(token.Context(h))
+	if rec == nil {
 		pe.m.fail(fmt.Errorf("core: %s at %s: unknown context %d", in.Op, act, h))
 		return
 	}
@@ -603,8 +654,8 @@ func (pe *PE) execReturn(in *graph.Instruction, act token.ActivityName, vals [2]
 		pe.m.results = append(pe.m.results, vals[0])
 		return
 	}
-	rec, ok := pe.m.ctxs[act.Context]
-	if !ok {
+	rec := pe.m.ctxLookup(act.Context)
+	if rec == nil {
 		pe.m.fail(fmt.Errorf("core: %s at %s: unknown context", in.Op, act))
 		return
 	}
@@ -635,5 +686,7 @@ func (pe *PE) emitIS(r isRequest) {
 		}
 		return
 	}
-	pe.sendPkt(&network.Packet{Src: pe.id, Dst: home, Payload: r})
+	pkt := pe.getPkt()
+	pkt.Src, pkt.Dst, pkt.Payload = pe.id, home, r
+	pe.sendPkt(pkt)
 }

@@ -30,17 +30,16 @@ func E5Trapezoid(opt Options) Result {
 	}
 
 	// Static shape: the compiled graph must contain the paper's operators.
-	st := prog.Stats()
 	shape := metrics.NewTable("E5: compiled graph composition (the textual Figure 2-2)",
 		"metric", "value")
 	shape.AddRow("code blocks", len(prog.Blocks))
 	shape.AddRow("instructions", prog.NumInstructions())
-	shape.AddRow("L operators", st[graph.OpL])
-	shape.AddRow("D operators", st[graph.OpD])
-	shape.AddRow("D-1 operators", st[graph.OpDInv])
-	shape.AddRow("L-1 operators", st[graph.OpLInv])
-	shape.AddRow("SWITCH operators", st[graph.OpSwitch])
-	shape.AddRow("GETC (contexts)", st[graph.OpGetContext])
+	shape.AddRow("L operators", prog.CountOp(graph.OpL))
+	shape.AddRow("D operators", prog.CountOp(graph.OpD))
+	shape.AddRow("D-1 operators", prog.CountOp(graph.OpDInv))
+	shape.AddRow("L-1 operators", prog.CountOp(graph.OpLInv))
+	shape.AddRow("SWITCH operators", prog.CountOp(graph.OpSwitch))
+	shape.AddRow("GETC (contexts)", prog.CountOp(graph.OpGetContext))
 	r.Tables = append(r.Tables, shape)
 
 	nIntervals := 200.0
@@ -57,7 +56,7 @@ func E5Trapezoid(opt Options) Result {
 	var base uint64
 	var measured float64
 	for _, p := range pes {
-		m := core.NewMachine(core.Config{PEs: p, Shards: opt.Shards}, prog)
+		m := core.NewMachine(core.Config{PEs: p, Shards: opt.Shards, Compiled: opt.Compiled}, prog)
 		res, err := m.Run(200_000_000, args...)
 		if err != nil {
 			r.Err = err
@@ -95,7 +94,7 @@ func E5Trapezoid(opt Options) Result {
 	wfSpeed.Name = "wavefront speedup"
 	var wfBase uint64
 	for _, p := range pes {
-		m := core.NewMachine(core.Config{PEs: p, Shards: opt.Shards}, wf)
+		m := core.NewMachine(core.Config{PEs: p, Shards: opt.Shards, Compiled: opt.Compiled}, wf)
 		res, err := m.Run(500_000_000, token.Int(wfN))
 		if err != nil {
 			r.Err = err

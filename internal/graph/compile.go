@@ -1,0 +1,362 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/token"
+)
+
+// This file implements the ahead-of-time compilation stage: Compile lowers
+// a validated Program into a CompiledGraph, an immutable execution plan the
+// reference interpreter and the cycle-accurate machine execute instead of
+// re-deriving per-token facts from the IR. The plan precomputes everything
+// the hot paths used to look up on every token:
+//
+//   - a dense dispatch kind per instruction (one switch over ExecKind
+//     replaces the IsPure test plus the opcode switch);
+//   - flattened destination arrays whose entries carry the destination's
+//     nt field, so emitting a token no longer fetches the destination
+//     instruction;
+//   - predecessor arrays per statement (who feeds whom), used by the
+//     optional rewrite passes and exposed for analysis;
+//   - a static match-slot index per two-operand statement, so a
+//     waiting-matching store can be an activation-frame slot array instead
+//     of a per-activity hash map (the dense-table idea of
+//     internal/core/matchtable.go pushed to compile time).
+//
+// Plans are pure accelerations: executing a plan is observably identical —
+// results, firing counts, cycle counts, statistics — to interpreting the
+// program it was compiled from. The optional passes (constant folding,
+// dead-arc elimination) DO change the instruction stream and therefore
+// timing; they are opt-in and are applied to a private clone, never to the
+// caller's Program.
+
+// ExecKind is the dense dispatch class of an instruction. Every opcode
+// maps to exactly one kind; engines switch on the kind instead of testing
+// IsPure and re-switching on the opcode.
+type ExecKind uint8
+
+// Dispatch kinds.
+const (
+	KindNop        ExecKind = iota
+	KindPure                // Eval-able value computation (OpIdentity..OpConst)
+	KindSwitch              // OpSwitch
+	KindGetContext          // OpGetContext (d=2 manager request)
+	KindSendArg             // OpSendArg, OpL (retag into callee)
+	KindD                   // OpD (initiation+1)
+	KindDInv                // OpDInv (initiation:=1)
+	KindReturn              // OpReturn, OpLInv (retag to caller)
+	KindAllocate            // OpAllocate (d=2 manager request)
+	KindFetch               // OpFetch (d=1 I-structure read)
+	KindStore               // OpStore (d=1 I-structure write)
+	KindSink                // OpSink (absorb)
+)
+
+// kindOf maps opcodes to dispatch kinds.
+func kindOf(op Opcode) ExecKind {
+	switch {
+	case op == OpNop:
+		return KindNop
+	case op.IsPure():
+		return KindPure
+	}
+	switch op {
+	case OpSwitch:
+		return KindSwitch
+	case OpGetContext:
+		return KindGetContext
+	case OpSendArg, OpL:
+		return KindSendArg
+	case OpD:
+		return KindD
+	case OpDInv:
+		return KindDInv
+	case OpReturn, OpLInv:
+		return KindReturn
+	case OpAllocate:
+		return KindAllocate
+	case OpFetch:
+		return KindFetch
+	case OpStore:
+		return KindStore
+	default:
+		return KindSink
+	}
+}
+
+// CDest is one flattened destination arc. It carries the destination
+// statement's nt field so token construction needs no instruction fetch.
+type CDest struct {
+	Stmt uint16
+	Port uint8
+	// NT is the destination instruction's token-operand count.
+	NT uint8
+}
+
+// CInstr is one compiled instruction: the Instruction fields the engines
+// read on the hot path, laid out for dispatch, plus the static match slot.
+type CInstr struct {
+	Kind ExecKind
+	Op   Opcode
+	NT   uint8
+
+	HasLit  bool
+	LitPort uint8
+	Lit     token.Value
+
+	ArgIndex uint8
+	Target   BlockID
+
+	// MatchSlot is this statement's slot in its block's activation frame
+	// (dense, assigned in statement order over two-operand statements), or
+	// -1 for instructions that fire on a single token.
+	MatchSlot int32
+
+	// Dests, DestsFalse and RetDests are subslices of the plan's shared
+	// destination arena.
+	Dests, DestsFalse, RetDests []CDest
+}
+
+// CBlock is one compiled code block.
+type CBlock struct {
+	ID      BlockID
+	Name    string
+	Entries []uint16
+	// EntryNT[j] is the nt field of entry statement j, so cross-block
+	// sends (arguments, SEND-ARG) build tokens without an instruction
+	// fetch.
+	EntryNT []uint8
+	Instrs  []CInstr
+	// Slots is the activation-frame size: the number of two-operand
+	// statements in the block.
+	Slots int
+	// Base is the global statement id of Instrs[0]; statement s of this
+	// block has global id Base+s. Global ids index the plan-wide
+	// predecessor arrays.
+	Base int
+}
+
+// CompiledGraph is an immutable execution plan. It references (and, when
+// rewrite passes ran, owns) the Program it was compiled from; neither may
+// be mutated after Compile returns.
+type CompiledGraph struct {
+	// Prog is the program this plan executes: the caller's program, or the
+	// private rewritten clone when compile passes were requested.
+	Prog   *Program
+	Blocks []CBlock
+
+	// NumStmts is the size of the global statement id space.
+	NumStmts int
+
+	// Preds lists, for each global statement id, the global ids of the
+	// statements whose destination lists feed it (callers' return arcs
+	// count for the GetContext statement's block). Entries are in
+	// producer-scan order and may repeat (one entry per arc).
+	Preds [][]int32
+
+	destArena []CDest
+	predArena []int32
+}
+
+// Block returns the compiled block with the given id.
+func (cg *CompiledGraph) Block(id BlockID) *CBlock { return &cg.Blocks[id] }
+
+// CompileOption selects an optional rewrite pass.
+type CompileOption func(*compileOptions)
+
+type compileOptions struct {
+	fold     bool
+	deadArcs bool
+}
+
+// WithConstantFolding enables the constant-folding pass: literal operands
+// flowing out of CONST generators are absorbed into their consumers, and
+// fully-constant pure instructions become CONST generators themselves.
+// Folding changes the instruction stream (and therefore firing and cycle
+// counts); it is applied to a private clone of the program.
+func WithConstantFolding() CompileOption { return func(o *compileOptions) { o.fold = true } }
+
+// WithDeadArcElimination enables the dead-arc pass: statements unreachable
+// from any block entry or call linkage are rewritten to NOP and the arcs
+// into them dropped. Applied to a private clone of the program.
+func WithDeadArcElimination() CompileOption { return func(o *compileOptions) { o.deadArcs = true } }
+
+// Compile lowers a validated program into an execution plan. With no
+// options the plan executes the program exactly as given; options select
+// rewrite passes that run on a private clone (the caller's program is
+// never mutated). Compile fails on invalid programs and on passes that
+// expose a latent fault (e.g. folding a constant division by zero).
+func Compile(p *Program, opts ...CompileOption) (*CompiledGraph, error) {
+	var o compileOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if o.fold || o.deadArcs {
+		p = p.Clone()
+		if o.fold {
+			if _, err := FoldConstants(p); err != nil {
+				return nil, err
+			}
+		}
+		if o.deadArcs {
+			EliminateDeadArcs(p)
+		}
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("graph: compile passes produced an invalid program: %v", err)
+		}
+	}
+
+	cg := &CompiledGraph{Prog: p, Blocks: make([]CBlock, len(p.Blocks))}
+
+	// Pass 1: global statement ids, frame slots, destination arena sizing.
+	nDests := 0
+	for bi, blk := range p.Blocks {
+		cb := &cg.Blocks[bi]
+		cb.ID = blk.ID
+		cb.Name = blk.Name
+		cb.Entries = blk.Entries
+		cb.Base = cg.NumStmts
+		cg.NumStmts += len(blk.Instrs)
+		cb.EntryNT = make([]uint8, len(blk.Entries))
+		for j, e := range blk.Entries {
+			cb.EntryNT[j] = blk.Instrs[e].NT
+		}
+		for s := range blk.Instrs {
+			in := &blk.Instrs[s]
+			nDests += len(in.Dests) + len(in.DestsFalse) + len(in.ReturnDests)
+			if in.Op != OpNop && in.NT >= 2 {
+				cb.Slots++
+			}
+		}
+	}
+	cg.destArena = make([]CDest, 0, nDests)
+
+	// Pass 2: lower instructions.
+	for bi, blk := range p.Blocks {
+		cb := &cg.Blocks[bi]
+		cb.Instrs = make([]CInstr, len(blk.Instrs))
+		slot := int32(0)
+		for s := range blk.Instrs {
+			in := &blk.Instrs[s]
+			ci := &cb.Instrs[s]
+			*ci = CInstr{
+				Kind:      kindOf(in.Op),
+				Op:        in.Op,
+				NT:        in.NT,
+				HasLit:    in.HasLiteral,
+				LitPort:   in.LiteralPort,
+				Lit:       in.Literal,
+				ArgIndex:  in.ArgIndex,
+				Target:    in.Target,
+				MatchSlot: -1,
+			}
+			if in.Op != OpNop && in.NT >= 2 {
+				ci.MatchSlot = slot
+				slot++
+			}
+			ci.Dests = cg.lowerDests(blk, in.Dests)
+			ci.DestsFalse = cg.lowerDests(blk, in.DestsFalse)
+			ci.RetDests = cg.lowerDests(blk, in.ReturnDests)
+		}
+	}
+
+	cg.buildPreds()
+	return cg, nil
+}
+
+// lowerDests appends dests to the arena with their targets' nt fields.
+func (cg *CompiledGraph) lowerDests(blk *CodeBlock, dests []Dest) []CDest {
+	if len(dests) == 0 {
+		return nil
+	}
+	base := len(cg.destArena)
+	for _, d := range dests {
+		cg.destArena = append(cg.destArena, CDest{
+			Stmt: d.Stmt,
+			Port: d.Port,
+			NT:   blk.Instrs[d.Stmt].NT,
+		})
+	}
+	return cg.destArena[base:len(cg.destArena):len(cg.destArena)]
+}
+
+// buildPreds computes the per-statement predecessor arrays over global
+// statement ids with a two-pass count/fill over one shared arena.
+func (cg *CompiledGraph) buildPreds() {
+	counts := make([]int32, cg.NumStmts)
+	visit := func(f func(from, to int32)) {
+		for bi := range cg.Blocks {
+			cb := &cg.Blocks[bi]
+			for s := range cb.Instrs {
+				from := int32(cb.Base + s)
+				ci := &cb.Instrs[s]
+				for _, d := range ci.Dests {
+					f(from, int32(cb.Base)+int32(d.Stmt))
+				}
+				for _, d := range ci.DestsFalse {
+					f(from, int32(cb.Base)+int32(d.Stmt))
+				}
+				// Return arcs land in the GetContext's own block.
+				for _, d := range ci.RetDests {
+					f(from, int32(cb.Base)+int32(d.Stmt))
+				}
+				// Call linkage: a GetContext makes the target block's
+				// entries receivable.
+				if ci.Kind == KindGetContext {
+					tb := &cg.Blocks[ci.Target]
+					for _, e := range tb.Entries {
+						f(from, int32(tb.Base)+int32(e))
+					}
+				}
+			}
+		}
+	}
+	visit(func(_, to int32) { counts[to]++ })
+	total := int32(0)
+	starts := make([]int32, cg.NumStmts)
+	for i, c := range counts {
+		starts[i] = total
+		total += c
+	}
+	cg.predArena = make([]int32, total)
+	fill := make([]int32, cg.NumStmts)
+	copy(fill, starts)
+	visit(func(from, to int32) {
+		cg.predArena[fill[to]] = from
+		fill[to]++
+	})
+	cg.Preds = make([][]int32, cg.NumStmts)
+	for i := range cg.Preds {
+		end := total
+		if i+1 < cg.NumStmts {
+			end = starts[i+1]
+		}
+		cg.Preds[i] = cg.predArena[starts[i]:end:end]
+	}
+}
+
+// Clone deep-copies a program: blocks, instructions, and destination
+// lists. Rewrite passes operate on clones so callers' programs stay
+// untouched.
+func (p *Program) Clone() *Program {
+	q := &Program{Name: p.Name, Blocks: make([]*CodeBlock, len(p.Blocks))}
+	for i, b := range p.Blocks {
+		nb := &CodeBlock{
+			ID:      b.ID,
+			Name:    b.Name,
+			Entries: append([]uint16(nil), b.Entries...),
+			Instrs:  append([]Instruction(nil), b.Instrs...),
+		}
+		for s := range nb.Instrs {
+			in := &nb.Instrs[s]
+			in.Dests = append([]Dest(nil), in.Dests...)
+			in.DestsFalse = append([]Dest(nil), in.DestsFalse...)
+			in.ReturnDests = append([]Dest(nil), in.ReturnDests...)
+		}
+		q.Blocks[i] = nb
+	}
+	return q
+}

@@ -52,13 +52,41 @@ func destsString(dests []Dest) string {
 	return strings.Join(parts, ",")
 }
 
-// Stats summarizes the static composition of a program by opcode.
-func (p *Program) Stats() map[Opcode]int {
-	m := map[Opcode]int{}
+// OpCount is one entry of a program's static opcode composition.
+type OpCount struct {
+	Op Opcode
+	N  int
+}
+
+// Stats summarizes the static composition of a program by opcode. Entries
+// are sorted by opcode value and zero counts are omitted, so the result —
+// unlike the map this used to return — prints identically on every run and
+// can be pinned by golden output.
+func (p *Program) Stats() []OpCount {
+	var counts [NumOpcodes]int
 	for _, blk := range p.Blocks {
 		for s := range blk.Instrs {
-			m[blk.Instrs[s].Op]++
+			counts[blk.Instrs[s].Op]++
 		}
 	}
-	return m
+	out := make([]OpCount, 0, len(counts))
+	for op, n := range counts {
+		if n > 0 {
+			out = append(out, OpCount{Op: Opcode(op), N: n})
+		}
+	}
+	return out
+}
+
+// CountOp reports how many instructions of the program use op.
+func (p *Program) CountOp(op Opcode) int {
+	n := 0
+	for _, blk := range p.Blocks {
+		for s := range blk.Instrs {
+			if blk.Instrs[s].Op == op {
+				n++
+			}
+		}
+	}
+	return n
 }

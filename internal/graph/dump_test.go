@@ -1,0 +1,56 @@
+package graph
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/token"
+)
+
+// TestStatsDeterministicAndSorted pins that Stats renders identically on
+// every call — it used to return a map whose iteration order leaked into
+// idc -stats output — and that it agrees with CountOp.
+func TestStatsDeterministicAndSorted(t *testing.T) {
+	b := NewBuilder("stats")
+	bb := b.NewBlock("main", 2)
+	add := bb.Op(OpAdd, "")
+	mul := bb.OpLit(OpMul, token.Int(3), 1, "")
+	ret := bb.Op(OpReturn, "")
+	bb.Connect(bb.Entry(0), add, 0)
+	bb.Connect(bb.Entry(1), add, 1)
+	bb.Connect(add, mul, 0)
+	bb.Connect(mul, ret, 0)
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	first := p.Stats()
+	if !sort.SliceIsSorted(first, func(i, j int) bool { return first[i].Op < first[j].Op }) {
+		t.Fatalf("Stats not sorted by opcode: %v", first)
+	}
+	total := 0
+	for _, oc := range first {
+		if oc.N <= 0 {
+			t.Fatalf("Stats kept a zero count: %v", first)
+		}
+		if got := p.CountOp(oc.Op); got != oc.N {
+			t.Fatalf("CountOp(%s) = %d, Stats says %d", oc.Op, got, oc.N)
+		}
+		total += oc.N
+	}
+	if total != p.NumInstructions() {
+		t.Fatalf("Stats total %d != %d instructions", total, p.NumInstructions())
+	}
+	for i := 0; i < 50; i++ {
+		again := p.Stats()
+		if len(again) != len(first) {
+			t.Fatalf("Stats changed shape between calls")
+		}
+		for j := range again {
+			if again[j] != first[j] {
+				t.Fatalf("Stats order changed between calls: %v vs %v", again, first)
+			}
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package graph
+
+import "repro/internal/token"
+
+// frameTable is the interpreter's waiting-matching store: activation
+// frames keyed by (context, initiation, code block), each a contiguous
+// run of match slots in a shared arena, one slot per two-operand statement
+// as assigned statically by Compile. It replaces the old per-activity
+// map[token.ActivityName]*partial: one open-addressed probe finds the
+// whole activation, the statement's slot index is a compile-time constant,
+// and frames and records recycle through free lists, so steady-state
+// matching allocates nothing.
+//
+// Deletion uses backward-shift compaction (no tombstones) and the hash is
+// a fixed seedless mix — the same discipline as internal/core's
+// matchTable, for the same reason: table behaviour must be a pure function
+// of its contents so runs stay reproducible.
+type frameTable struct {
+	keys []frameKey
+	// idx[b] is the slab index of the frame in bucket b, or frameEmpty.
+	idx  []int32
+	mask uint32
+	n    int
+
+	slab     []frame
+	freeSlab []int32
+
+	// arena holds every frame's slots; freeFrames[blk] recycles frame
+	// offsets per block (frames of one block share a size).
+	arena      []partial
+	freeFrames [][]int32
+}
+
+// frameKey identifies one activation: every statement of a code block
+// firing under one context and initiation shares a frame.
+type frameKey struct {
+	ctx  token.Context
+	init uint32
+	blk  uint16
+}
+
+// frame is one resident activation frame.
+type frame struct {
+	key frameKey
+	// off is the frame's base offset in the arena; statement slots live at
+	// off + CInstr.MatchSlot.
+	off int32
+	// occupied counts slots holding exactly one operand; the frame is
+	// released when it drops back to zero.
+	occupied int32
+}
+
+const frameEmpty = int32(-1)
+
+const frameTableMinBuckets = 16
+
+func (ft *frameTable) init(buckets int) {
+	ft.keys = make([]frameKey, buckets)
+	ft.idx = make([]int32, buckets)
+	for i := range ft.idx {
+		ft.idx[i] = frameEmpty
+	}
+	ft.mask = uint32(buckets - 1)
+	ft.n = 0
+}
+
+// hashFrame mixes the activation key with a splitmix64-style finalizer.
+// Fixed constants, no per-run seed: identical runs produce identical
+// tables.
+func hashFrame(k frameKey) uint64 {
+	h := uint64(k.ctx)<<16 | uint64(k.blk)
+	h ^= uint64(k.init) * 0x9e3779b97f4a7c15
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// slot returns the frame for act's activation (creating it if absent) and
+// the partial record in the statement's statically-assigned slot.
+func (ft *frameTable) slot(act token.ActivityName, cb *CBlock, matchSlot int32) (*frame, *partial) {
+	k := frameKey{ctx: act.Context, init: act.Initiation, blk: act.CodeBlock}
+	if ft.idx == nil {
+		ft.init(frameTableMinBuckets)
+	}
+	b := uint32(hashFrame(k)) & ft.mask
+	for {
+		s := ft.idx[b]
+		if s == frameEmpty {
+			break
+		}
+		if ft.keys[b] == k {
+			fr := &ft.slab[s]
+			return fr, &ft.arena[fr.off+matchSlot]
+		}
+		b = (b + 1) & ft.mask
+	}
+	// Absent: allocate a frame, growing the bucket array first if needed
+	// (growth invalidates the probe position).
+	if uint32(ft.n) >= (ft.mask+1)/4*3 {
+		ft.grow()
+	}
+	off := ft.allocFrame(cb)
+	var s int32
+	if n := len(ft.freeSlab); n > 0 {
+		s = ft.freeSlab[n-1]
+		ft.freeSlab = ft.freeSlab[:n-1]
+	} else {
+		s = int32(len(ft.slab))
+		ft.slab = append(ft.slab, frame{})
+	}
+	ft.slab[s] = frame{key: k, off: off}
+	ft.place(k, s)
+	ft.n++
+	fr := &ft.slab[s]
+	return fr, &ft.arena[off+matchSlot]
+}
+
+// allocFrame reserves a zeroed run of cb.Slots slots, recycling a freed
+// frame of the same block when one exists.
+func (ft *frameTable) allocFrame(cb *CBlock) int32 {
+	for int(cb.ID) >= len(ft.freeFrames) {
+		ft.freeFrames = append(ft.freeFrames, nil)
+	}
+	free := ft.freeFrames[cb.ID]
+	if n := len(free); n > 0 {
+		off := free[n-1]
+		ft.freeFrames[cb.ID] = free[:n-1]
+		for i := off; i < off+int32(cb.Slots); i++ {
+			ft.arena[i] = partial{}
+		}
+		return off
+	}
+	off := int32(len(ft.arena))
+	for i := 0; i < cb.Slots; i++ {
+		ft.arena = append(ft.arena, partial{})
+	}
+	return off
+}
+
+// place finds k's probe slot and stores the binding (no growth, no count).
+func (ft *frameTable) place(k frameKey, s int32) {
+	b := uint32(hashFrame(k)) & ft.mask
+	for ft.idx[b] != frameEmpty {
+		b = (b + 1) & ft.mask
+	}
+	ft.keys[b] = k
+	ft.idx[b] = s
+}
+
+// release returns an empty frame to the free lists and removes its table
+// entry with backward-shift compaction.
+func (ft *frameTable) release(fr *frame) {
+	k := fr.key
+	ft.freeFrames[k.blk] = append(ft.freeFrames[k.blk], fr.off)
+	b := uint32(hashFrame(k)) & ft.mask
+	for ft.keys[b] != k || ft.idx[b] == frameEmpty {
+		b = (b + 1) & ft.mask
+	}
+	ft.freeSlab = append(ft.freeSlab, ft.idx[b])
+	ft.n--
+	hole := b
+	for {
+		b = (b + 1) & ft.mask
+		s := ft.idx[b]
+		if s == frameEmpty {
+			break
+		}
+		home := uint32(hashFrame(ft.keys[b])) & ft.mask
+		if (b-home)&ft.mask >= (b-hole)&ft.mask {
+			ft.keys[hole] = ft.keys[b]
+			ft.idx[hole] = s
+			hole = b
+		}
+	}
+	ft.idx[hole] = frameEmpty
+}
+
+// grow doubles the bucket array and rehashes every binding. Slab and arena
+// indices are unaffected.
+func (ft *frameTable) grow() {
+	oldKeys, oldIdx := ft.keys, ft.idx
+	ft.init(int(2 * (ft.mask + 1)))
+	n := 0
+	for b, s := range oldIdx {
+		if s != frameEmpty {
+			ft.place(oldKeys[b], s)
+			n++
+		}
+	}
+	ft.n = n
+}

@@ -429,9 +429,8 @@ func TestDumpContainsPaperOperators(t *testing.T) {
 
 func TestProgramStats(t *testing.T) {
 	p := buildSumLoop(t)
-	st := p.Stats()
-	if st[OpD] != 3 || st[OpL] != 3 || st[OpLInv] != 1 {
-		t.Fatalf("unexpected op mix: %v", st)
+	if p.CountOp(OpD) != 3 || p.CountOp(OpL) != 3 || p.CountOp(OpLInv) != 1 {
+		t.Fatalf("unexpected op mix: %v", p.Stats())
 	}
 }
 

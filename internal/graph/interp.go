@@ -16,15 +16,32 @@ import (
 //   - an ideal-parallelism profiler: the wave structure gives the critical
 //     path (Depth) and per-wave enabled-instruction counts (Profile) of
 //     the program, the upper bound any real machine is compared against.
+//
+// The interpreter executes a CompiledGraph plan: instruction dispatch is a
+// dense kind switch, the context table is a flat array indexed by context
+// number, and the waiting-matching store is a table of per-activation
+// frames whose slots were assigned statically at compile time — no
+// per-activity map operations and no per-record allocations on the hot
+// path (frames and context records are recycled storage, the free-list
+// discipline internal/core already uses).
 type Interp struct {
-	prog *Program
+	cg         *CompiledGraph
+	compileErr error
 
-	// context table
+	// context table: a dense array indexed by context number (contexts are
+	// allocated monotonically, so index = id; entry 0 is the root context
+	// and holds no record). Records are embedded — no per-record
+	// allocation — and freeing is a liveness flip.
 	nextCtx token.Context
-	ctxs    map[token.Context]*ctxRecord
+	ctxs    []ctxRecord
+	ctxLive int
 
-	// waiting-matching store for two-operand instructions
-	waiting map[token.ActivityName]*partial
+	// waiting-matching store: per-activation frames of statically-assigned
+	// match slots (see frameTable), replacing the per-activity hash map.
+	frames frameTable
+	// parked counts slots currently holding exactly one operand — the
+	// unmatched-token population a clean termination requires to be zero.
+	parked int
 
 	// I-structure storage
 	store *idealIStore
@@ -62,13 +79,14 @@ type ctxRecord struct {
 	block       BlockID // code block this context executes
 	parent      token.ActivityName
 	parentBlock BlockID
-	returnDests []Dest
+	returnDests []CDest
 	// reclamation state: the record's only consumers are one SendArg/L
 	// lookup per callee entry and one Return lookup. Dataflow calls are
 	// non-strict — a function may return before all its arguments arrive —
 	// so the record is freed only when both conditions hold.
 	argsSent int
 	returned bool
+	live     bool
 }
 
 // idealIStore is the interpreter's untimed I-structure storage: presence
@@ -83,17 +101,26 @@ type idealIStore struct {
 type idealCell struct {
 	present  bool
 	value    token.Value
-	waiters  []Dest
+	waiters  []CDest
 	waitActs []token.ActivityName
 }
 
-// NewInterp returns an interpreter for prog, which must be valid.
+// NewInterp returns an interpreter for prog, which must be valid. The
+// program is compiled to an execution plan; a compile failure surfaces
+// from Run.
 func NewInterp(prog *Program) *Interp {
+	cg, err := Compile(prog)
+	it := NewInterpPlan(cg)
+	it.compileErr = err
+	return it
+}
+
+// NewInterpPlan returns an interpreter executing an already-compiled plan,
+// sharing it with other consumers (compile once, run many).
+func NewInterpPlan(cg *CompiledGraph) *Interp {
 	return &Interp{
-		prog:     prog,
+		cg:       cg,
 		nextCtx:  1,
-		ctxs:     map[token.Context]*ctxRecord{},
-		waiting:  map[token.ActivityName]*partial{},
 		store:    &idealIStore{},
 		maxSteps: 100_000_000,
 	}
@@ -106,10 +133,13 @@ func (it *Interp) SetMaxSteps(n uint64) { it.maxSteps = n }
 // Run executes the program on the given entry-block arguments and returns
 // the values delivered by OpReturn in context 0, in delivery order.
 func (it *Interp) Run(args ...token.Value) ([]token.Value, error) {
-	entry := it.prog.Entry()
+	if it.compileErr != nil {
+		return nil, it.compileErr
+	}
+	entry := it.cg.Block(0)
 	if len(args) != len(entry.Entries) {
 		return nil, fmt.Errorf("graph: program %q wants %d arguments, got %d",
-			it.prog.Name, len(entry.Entries), len(args))
+			it.cg.Prog.Name, len(entry.Entries), len(args))
 	}
 	for j, v := range args {
 		it.inject(token.ActivityName{Context: 0, CodeBlock: uint16(entry.ID), Statement: entry.Entries[j], Initiation: 1}, 0, v)
@@ -128,14 +158,14 @@ func (it *Interp) Run(args ...token.Value) ([]token.Value, error) {
 			}
 		}
 		if it.fired > it.maxSteps {
-			return nil, fmt.Errorf("graph: program %q exceeded %d firings", it.prog.Name, it.maxSteps)
+			return nil, fmt.Errorf("graph: program %q exceeded %d firings", it.cg.Prog.Name, it.maxSteps)
 		}
 	}
-	if n := len(it.waiting); n != 0 {
-		return nil, fmt.Errorf("graph: program %q finished with %d unmatched tokens in the waiting store", it.prog.Name, n)
+	if it.parked != 0 {
+		return nil, fmt.Errorf("graph: program %q finished with %d unmatched tokens in the waiting store", it.cg.Prog.Name, it.parked)
 	}
 	if it.store.deferred != 0 {
-		return nil, fmt.Errorf("graph: program %q deadlocked: %d deferred reads were never satisfied", it.prog.Name, it.store.deferred)
+		return nil, fmt.Errorf("graph: program %q deadlocked: %d deferred reads were never satisfied", it.cg.Prog.Name, it.store.deferred)
 	}
 	return it.results, nil
 }
@@ -170,11 +200,24 @@ func (it *Interp) DeferredReads() (total uint64, peak int) {
 	return it.store.deferObs, it.store.deferMax
 }
 
+// ctx returns the live record for context u, or nil.
+func (it *Interp) ctx(u token.Context) *ctxRecord {
+	if u < 1 || uint64(u) >= uint64(len(it.ctxs)) {
+		return nil
+	}
+	rec := &it.ctxs[u]
+	if !rec.live {
+		return nil
+	}
+	return rec
+}
+
 // maybeFreeCtx reclaims a record once its return fired and all its callee
 // entries received their arguments.
-func (it *Interp) maybeFreeCtx(u token.Context, rec *ctxRecord) {
-	if rec.returned && rec.argsSent >= len(it.prog.Block(rec.block).Entries) {
-		delete(it.ctxs, u)
+func (it *Interp) maybeFreeCtx(rec *ctxRecord) {
+	if rec.returned && rec.argsSent >= len(it.cg.Block(rec.block).Entries) {
+		rec.live = false
+		it.ctxLive--
 		it.ctxFreed++
 	}
 }
@@ -208,49 +251,54 @@ func (it *Interp) inject(act token.ActivityName, port uint8, v token.Value) {
 	it.next = append(it.next, tok{act: act, port: port, value: v})
 }
 
-// deliver routes one token: either fires its instruction or parks it in the
-// waiting-matching store.
+// deliver routes one token: either fires its instruction or parks it in
+// its activation frame's statically-assigned match slot.
 func (it *Interp) deliver(t tok) error {
-	blk := it.prog.Block(BlockID(t.act.CodeBlock))
-	in := blk.Instr(t.act.Statement)
-	nt := in.NT
-	if nt <= 1 {
+	cb := &it.cg.Blocks[t.act.CodeBlock]
+	in := &cb.Instrs[t.act.Statement]
+	if in.NT <= 1 {
 		var vals [2]token.Value
 		vals[t.port] = t.value
-		return it.fire(blk, in, t.act, vals)
+		return it.fire(in, t.act, vals)
 	}
-	p, ok := it.waiting[t.act]
-	if !ok {
-		p = &partial{}
-		it.waiting[t.act] = p
-	}
+	fr, p := it.frames.slot(t.act, cb, in.MatchSlot)
 	if p.have[t.port] {
 		return fmt.Errorf("graph: duplicate token at %s port %d", t.act, t.port)
+	}
+	if !p.have[0] && !p.have[1] {
+		fr.occupied++
+		it.parked++
 	}
 	p.vals[t.port] = t.value
 	p.have[t.port] = true
 	if p.have[0] && p.have[1] {
-		delete(it.waiting, t.act)
-		return it.fire(blk, in, t.act, p.vals)
+		vals := p.vals
+		*p = partial{}
+		fr.occupied--
+		it.parked--
+		if fr.occupied == 0 {
+			it.frames.release(fr)
+		}
+		return it.fire(in, t.act, vals)
 	}
 	return nil
 }
 
 // operands assembles the full operand vector, merging literals.
-func operands(in *Instruction, vals [2]token.Value) [2]token.Value {
-	if in.HasLiteral {
-		vals[in.LiteralPort] = in.Literal
+func operands(in *CInstr, vals [2]token.Value) [2]token.Value {
+	if in.HasLit {
+		vals[in.LitPort] = in.Lit
 	}
 	return vals
 }
 
-func (it *Interp) fire(blk *CodeBlock, in *Instruction, act token.ActivityName, vals [2]token.Value) error {
+func (it *Interp) fire(in *CInstr, act token.ActivityName, vals [2]token.Value) error {
 	it.fired++
 	if n := len(it.profile); n > 0 {
 		it.profile[n-1]++
 	}
 	ops := operands(in, vals)
-	emit := func(dests []Dest, v token.Value) {
+	emit := func(dests []CDest, v token.Value) {
 		for _, d := range dests {
 			it.inject(token.ActivityName{
 				Context:    act.Context,
@@ -261,18 +309,14 @@ func (it *Interp) fire(blk *CodeBlock, in *Instruction, act token.ActivityName, 
 		}
 	}
 
-	switch {
-	case in.Op.IsPure():
+	switch in.Kind {
+	case KindPure:
 		v, err := Eval(in.Op, ops[0], ops[1])
 		if err != nil {
 			return fmt.Errorf("%v at %s %s", err, act, in.Op)
 		}
 		emit(in.Dests, v)
-		return nil
-	}
-
-	switch in.Op {
-	case OpSwitch:
+	case KindSwitch:
 		c, err := ops[1].AsBool()
 		if err != nil {
 			return fmt.Errorf("switch control at %s: %v", act, err)
@@ -282,41 +326,46 @@ func (it *Interp) fire(blk *CodeBlock, in *Instruction, act token.ActivityName, 
 		} else {
 			emit(in.DestsFalse, ops[0])
 		}
-	case OpGetContext:
+	case KindGetContext:
 		u := it.nextCtx
 		it.nextCtx++
-		if live := len(it.ctxs) + 1; live > it.ctxPeak {
-			it.ctxPeak = live
+		for uint64(len(it.ctxs)) <= uint64(u) {
+			it.ctxs = append(it.ctxs, ctxRecord{})
 		}
-		it.ctxs[u] = &ctxRecord{
+		it.ctxs[u] = ctxRecord{
 			block:       in.Target,
 			parent:      act,
 			parentBlock: BlockID(act.CodeBlock),
-			returnDests: in.ReturnDests,
+			returnDests: in.RetDests,
+			live:        true,
+		}
+		it.ctxLive++
+		if it.ctxLive > it.ctxPeak {
+			it.ctxPeak = it.ctxLive
 		}
 		emit(in.Dests, token.Int(int64(u)))
-	case OpSendArg, OpL:
+	case KindSendArg:
 		h, err := ops[0].AsInt()
 		if err != nil {
 			return fmt.Errorf("%s handle at %s: %v", in.Op, act, err)
 		}
-		rec, ok := it.ctxs[token.Context(h)]
-		if !ok {
+		rec := it.ctx(token.Context(h))
+		if rec == nil {
 			return fmt.Errorf("%s at %s: unknown context %d", in.Op, act, h)
 		}
-		callee := it.prog.Block(rec.block)
+		callee := it.cg.Block(rec.block)
 		if int(in.ArgIndex) >= len(callee.Entries) {
 			return fmt.Errorf("%s at %s: arg %d exceeds %q entries", in.Op, act, in.ArgIndex, callee.Name)
 		}
 		rec.argsSent++
-		it.maybeFreeCtx(token.Context(h), rec)
+		it.maybeFreeCtx(rec)
 		it.inject(token.ActivityName{
 			Context:    token.Context(h),
 			CodeBlock:  uint16(rec.block),
 			Statement:  callee.Entries[in.ArgIndex],
 			Initiation: 1,
 		}, 0, ops[1])
-	case OpD:
+	case KindD:
 		for _, d := range in.Dests {
 			it.inject(token.ActivityName{
 				Context:    act.Context,
@@ -325,7 +374,7 @@ func (it *Interp) fire(blk *CodeBlock, in *Instruction, act token.ActivityName, 
 				Initiation: act.Initiation + 1,
 			}, d.Port, ops[0])
 		}
-	case OpDInv:
+	case KindDInv:
 		for _, d := range in.Dests {
 			it.inject(token.ActivityName{
 				Context:    act.Context,
@@ -334,17 +383,17 @@ func (it *Interp) fire(blk *CodeBlock, in *Instruction, act token.ActivityName, 
 				Initiation: 1,
 			}, d.Port, ops[0])
 		}
-	case OpReturn, OpLInv:
+	case KindReturn:
 		if act.Context == 0 {
 			it.results = append(it.results, ops[0])
 			return nil
 		}
-		rec, ok := it.ctxs[act.Context]
-		if !ok {
+		rec := it.ctx(act.Context)
+		if rec == nil {
 			return fmt.Errorf("%s at %s: unknown context", in.Op, act)
 		}
 		rec.returned = true
-		it.maybeFreeCtx(act.Context, rec)
+		it.maybeFreeCtx(rec)
 		for _, d := range rec.returnDests {
 			it.inject(token.ActivityName{
 				Context:    rec.parent.Context,
@@ -353,7 +402,7 @@ func (it *Interp) fire(blk *CodeBlock, in *Instruction, act token.ActivityName, 
 				Initiation: rec.parent.Initiation,
 			}, d.Port, ops[0])
 		}
-	case OpAllocate:
+	case KindAllocate:
 		n, err := ops[0].AsInt()
 		if err != nil || n < 0 {
 			return fmt.Errorf("allocate at %s: bad size %s", act, ops[0])
@@ -361,7 +410,7 @@ func (it *Interp) fire(blk *CodeBlock, in *Instruction, act token.ActivityName, 
 		base := len(it.store.cells)
 		it.store.cells = append(it.store.cells, make([]idealCell, n)...)
 		emit(in.Dests, token.NewRef(token.Ref{Base: uint32(base), Len: uint32(n)}))
-	case OpFetch:
+	case KindFetch:
 		addr, err := ops[0].AsInt()
 		if err != nil || addr < 0 || int(addr) >= len(it.store.cells) {
 			return fmt.Errorf("fetch at %s: bad address %s", act, ops[0])
@@ -379,7 +428,7 @@ func (it *Interp) fire(blk *CodeBlock, in *Instruction, act token.ActivityName, 
 		if it.store.deferred > it.store.deferMax {
 			it.store.deferMax = it.store.deferred
 		}
-	case OpStore:
+	case KindStore:
 		addr, err := ops[0].AsInt()
 		if err != nil || addr < 0 || int(addr) >= len(it.store.cells) {
 			return fmt.Errorf("store at %s: bad address %s", act, ops[0])
@@ -401,10 +450,8 @@ func (it *Interp) fire(blk *CodeBlock, in *Instruction, act token.ActivityName, 
 		}
 		it.store.deferred -= len(cell.waiters)
 		cell.waiters, cell.waitActs = nil, nil
-	case OpSink:
+	case KindSink, KindNop:
 		// absorbed
-	case OpNop:
-		// nothing
 	default:
 		return fmt.Errorf("graph: interpreter cannot execute %s", in.Op)
 	}

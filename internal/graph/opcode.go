@@ -99,6 +99,10 @@ const (
 	opcodeCount
 )
 
+// NumOpcodes is the number of defined opcodes; valid opcodes are
+// 0 <= op < NumOpcodes. Useful for dense per-opcode tables.
+const NumOpcodes = int(opcodeCount)
+
 var opcodeNames = [...]string{
 	OpNop:        "NOP",
 	OpIdentity:   "ID",

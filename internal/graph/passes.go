@@ -1,0 +1,254 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/token"
+)
+
+// Optional compile passes, layered on the identity elision of optimize.go.
+// Both rewrite the instruction stream — firing counts and machine cycle
+// counts change — so neither runs in the default pipeline (the golden
+// tests pin default-pipeline timing bit-for-bit). They are reached through
+// Compile's WithConstantFolding / WithDeadArcElimination options, which
+// apply them to a private clone.
+
+// FoldStats reports what FoldConstants did.
+type FoldStats struct {
+	// LiteralsAbsorbed counts CONST outputs absorbed into a consumer's
+	// literal operand (the consumer drops from two token operands to one).
+	LiteralsAbsorbed int
+	// Folded counts pure instructions whose value became fully known and
+	// were rewritten into CONST generators.
+	Folded int
+	// Sunk counts CONST generators left with no consumers and demoted to
+	// SINK (their trigger token still needs absorbing).
+	Sunk int
+}
+
+// FoldConstants propagates statically-known values through the graph:
+//
+//   - a CONST whose output is the sole arc into a port of a two-operand
+//     pure consumer is absorbed as that consumer's literal operand;
+//   - a pure instruction whose remaining token port is fed solely by a
+//     CONST — so its full operand vector is known — is evaluated at
+//     compile time and becomes a CONST generator itself, triggered by the
+//     same arc (firing still waits on the producer's token, preserving
+//     deadlock behaviour);
+//   - a CONST left with no consumers is demoted to SINK so its trigger
+//     token is still absorbed.
+//
+// Entry statements are never folded into (they receive externally
+// addressed tokens). Folding that exposes a latent fault — e.g. a constant
+// division by zero — is rejected with an error rather than baking the
+// fault into the program. Cyclic constant wiring (a CONST triggering
+// itself, directly or through other CONSTs) is left unfolded: every
+// rewrite strictly reduces either the arc count or the count of foldable
+// instructions, so the pass terminates without touching the cycle.
+func FoldConstants(p *Program) (FoldStats, error) {
+	var stats FoldStats
+	for {
+		changed := false
+		for _, blk := range p.Blocks {
+			c, err := foldBlock(blk, &stats)
+			if err != nil {
+				return stats, err
+			}
+			changed = changed || c
+		}
+		if !changed {
+			break
+		}
+	}
+	return stats, nil
+}
+
+// constProducer returns the CONST instruction that is the sole arc into
+// port p of statement s, or nil when the port has any other producer (or
+// more than one arc).
+func constProducer(blk *CodeBlock, s uint16, p uint8) *Instruction {
+	var producer *Instruction
+	arcs := 0
+	for i := range blk.Instrs {
+		in := &blk.Instrs[i]
+		for _, list := range [][]Dest{in.Dests, in.DestsFalse, in.ReturnDests} {
+			for _, d := range list {
+				if d.Stmt == s && d.Port == p {
+					arcs++
+					producer = in
+				}
+			}
+		}
+	}
+	if arcs != 1 || producer.Op != OpConst || !producer.HasLiteral || producer.LiteralPort != 1 {
+		return nil
+	}
+	return producer
+}
+
+// removeArc deletes the first arc to (s, p) from in.Dests.
+func removeArc(in *Instruction, s uint16, p uint8) {
+	for i, d := range in.Dests {
+		if d.Stmt == s && d.Port == p {
+			in.Dests = append(in.Dests[:i], in.Dests[i+1:]...)
+			return
+		}
+	}
+}
+
+func foldBlock(blk *CodeBlock, stats *FoldStats) (bool, error) {
+	entry := map[uint16]bool{}
+	for _, e := range blk.Entries {
+		entry[e] = true
+	}
+	changed := false
+	for s := range blk.Instrs {
+		in := &blk.Instrs[s]
+		if !in.Op.IsPure() || in.Op == OpConst || entry[uint16(s)] {
+			continue
+		}
+		switch {
+		case in.NT == 2 && !in.HasLiteral:
+			// Absorb one CONST input as a literal operand.
+			for _, p := range []uint8{0, 1} {
+				c := constProducer(blk, uint16(s), p)
+				if c == nil {
+					continue
+				}
+				in.HasLiteral = true
+				in.Literal = c.Literal
+				in.LiteralPort = p
+				in.NT = 1
+				removeArc(c, uint16(s), p)
+				stats.LiteralsAbsorbed++
+				changed = true
+				break
+			}
+		case in.NT == 1:
+			// Fully-constant instruction: the one token port fed solely by
+			// a CONST makes the whole operand vector known.
+			var port uint8
+			if in.HasLiteral && in.LiteralPort == 0 {
+				port = 1
+			}
+			c := constProducer(blk, uint16(s), port)
+			if c == nil || c == in {
+				continue
+			}
+			var vals [2]token.Value
+			vals[port] = c.Literal
+			if in.HasLiteral {
+				vals[in.LiteralPort] = in.Literal
+			}
+			v, err := Eval(in.Op, vals[0], vals[1])
+			if err != nil {
+				return false, fmt.Errorf("graph: constant folding at block %q s%d (%s): %v", blk.Name, s, in.Op, err)
+			}
+			in.Op = OpConst
+			in.HasLiteral = true
+			in.Literal = v
+			in.LiteralPort = 1
+			in.NT = 1
+			if port != 0 {
+				// The producer's arc becomes the CONST trigger (port 0).
+				retargetArc(c, uint16(s), port, 0)
+			}
+			stats.Folded++
+			changed = true
+		}
+	}
+	// Demote consumer-less CONSTs to SINK: the trigger token must still be
+	// absorbed, but there is no longer a value to generate.
+	for s := range blk.Instrs {
+		in := &blk.Instrs[s]
+		if in.Op == OpConst && len(in.Dests) == 0 {
+			in.Op = OpSink
+			in.HasLiteral = false
+			in.Literal = token.Value{}
+			in.LiteralPort = 0
+			in.NT = 1
+			stats.Sunk++
+			changed = true
+		}
+	}
+	return changed, nil
+}
+
+// retargetArc moves the first arc to (s, from) in in.Dests to port to.
+func retargetArc(in *Instruction, s uint16, from, to uint8) {
+	for i, d := range in.Dests {
+		if d.Stmt == s && d.Port == from {
+			in.Dests[i].Port = to
+			return
+		}
+	}
+}
+
+// DeadArcStats reports what EliminateDeadArcs did.
+type DeadArcStats struct {
+	// StatementsRemoved counts live instructions rewritten to NOP.
+	StatementsRemoved int
+	// ArcsRemoved counts destination entries dropped with them.
+	ArcsRemoved int
+}
+
+// EliminateDeadArcs removes statements (and their outgoing arcs) that no
+// execution can reach: the transitive closure from the entry block's entry
+// statements, following destination arcs, GET-CONTEXT return arcs, and
+// call linkage (a reachable GET-CONTEXT makes its target block's entries
+// reachable). Unreachable statements become NOPs; arcs into them can only
+// originate from other unreachable statements, so dropping the outgoing
+// lists of the unreachable set removes every dead arc — including arcs a
+// dead statement aimed at a live entry statement.
+func EliminateDeadArcs(p *Program) DeadArcStats {
+	reach := make([][]bool, len(p.Blocks))
+	for i, b := range p.Blocks {
+		reach[i] = make([]bool, len(b.Instrs))
+	}
+	type site struct {
+		blk  BlockID
+		stmt uint16
+	}
+	var work []site
+	mark := func(b BlockID, s uint16) {
+		if !reach[b][s] {
+			reach[b][s] = true
+			work = append(work, site{b, s})
+		}
+	}
+	for _, e := range p.Entry().Entries {
+		mark(0, e)
+	}
+	for len(work) > 0 {
+		w := work[len(work)-1]
+		work = work[:len(work)-1]
+		in := p.Blocks[w.blk].Instr(w.stmt)
+		for _, d := range in.Dests {
+			mark(w.blk, d.Stmt)
+		}
+		for _, d := range in.DestsFalse {
+			mark(w.blk, d.Stmt)
+		}
+		if in.Op == OpGetContext {
+			for _, d := range in.ReturnDests {
+				mark(w.blk, d.Stmt)
+			}
+			for _, e := range p.Blocks[in.Target].Entries {
+				mark(in.Target, e)
+			}
+		}
+	}
+	var stats DeadArcStats
+	for bi, blk := range p.Blocks {
+		for s := range blk.Instrs {
+			if reach[bi][s] || blk.Instrs[s].Op == OpNop {
+				continue
+			}
+			in := &blk.Instrs[s]
+			stats.StatementsRemoved++
+			stats.ArcsRemoved += len(in.Dests) + len(in.DestsFalse) + len(in.ReturnDests)
+			*in = Instruction{Op: OpNop}
+		}
+	}
+	return stats
+}

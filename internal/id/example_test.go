@@ -44,12 +44,12 @@ def main(n) =
 		fmt.Println("error:", err)
 		return
 	}
-	st := prog.Stats()
 	fmt.Printf("blocks: %d\n", len(prog.Blocks))
 	// three circulating variables: the index i, the accumulator s, and
 	// the loop bound n (an imported loop constant)
 	fmt.Printf("L: %d  D: %d  D-1: %d  L-1: %d\n",
-		st[graph.OpL], st[graph.OpD], st[graph.OpDInv], st[graph.OpLInv])
+		prog.CountOp(graph.OpL), prog.CountOp(graph.OpD),
+		prog.CountOp(graph.OpDInv), prog.CountOp(graph.OpLInv))
 	// Output:
 	// blocks: 2
 	// L: 3  D: 3  D-1: 1  L-1: 1

@@ -1,0 +1,82 @@
+package id
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/token"
+)
+
+// FuzzCompiledEquivalence is the differential fuzz target for the
+// ahead-of-time compilation stage: any MiniID program that compiles must
+// behave bit-identically on the cycle-accurate machine whether the machine
+// interprets the graph IR or executes the compiled plan — same results,
+// same error disposition, same cycle count, same statistics. A third run
+// with the optional rewrite passes (constant folding, dead-arc
+// elimination) must preserve the answer, though not the timing.
+func FuzzCompiledEquivalence(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s, int64(3))
+	}
+	f.Add("def main(n) = (initial s <- 0 for i from 1 to n do new s <- s + i * i return s);", int64(6))
+	f.Add("def f(x) = if x < 2 then 1 else x * f(x - 1);\ndef main(n) = f(n);", int64(5))
+	f.Add("def main(n) = { a = array(n + 1); a[0] <- 2 + 3 * 4; a[0] + (7 - 7) };", int64(2))
+	f.Fuzz(func(t *testing.T, src string, n int64) {
+		n &= 7 // keep runs tiny: the machine is cycle-accurate
+		prog, err := Compile(src)
+		if err != nil {
+			return
+		}
+		var ints []token.Value
+		for range prog.Entry().Entries {
+			ints = append(ints, token.Int(n))
+		}
+		args, err := EntryArgs(prog, ints)
+		if err != nil {
+			return
+		}
+
+		type run struct {
+			ok   bool
+			vals string
+			sum  core.Summary
+		}
+		// The cycle budget is deliberately small: fuzz programs are tiny,
+		// and a generated infinite recursion must exhaust it inside the
+		// fuzzer's per-input deadline. Both dispatch modes share the budget,
+		// so a timeout is itself compared for equivalence.
+		exec := func(m *core.Machine) run {
+			res, err := m.Run(200_000, args...)
+			if err != nil {
+				return run{}
+			}
+			return run{ok: true, vals: stringify(res), sum: m.Summarize()}
+		}
+
+		interp := exec(core.NewMachine(core.Config{PEs: 3, NetLatency: 3}, prog))
+		compiled := exec(core.NewMachine(core.Config{PEs: 3, NetLatency: 3, Compiled: true}, prog))
+		if interp != compiled {
+			t.Fatalf("compiled dispatch diverged from interpreted:\n  interpreted %+v\n  compiled    %+v\nprogram:\n%s", interp, compiled, src)
+		}
+
+		// Rewrite passes change timing but never the answer (they refuse to
+		// compile programs whose folded constants fault).
+		plan, err := graph.Compile(prog, graph.WithConstantFolding(), graph.WithDeadArcElimination())
+		if err != nil {
+			return
+		}
+		optimized := exec(core.NewMachineWithPlan(core.Config{PEs: 3, NetLatency: 3}, plan))
+		if interp.ok && (!optimized.ok || optimized.vals != interp.vals) {
+			t.Fatalf("rewrite passes changed the answer: %+v -> %+v\nprogram:\n%s", interp, optimized, src)
+		}
+	})
+}
+
+func stringify(vals []token.Value) string {
+	s := ""
+	for _, v := range vals {
+		s += v.String() + ";"
+	}
+	return s
+}

@@ -524,15 +524,42 @@ def main(n) =
 	if err != nil {
 		t.Fatal(err)
 	}
-	st := prog.Stats()
-	if st[graph.OpL] < 2 || st[graph.OpD] < 2 || st[graph.OpLInv] != 1 || st[graph.OpDInv] != 1 {
-		t.Fatalf("loop operators missing from compiled graph: %v", st)
+	if prog.CountOp(graph.OpL) < 2 || prog.CountOp(graph.OpD) < 2 ||
+		prog.CountOp(graph.OpLInv) != 1 || prog.CountOp(graph.OpDInv) != 1 {
+		t.Fatalf("loop operators missing from compiled graph: %v", prog.Stats())
 	}
-	if st[graph.OpGetContext] != 1 || st[graph.OpSwitch] < 2 {
-		t.Fatalf("unexpected graph shape: %v", st)
+	if prog.CountOp(graph.OpGetContext) != 1 || prog.CountOp(graph.OpSwitch) < 2 {
+		t.Fatalf("unexpected graph shape: %v", prog.Stats())
 	}
 	if len(prog.Blocks) != 2 {
 		t.Fatalf("loop must compile to its own code block, got %d blocks", len(prog.Blocks))
+	}
+}
+
+func TestCompilePlanMatchesInterpreter(t *testing.T) {
+	src := `
+def main(n) =
+  (initial s <- 0
+   for i from 1 to n do new s <- s + i * 3 return s + 2);
+`
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := CompilePlan(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := graph.NewInterp(prog).Run(token.Int(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := graph.NewInterpPlan(plan).Run(token.Int(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !got[0].Equal(want[0]) {
+		t.Fatalf("CompilePlan run = %v, interpreter = %v", got, want)
 	}
 }
 

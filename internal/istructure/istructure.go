@@ -91,11 +91,115 @@ type Stats struct {
 	Busy metrics.Counter
 }
 
-// pageBits sizes the lazily-allocated cell pages (1<<pageBits cells per
-// page). Modules are routinely configured with tens of thousands of cells
-// of which a run touches a handful; paging keeps construction O(1) and
-// the garbage collector away from untouched storage.
-const pageBits = 10
+// cellTable stores the module's touched cells: an open-addressed hash
+// table keyed by module-relative cell index over a slab of cell records
+// (the matchtable idiom from internal/core). Modules are routinely
+// configured with tens of thousands of cells of which a run touches a
+// handful; hashing makes construction allocation-free and run cost
+// proportional to the cells actually used, where the earlier page array
+// paid a headers slice sized for the whole address space per module.
+// Cells are never deleted (OpClear resets a cell in place), so the table
+// needs no tombstones or backward-shift machinery.
+type cellTable struct {
+	keys []uint32
+	// idx[b] is the slab index of the entry in bucket b, or cellEmpty.
+	idx  []int32
+	mask uint32
+	n    int
+	slab []cell
+}
+
+const cellEmpty = int32(-1)
+
+func (t *cellTable) init(buckets int) {
+	t.keys = make([]uint32, buckets)
+	t.idx = make([]int32, buckets)
+	for i := range t.idx {
+		t.idx[i] = cellEmpty
+	}
+	t.mask = uint32(buckets - 1)
+	t.n = 0
+}
+
+// hashCell is a fixed (seedless) 32-bit mix so runs stay reproducible.
+func hashCell(k uint32) uint32 {
+	k ^= k >> 16
+	k *= 0x7feb352d
+	k ^= k >> 15
+	k *= 0x846ca68b
+	k ^= k >> 16
+	return k
+}
+
+// lookup returns the cell for index k, or nil when never touched. The
+// pointer stays valid until the next get (which may grow the slab).
+func (t *cellTable) lookup(k uint32) *cell {
+	if t.n == 0 {
+		return nil
+	}
+	b := hashCell(k) & t.mask
+	for {
+		s := t.idx[b]
+		if s == cellEmpty {
+			return nil
+		}
+		if t.keys[b] == k {
+			return &t.slab[s]
+		}
+		b = (b + 1) & t.mask
+	}
+}
+
+// get returns the cell for index k, inserting a zeroed (Empty) one when
+// absent.
+func (t *cellTable) get(k uint32) *cell {
+	if t.idx == nil {
+		t.init(16)
+	}
+	b := hashCell(k) & t.mask
+	for {
+		s := t.idx[b]
+		if s == cellEmpty {
+			break
+		}
+		if t.keys[b] == k {
+			return &t.slab[s]
+		}
+		b = (b + 1) & t.mask
+	}
+	if uint32(t.n) >= (t.mask+1)/4*3 {
+		t.grow()
+		b = hashCell(k) & t.mask
+		for t.idx[b] != cellEmpty {
+			b = (b + 1) & t.mask
+		}
+	}
+	s := int32(len(t.slab))
+	t.slab = append(t.slab, cell{})
+	t.keys[b] = k
+	t.idx[b] = s
+	t.n++
+	return &t.slab[s]
+}
+
+// grow doubles the bucket array and rehashes every binding.
+func (t *cellTable) grow() {
+	oldKeys, oldIdx := t.keys, t.idx
+	t.init(int(2 * (t.mask + 1)))
+	n := 0
+	for b, s := range oldIdx {
+		if s != cellEmpty {
+			bb := hashCell(oldKeys[b]) & t.mask
+			for t.idx[bb] != cellEmpty {
+				bb = (bb + 1) & t.mask
+			}
+			t.keys[bb] = oldKeys[b]
+			t.idx[bb] = s
+			n++
+		}
+	}
+	t.n = n
+}
 
 // Module is a cycle-stepped I-structure storage controller serving the
 // address range [Base, Base+Size). Requests queue at the controller; a
@@ -104,7 +208,7 @@ const pageBits = 10
 // presence bits").
 type Module struct {
 	base, size uint32
-	pages      [][]cell // lazily allocated, pageBits cells each
+	cells      cellTable // touched cells only
 	respond    func(Response)
 
 	readTime, writeTime sim.Cycle
@@ -115,25 +219,13 @@ type Module struct {
 	strict              bool
 }
 
-// cellAt returns the cell for module-relative index i, allocating its
-// page on first touch.
-func (m *Module) cellAt(i uint32) *cell {
-	pg := i >> pageBits
-	if m.pages[pg] == nil {
-		m.pages[pg] = make([]cell, 1<<pageBits)
-	}
-	return &m.pages[pg][i&(1<<pageBits-1)]
-}
+// cellAt returns the cell for module-relative index i, materializing it
+// (state Empty) on first touch.
+func (m *Module) cellAt(i uint32) *cell { return m.cells.get(i) }
 
-// peekCell returns the cell for index i without allocating, or nil when
-// its page was never touched (state Empty, value nil).
-func (m *Module) peekCell(i uint32) *cell {
-	pg := m.pages[i>>pageBits]
-	if pg == nil {
-		return nil
-	}
-	return &pg[i&(1<<pageBits-1)]
-}
+// peekCell returns the cell for index i without materializing, or nil when
+// it was never touched (state Empty, value nil).
+func (m *Module) peekCell(i uint32) *cell { return m.cells.lookup(i) }
 
 // Config parameterizes a module.
 type Config struct {
@@ -161,7 +253,6 @@ func New(cfg Config) *Module {
 	m := &Module{
 		base:      cfg.Base,
 		size:      cfg.Size,
-		pages:     make([][]cell, (uint64(cfg.Size)+(1<<pageBits)-1)>>pageBits),
 		respond:   cfg.Respond,
 		readTime:  cfg.ReadTime,
 		writeTime: cfg.WriteTime,

@@ -16,12 +16,20 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/token"
 )
 
 // Packet is one message in flight.
 type Packet struct {
 	Src, Dst int
 	Payload  interface{}
+
+	// Tok is the inline fast path for token payloads (valid when HasTok is
+	// set). Tokens are by far the most common message; carrying them as a
+	// struct field instead of boxing them into Payload keeps the send path
+	// allocation-free when packets are recycled.
+	Tok    token.Token
+	HasTok bool
 
 	// InjectedAt is stamped by Send for latency accounting.
 	InjectedAt sim.Cycle

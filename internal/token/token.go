@@ -107,11 +107,14 @@ const (
 )
 
 // Token is the complete packet circulated by the machine,
-// <d, PE, tag, nt, port, data>.
+// <d, PE, tag, nt, port, data>. Field order groups the three one-byte
+// fields after the tag so the struct packs tightly; tokens are the
+// simulators' unit of data movement and their size is a first-order
+// throughput factor.
 type Token struct {
-	Class Class // d
 	PE    int   // destination processing element number
 	Tag   Tag   // activity name (plus mapping info)
+	Class Class // d
 	NT    uint8 // total number of operands the target instruction needs
 	Port  uint8 // which operand this token supplies
 	Value Value // the datum
