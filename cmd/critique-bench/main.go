@@ -11,14 +11,18 @@
 //	critique-bench -markdown   # emit the EXPERIMENTS.md body
 //	critique-bench -bench BENCH.json   # also write kernel-speed measurements
 //	critique-bench -conformance 25     # cross-machine conformance smoke run
+//	critique-bench -checkpoint-every 2000      # split-run self-check
+//	critique-bench -resume CKPT.bin            # resume and verify the split run
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
 	"strings"
 	"time"
@@ -51,7 +55,18 @@ func main() {
 	confSmoke := flag.Int("conformance", 0, "run N seeds of the cross-machine conformance harness and exit (nonzero exit on any violation)")
 	shards := flag.Int("shards", 0, "run shardable machines on the conservative parallel kernel with N shards (0 = sequential; results are bit-identical either way)")
 	compiled := flag.Bool("compiled", false, "run TTDA simulations through the ahead-of-time compiled execution plan (results are bit-identical either way)")
+	ckptEvery := flag.Uint64("checkpoint-every", 0, "run the kernel workload pausing every N cycles to checkpoint, verify the split run is cycle-for-cycle identical to a straight run, and exit")
+	ckptOut := flag.String("checkpoint-out", "critique-bench.ckpt", "checkpoint file for -checkpoint-every")
+	resumeFrom := flag.String("resume", "", "resume the kernel workload from this checkpoint file, verify against a straight run, and exit")
 	flag.Parse()
+
+	if *ckptEvery > 0 || *resumeFrom != "" {
+		if err := checkpointSelfCheck(*ckptEvery, *ckptOut, *resumeFrom); err != nil {
+			fmt.Fprintln(os.Stderr, "critique-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *confSmoke > 0 {
 		rep := conformance.Sweep(*confSmoke)
@@ -138,9 +153,120 @@ func main() {
 	}
 }
 
+// benchSchemaVersion identifies the layout of the -bench JSON document.
+// Bump it on any incompatible field change so downstream consumers (the
+// future content-addressed result cache) can refuse stale layouts instead
+// of misreading them.
+const benchSchemaVersion = 1
+
+// codeVersion stamps the producing binary from its embedded build info:
+// the VCS revision (suffixed +dirty when the tree was modified) when the
+// toolchain recorded one, else the main module version, else "unknown".
+func codeVersion() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	var rev, modified string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			modified = s.Value
+		}
+	}
+	if rev != "" {
+		if modified == "true" {
+			return rev + "+dirty"
+		}
+		return rev
+	}
+	if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		return bi.Main.Version
+	}
+	return "unknown"
+}
+
+// checkpointSelfCheck demonstrates and verifies split-run bit-identity on
+// the kernel workload (matmul(4) on 8 PEs): a run paused every `every`
+// cycles — or resumed from a prior checkpoint file — must match a
+// straight uninterrupted run cycle-for-cycle, statistic-for-statistic,
+// and byte-for-byte in its end-of-run checkpoint.
+func checkpointSelfCheck(every uint64, out, resumeFrom string) error {
+	prog, err := id.Compile(workload.MatMulID)
+	if err != nil {
+		return err
+	}
+	build := func() *core.Machine { return core.NewMachine(core.Config{PEs: 8}, prog) }
+	args := []token.Value{token.Int(4)}
+
+	ref := build()
+	if _, err := ref.Run(1_000_000_000, args...); err != nil {
+		return err
+	}
+	refBytes := sim.Checkpoint(ref)
+
+	m := build()
+	if resumeFrom != "" {
+		data, err := os.ReadFile(resumeFrom)
+		if err != nil {
+			return err
+		}
+		if err := sim.Restore(m, data); err != nil {
+			return fmt.Errorf("resume %s: %v", resumeFrom, err)
+		}
+		fmt.Printf("resumed from %s at cycle %d\n", resumeFrom, m.Engine().Now())
+	}
+	wrote := 0
+	for {
+		_, err := m.Run(splitBudget(every), args...)
+		if err == nil {
+			break
+		}
+		if !strings.Contains(err.Error(), "did not finish") {
+			return err
+		}
+		if every == 0 {
+			return fmt.Errorf("resumed run did not finish: %v", err)
+		}
+		if werr := os.WriteFile(out, sim.Checkpoint(m), 0o644); werr != nil {
+			return werr
+		}
+		wrote++
+	}
+	if got, want := m.Summarize().Cycles, ref.Summarize().Cycles; got != want {
+		return fmt.Errorf("split run took %d cycles, straight run %d — bit-identity broken", got, want)
+	}
+	if !bytes.Equal(sim.Checkpoint(m), refBytes) {
+		return fmt.Errorf("split run end state differs from straight run — bit-identity broken")
+	}
+	if wrote > 0 {
+		fmt.Printf("wrote %d checkpoints to %s\n", wrote, out)
+	}
+	fmt.Printf("checkpoint self-check passed: split run matches straight run (%d cycles, %d-byte end state)\n",
+		ref.Summarize().Cycles, len(refBytes))
+	return nil
+}
+
+// splitBudget is the per-Run cycle budget of the self-check loop: `every`
+// when periodic checkpointing is on, effectively unbounded when only
+// resuming.
+func splitBudget(every uint64) sim.Cycle {
+	if every == 0 {
+		return 1_000_000_000
+	}
+	return sim.Cycle(every)
+}
+
 // benchReport is the schema of the -bench JSON file, for tracking
 // simulator speed across revisions (BENCH_*.json).
 type benchReport struct {
+	// SchemaVersion and CodeVersion identify the document layout and the
+	// producing code revision; see benchSchemaVersion and codeVersion.
+	SchemaVersion int    `json:"schema_version"`
+	CodeVersion   string `json:"code_version"`
+
 	Quick bool `json:"quick"`
 	// GoMaxProcs is the scheduler-thread count of the measuring host. A
 	// 1-CPU environment cannot exhibit parallel-kernel speedup (the
@@ -392,6 +518,8 @@ func writeBench(path string, quick bool, selected []experiments.Result, sweepWal
 		return err
 	}
 	rep := benchReport{
+		SchemaVersion:    benchSchemaVersion,
+		CodeVersion:      codeVersion(),
 		Quick:            quick,
 		GoMaxProcs:       runtime.GOMAXPROCS(0),
 		SweepWallMs:      float64(sweepWall.Microseconds()) / 1e3,

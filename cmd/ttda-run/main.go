@@ -7,18 +7,26 @@
 //
 //	ttda-run [-pes 8] [-latency 2] [-args "0 1 100"] file.id
 //	ttda-run -demo trapezoid|matmul|fib|pc|wavefront|mergesort|collatz
+//	ttda-run -demo matmul -checkpoint-every 1000 -checkpoint-out m.ckpt
+//	ttda-run -demo matmul -resume m.ckpt
+//
+// A run split across checkpoint/resume is cycle-for-cycle identical to a
+// straight run: the checkpoint carries the engine clock, wake queue, and
+// every machine structure, so statistics and results match exactly.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/id"
 	"repro/internal/sim"
+	"repro/internal/token"
 	"repro/internal/workload"
 )
 
@@ -43,6 +51,9 @@ func main() {
 	limit := flag.Uint64("limit", 1_000_000_000, "cycle limit")
 	perPE := flag.Bool("per-pe", false, "print per-PE statistics")
 	traceN := flag.Int("trace", 0, "record and print the last N machine events")
+	ckptEvery := flag.Uint64("checkpoint-every", 0, "write a checkpoint to -checkpoint-out every N cycles while running (0 = never)")
+	ckptOut := flag.String("checkpoint-out", "ttda.ckpt", "checkpoint file for -checkpoint-every")
+	resume := flag.String("resume", "", "resume from a checkpoint file (program, -pes, and -latency must match the saving run)")
 	flag.Parse()
 
 	var src string
@@ -101,7 +112,17 @@ func main() {
 		cfg.Trace = tracer
 	}
 	m := core.NewMachine(cfg, prog)
-	res, err := m.Run(sim.Cycle(*limit), runArgs...)
+	if *resume != "" {
+		data, err := os.ReadFile(*resume)
+		if err != nil {
+			fatal(err)
+		}
+		if err := sim.Restore(m, data); err != nil {
+			fatal(fmt.Errorf("resume %s: %v", *resume, err))
+		}
+		fmt.Printf("resumed from %s at cycle %d\n", *resume, m.Engine().Now())
+	}
+	res, err := runWithCheckpoints(m, sim.Cycle(*limit), *ckptEvery, *ckptOut, runArgs)
 	if tracer != nil {
 		tracer.Dump(os.Stdout)
 	}
@@ -121,6 +142,38 @@ func main() {
 			fmt.Printf("  PE%-3d fired=%-8d util=%.3f match peak=%d\n",
 				i, ps.Fired.Value(), ps.ALU.Fraction(), ps.MatchStoreOccupancy.Max())
 		}
+	}
+}
+
+// runWithCheckpoints drives the machine to completion, pausing every
+// `every` cycles to write a checkpoint (atomically irrelevant here: the
+// file is a debugging/restart artifact, and a torn write is rejected by
+// Restore's framing). every == 0 is a plain straight-through run. The
+// split run is cycle-for-cycle identical to a straight one: pausing and
+// checkpointing never perturb machine state.
+func runWithCheckpoints(m *core.Machine, limit sim.Cycle, every uint64, out string, args []token.Value) ([]token.Value, error) {
+	if every == 0 {
+		return m.Run(limit, args...)
+	}
+	wrote := 0
+	for {
+		res, err := m.Run(sim.Cycle(every), args...)
+		if err == nil {
+			if wrote > 0 {
+				fmt.Printf("wrote %d checkpoints to %s\n", wrote, out)
+			}
+			return res, nil
+		}
+		if !strings.Contains(err.Error(), "did not finish") {
+			return nil, err
+		}
+		if m.Engine().Now() >= limit {
+			return nil, fmt.Errorf("program did not finish within %d cycles", limit)
+		}
+		if werr := os.WriteFile(out, sim.Checkpoint(m), 0o644); werr != nil {
+			return nil, werr
+		}
+		wrote++
 	}
 }
 

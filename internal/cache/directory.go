@@ -33,9 +33,13 @@ type DirectorySystem struct {
 	hitDone   []sim.Cycle
 	dirQueue  []dirMsg
 	dirBusyAt sim.Cycle
-	events    *sim.EventQueue
-	lruTick   uint64
-	pending   int
+	// events holds in-flight point-to-point messages (requests travelling
+	// to the directory, installs travelling back) ordered by (at, seq).
+	// Typed rather than closure-based so a checkpoint can carry them.
+	events  []dirEvent
+	evSeq   uint64
+	lruTick uint64
+	pending int
 	// settled marks the cycle through which DirQueueLen samples are
 	// accounted, for lazy settlement of jumped-over cycles.
 	settled sim.Cycle
@@ -63,6 +67,56 @@ type dirMsg struct {
 	a   Access
 }
 
+// dirEvent is one in-flight network message: a request on its way to the
+// directory (install=false, lands by appending to dirQueue) or a reply on
+// its way back to the requester (install=true, lands by installing the
+// block and completing the access).
+type dirEvent struct {
+	at      sim.Cycle
+	seq     uint64
+	install bool
+	cpu     int
+	a       Access
+}
+
+// schedule inserts an event keeping events sorted by (at, seq). seq grows
+// monotonically, so inserting after every event with at <= t preserves
+// dispatch order.
+func (s *DirectorySystem) schedule(t sim.Cycle, install bool, cpu int, a Access) {
+	s.evSeq++
+	ev := dirEvent{at: t, seq: s.evSeq, install: install, cpu: cpu, a: a}
+	i := len(s.events)
+	for i > 0 && s.events[i-1].at > t {
+		i--
+	}
+	s.events = append(s.events, dirEvent{})
+	copy(s.events[i+1:], s.events[i:])
+	s.events[i] = ev
+}
+
+// runEvents delivers every message that has landed by now, in (at, seq)
+// order.
+func (s *DirectorySystem) runEvents(now sim.Cycle) {
+	for len(s.events) > 0 && s.events[0].at <= now {
+		ev := s.events[0]
+		copy(s.events, s.events[1:])
+		s.events = s.events[:len(s.events)-1]
+		if ev.install {
+			s.install(ev.cpu, ev.a)
+		} else {
+			s.dirQueue = append(s.dirQueue, dirMsg{cpu: ev.cpu, a: ev.a})
+		}
+	}
+}
+
+// eventsNext reports the earliest in-flight message arrival, or Never.
+func (s *DirectorySystem) eventsNext() sim.Cycle {
+	if len(s.events) == 0 {
+		return sim.Never
+	}
+	return s.events[0].at
+}
+
 // NewDirectorySystem returns a directory-coherent system for n processors
 // with the given point-to-point latency.
 func NewDirectorySystem(cfg Config, n int, netLatency sim.Cycle) *DirectorySystem {
@@ -80,7 +134,6 @@ func NewDirectorySystem(cfg Config, n int, netLatency sim.Cycle) *DirectorySyste
 		reqs:       make([][]Access, n),
 		busy:       make([]bool, n),
 		hitDone:    make([]sim.Cycle, n),
-		events:     sim.NewEventQueue(),
 	}
 	for i := range s.caches {
 		s.caches[i] = make([]line, cfg.Sets*cfg.Ways)
@@ -155,7 +208,7 @@ func (s *DirectorySystem) entry(block uint32) *dirEntry {
 // Step advances one cycle.
 func (s *DirectorySystem) Step(now sim.Cycle) {
 	s.settleThrough(now)
-	s.events.RunUntil(now)
+	s.runEvents(now)
 	s.DirQueueLen.Set(int64(len(s.dirQueue)))
 	s.DirQueueLen.Sample()
 	s.settled = now + 1
@@ -178,10 +231,7 @@ func (s *DirectorySystem) Step(now sim.Cycle) {
 		}
 		// miss or upgrade: message to the directory
 		s.busy[cpu] = true
-		cpu, a := cpu, a
-		s.events.At(now+s.netLatency, func() {
-			s.dirQueue = append(s.dirQueue, dirMsg{cpu: cpu, a: a})
-		})
+		s.schedule(now+s.netLatency, false, cpu, a)
 	}
 
 	// directory: serve one message per cycle
@@ -203,7 +253,7 @@ func (s *DirectorySystem) Step(now sim.Cycle) {
 // with a pending head always makes progress when stepped — it either
 // finishes a hit or dispatches to the directory).
 func (s *DirectorySystem) NextEvent(now sim.Cycle) sim.Cycle {
-	next := s.events.Next()
+	next := s.eventsNext()
 	if len(s.dirQueue) > 0 {
 		t := s.dirBusyAt
 		if t < now {
@@ -304,10 +354,7 @@ func (s *DirectorySystem) serve(now sim.Cycle, m dirMsg) {
 	// lands: full serialization in place of transient protocol states.
 	s.dirBusyAt = now + 1 + extra + s.netLatency
 
-	cpu, a := m.cpu, m.a
-	s.events.At(now+extra+s.netLatency, func() {
-		s.install(cpu, a)
-	})
+	s.schedule(now+extra+s.netLatency, true, m.cpu, m.a)
 }
 
 // install places the block in the requester's cache and completes.

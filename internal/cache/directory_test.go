@@ -7,13 +7,14 @@ import (
 	"repro/internal/sim"
 )
 
-// settleDir runs from the system's current clock (the event queue's time
-// is monotonic, so repeated settles must not restart at cycle 0).
+// settleDir runs from the system's current clock (the system's time is
+// monotonic, so repeated settles must not restart at cycle 0; settled is
+// one past the last stepped cycle).
 func settleDir(t *testing.T, s *DirectorySystem, limit int) int {
 	t.Helper()
 	eng := sim.NewEngine()
 	eng.Register(s)
-	eng.Advance(s.events.Now())
+	eng.Advance(s.settled)
 	elapsed, ok := eng.Run(func() bool { return !s.Pending() }, sim.Cycle(limit))
 	if !ok {
 		t.Fatalf("directory system did not settle in %d cycles", limit)

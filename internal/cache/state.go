@@ -1,0 +1,477 @@
+package cache
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Checkpoint format for the cache package. Both coherence systems carry
+// their complete dynamic state — cache lines, request queues, in-flight
+// messages, bus or directory occupancy, and metrics — so a restored system
+// continues bit-identically. Static configuration (Config, processor
+// count, network latency) is written only as a shape check: a checkpoint
+// refuses to load into a differently-built system.
+//
+// Access.Done callbacks cannot be serialized. Every in-tree driver issues
+// accesses with Done == nil (completion is observed through memory and
+// statistics); SaveState panics on a non-nil Done rather than silently
+// dropping the callback.
+
+func saveAccess(e *sim.Enc, a Access) {
+	if a.Done != nil {
+		panic("cache: cannot checkpoint an Access with a Done callback")
+	}
+	e.U32(a.Addr)
+	e.Bool(a.Write)
+	e.I64(a.Value)
+}
+
+func loadAccess(d *sim.Dec) Access {
+	return Access{Addr: d.U32(), Write: d.Bool(), Value: d.I64()}
+}
+
+func sameAccess(a, b Access) bool {
+	return a.Addr == b.Addr && a.Write == b.Write && a.Value == b.Value
+}
+
+func saveCaches(e *sim.Enc, caches [][]line) {
+	for cpu := range caches {
+		for i := range caches[cpu] {
+			l := &caches[cpu][i]
+			e.U8(uint8(l.state))
+			e.U32(l.tag)
+			e.U64(l.lru)
+		}
+	}
+}
+
+func loadCaches(d *sim.Dec, caches [][]line, lruTick uint64) {
+	for cpu := range caches {
+		for i := range caches[cpu] {
+			l := &caches[cpu][i]
+			st := d.U8()
+			if st > uint8(modified) {
+				d.Failf("cpu %d line %d: bad state %d", cpu, i, st)
+				return
+			}
+			l.state = lineState(st)
+			l.tag = d.U32()
+			l.lru = d.U64()
+			if l.lru > lruTick {
+				d.Failf("cpu %d line %d: lru %d beyond tick %d", cpu, i, l.lru, lruTick)
+				return
+			}
+		}
+	}
+}
+
+func saveCacheStats(e *sim.Enc, st *CacheStats) {
+	st.Hits.Save(e)
+	st.Misses.Save(e)
+	st.Upgrades.Save(e)
+	st.Invalidations.Save(e)
+	st.Writebacks.Save(e)
+}
+
+func loadCacheStats(d *sim.Dec, st *CacheStats) {
+	st.Hits.Load(d)
+	st.Misses.Load(d)
+	st.Upgrades.Load(d)
+	st.Invalidations.Load(d)
+	st.Writebacks.Load(d)
+}
+
+// saveShape writes the construction parameters shared by both systems; the
+// loader validates them against the receiving instance.
+func saveShape(e *sim.Enc, cfg Config, n int) {
+	e.Int(n)
+	e.Int(cfg.Sets)
+	e.Int(cfg.Ways)
+	e.Int(cfg.BlockWords)
+	e.Cycle(cfg.BusTime)
+	e.Cycle(cfg.MemTime)
+	e.Cycle(cfg.HitTime)
+}
+
+func checkShape(d *sim.Dec, cfg Config, n int) error {
+	if got := d.Int(); got != n {
+		return fmt.Errorf("checkpoint: cache: %d cpus, machine has %d", got, n)
+	}
+	want := []struct {
+		name string
+		v    int64
+	}{
+		{"sets", int64(cfg.Sets)},
+		{"ways", int64(cfg.Ways)},
+		{"blockwords", int64(cfg.BlockWords)},
+		{"bustime", int64(cfg.BusTime)},
+		{"memtime", int64(cfg.MemTime)},
+		{"hittime", int64(cfg.HitTime)},
+	}
+	for _, w := range want {
+		if got := d.I64(); got != w.v {
+			return fmt.Errorf("checkpoint: cache: %s %d, machine has %d", w.name, got, w.v)
+		}
+	}
+	return d.Err()
+}
+
+func saveMemory(e *sim.Enc, mem map[uint32]int64) {
+	sim.SaveU32Map(e, mem, func(e *sim.Enc, v int64) { e.I64(v) })
+}
+
+func loadMemory(d *sim.Dec, mem map[uint32]int64) error {
+	for k := range mem {
+		delete(mem, k)
+	}
+	return sim.LoadU32Map(d, mem, func(d *sim.Dec) int64 { return d.I64() })
+}
+
+func saveReqs(e *sim.Enc, reqs [][]Access) {
+	for cpu := range reqs {
+		e.Len(len(reqs[cpu]))
+		for _, a := range reqs[cpu] {
+			saveAccess(e, a)
+		}
+	}
+}
+
+func loadReqs(d *sim.Dec, reqs [][]Access) {
+	for cpu := range reqs {
+		n := d.Len(1 << 20)
+		reqs[cpu] = reqs[cpu][:0]
+		for i := 0; i < n; i++ {
+			reqs[cpu] = append(reqs[cpu], loadAccess(d))
+		}
+	}
+}
+
+// SaveState serializes the snoopy-bus system (sim.Stateful).
+func (s *System) SaveState(e *sim.Enc) {
+	e.Tag("cachesys", 1)
+	saveShape(e, s.cfg, len(s.caches))
+	saveCaches(e, s.caches)
+	for i := range s.stats {
+		saveCacheStats(e, &s.stats[i])
+	}
+	saveMemory(e, s.memory)
+	saveReqs(e, s.reqs)
+	for _, t := range s.hitDone {
+		e.Cycle(t)
+	}
+	e.Cycle(s.busBusyUntil)
+	e.Int(s.busRR)
+	e.Int(s.busOwner)
+	e.Cycle(s.busDoneAt)
+	e.U64(s.lruTick)
+	e.Cycle(s.settled)
+	s.BusTransactions.Save(e)
+	s.BusBusy.Save(e)
+}
+
+// LoadState restores the snoopy-bus system (sim.Stateful).
+func (s *System) LoadState(d *sim.Dec) error {
+	if err := d.Tag("cachesys", 1); err != nil {
+		return err
+	}
+	if err := checkShape(d, s.cfg, len(s.caches)); err != nil {
+		return err
+	}
+	n := len(s.caches)
+	lines := make([][]line, n)
+	for i := range lines {
+		lines[i] = make([]line, s.cfg.Sets*s.cfg.Ways)
+	}
+	stats := make([]CacheStats, n)
+	memory := map[uint32]int64{}
+	reqs := make([][]Access, n)
+	hitDone := make([]sim.Cycle, n)
+
+	// lruTick is written after the lines, so the lru bound is checked once
+	// everything is decoded.
+	loadCaches(d, lines, ^uint64(0))
+	for i := range stats {
+		loadCacheStats(d, &stats[i])
+	}
+	if err := loadMemory(d, memory); err != nil {
+		return err
+	}
+	loadReqs(d, reqs)
+	for i := range hitDone {
+		hitDone[i] = d.Cycle()
+	}
+	busBusyUntil := d.Cycle()
+	busRR := d.Int()
+	busOwner := d.Int()
+	busDoneAt := d.Cycle()
+	lruTick := d.U64()
+	settled := d.Cycle()
+	s.BusTransactions.Load(d)
+	s.BusBusy.Load(d)
+	if err := d.Err(); err != nil {
+		return err
+	}
+
+	if busRR < 0 || busRR >= n {
+		return fmt.Errorf("checkpoint: cache: bus round-robin %d out of range", busRR)
+	}
+	if busOwner < -1 || busOwner >= n {
+		return fmt.Errorf("checkpoint: cache: bus owner %d out of range", busOwner)
+	}
+	if busOwner >= 0 && len(reqs[busOwner]) == 0 {
+		return fmt.Errorf("checkpoint: cache: bus owner %d has no pending access", busOwner)
+	}
+	for cpu := range lines {
+		for i := range lines[cpu] {
+			if lines[cpu][i].lru > lruTick {
+				return fmt.Errorf("checkpoint: cache: cpu %d line %d lru %d beyond tick %d", cpu, i, lines[cpu][i].lru, lruTick)
+			}
+		}
+	}
+
+	s.caches = lines
+	s.stats = stats
+	s.memory = memory
+	s.reqs = reqs
+	s.hitDone = hitDone
+	s.busBusyUntil = busBusyUntil
+	s.busRR = busRR
+	s.busOwner = busOwner
+	s.busDoneAt = busDoneAt
+	s.lruTick = lruTick
+	s.settled = settled
+	if err := s.CheckInvariant(); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// SaveState serializes the directory system (sim.Stateful).
+func (s *DirectorySystem) SaveState(e *sim.Enc) {
+	e.Tag("cachedir", 1)
+	saveShape(e, s.cfg, len(s.caches))
+	e.Cycle(s.netLatency)
+	saveCaches(e, s.caches)
+	for i := range s.stats {
+		saveCacheStats(e, &s.stats[i])
+	}
+
+	// Directory entries, sorted by block. Entries with no owner and no
+	// sharers carry no information (entry() recreates them on demand), so
+	// they are skipped — the dump is canonical regardless of access
+	// history.
+	blocks := make([]uint32, 0, len(s.dir))
+	for b, de := range s.dir {
+		if de.owner >= 0 || len(de.sharers) > 0 {
+			blocks = append(blocks, b)
+		}
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	e.Len(len(blocks))
+	for _, b := range blocks {
+		de := s.dir[b]
+		e.U32(b)
+		e.Int(de.owner)
+		sh := make([]int, 0, len(de.sharers))
+		for cpu := range de.sharers {
+			sh = append(sh, cpu)
+		}
+		sort.Ints(sh)
+		e.Len(len(sh))
+		for _, cpu := range sh {
+			e.Int(cpu)
+		}
+	}
+
+	saveMemory(e, s.memory)
+	saveReqs(e, s.reqs)
+	for _, t := range s.hitDone {
+		e.Cycle(t)
+	}
+	e.Len(len(s.dirQueue))
+	for _, m := range s.dirQueue {
+		e.Int(m.cpu)
+		saveAccess(e, m.a)
+	}
+	e.Cycle(s.dirBusyAt)
+	e.U64(s.evSeq)
+	e.Len(len(s.events))
+	for _, ev := range s.events {
+		e.Cycle(ev.at)
+		e.U64(ev.seq)
+		e.Bool(ev.install)
+		e.Int(ev.cpu)
+		saveAccess(e, ev.a)
+	}
+	e.U64(s.lruTick)
+	e.Cycle(s.settled)
+	s.InvalidationMsgs.Save(e)
+	s.DirOps.Save(e)
+	s.DirQueueLen.Save(e)
+}
+
+// LoadState restores the directory system (sim.Stateful). The busy flags
+// and the pending count are not in the stream: each is re-derived — a cpu
+// is busy exactly when one in-flight message (directory queue entry or
+// network event) carries its access, and pending is the total queued
+// request count — and the derivation doubles as a consistency check.
+func (s *DirectorySystem) LoadState(d *sim.Dec) error {
+	if err := d.Tag("cachedir", 1); err != nil {
+		return err
+	}
+	if err := checkShape(d, s.cfg, len(s.caches)); err != nil {
+		return err
+	}
+	if lat := d.Cycle(); lat != s.netLatency {
+		return fmt.Errorf("checkpoint: cache: net latency %d, machine has %d", lat, s.netLatency)
+	}
+	n := len(s.caches)
+	lines := make([][]line, n)
+	for i := range lines {
+		lines[i] = make([]line, s.cfg.Sets*s.cfg.Ways)
+	}
+	stats := make([]CacheStats, n)
+	loadCaches(d, lines, ^uint64(0))
+	for i := range stats {
+		loadCacheStats(d, &stats[i])
+	}
+
+	dir := map[uint32]*dirEntry{}
+	nDir := d.Len(1 << 24)
+	prevBlock := uint32(0)
+	for i := 0; i < nDir; i++ {
+		b := d.U32()
+		if i > 0 && b <= prevBlock {
+			return fmt.Errorf("checkpoint: cache: directory blocks out of order at %d", b)
+		}
+		prevBlock = b
+		de := &dirEntry{sharers: map[int]bool{}, owner: d.Int()}
+		if de.owner < -1 || de.owner >= n {
+			return fmt.Errorf("checkpoint: cache: block %d owner %d out of range", b, de.owner)
+		}
+		nSh := d.Len(n)
+		prevSh := -1
+		for j := 0; j < nSh; j++ {
+			cpu := d.Int()
+			if cpu <= prevSh || cpu >= n {
+				return fmt.Errorf("checkpoint: cache: block %d sharer %d invalid", b, cpu)
+			}
+			prevSh = cpu
+			de.sharers[cpu] = true
+		}
+		if de.owner < 0 && nSh == 0 {
+			return fmt.Errorf("checkpoint: cache: block %d directory entry is empty", b)
+		}
+		dir[b] = de
+	}
+
+	memory := map[uint32]int64{}
+	if err := loadMemory(d, memory); err != nil {
+		return err
+	}
+	reqs := make([][]Access, n)
+	loadReqs(d, reqs)
+	hitDone := make([]sim.Cycle, n)
+	for i := range hitDone {
+		hitDone[i] = d.Cycle()
+	}
+
+	busy := make([]bool, n)
+	inFlight := func(cpu int, a Access, what string) error {
+		if cpu < 0 || cpu >= n {
+			return fmt.Errorf("checkpoint: cache: %s cpu %d out of range", what, cpu)
+		}
+		if busy[cpu] {
+			return fmt.Errorf("checkpoint: cache: cpu %d has two in-flight messages", cpu)
+		}
+		if len(reqs[cpu]) == 0 || !sameAccess(reqs[cpu][0], a) {
+			return fmt.Errorf("checkpoint: cache: %s for cpu %d does not match its head request", what, cpu)
+		}
+		busy[cpu] = true
+		return nil
+	}
+
+	nQ := d.Len(n)
+	dirQueue := make([]dirMsg, 0, nQ)
+	for i := 0; i < nQ; i++ {
+		m := dirMsg{cpu: d.Int(), a: loadAccess(d)}
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if err := inFlight(m.cpu, m.a, "directory queue entry"); err != nil {
+			return err
+		}
+		dirQueue = append(dirQueue, m)
+	}
+	dirBusyAt := d.Cycle()
+
+	evSeq := d.U64()
+	nEv := d.Len(n)
+	events := make([]dirEvent, 0, nEv)
+	for i := 0; i < nEv; i++ {
+		ev := dirEvent{at: d.Cycle(), seq: d.U64(), install: d.Bool(), cpu: d.Int()}
+		ev.a = loadAccess(d)
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if ev.seq == 0 || ev.seq > evSeq {
+			return fmt.Errorf("checkpoint: cache: event seq %d out of range", ev.seq)
+		}
+		if i > 0 {
+			prev := events[i-1]
+			if ev.at < prev.at || (ev.at == prev.at && ev.seq <= prev.seq) {
+				return fmt.Errorf("checkpoint: cache: events out of dispatch order at %d", i)
+			}
+		}
+		if err := inFlight(ev.cpu, ev.a, "in-flight message"); err != nil {
+			return err
+		}
+		events = append(events, ev)
+	}
+
+	lruTick := d.U64()
+	settled := d.Cycle()
+	s.InvalidationMsgs.Load(d)
+	s.DirOps.Load(d)
+	s.DirQueueLen.Load(d)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	for cpu := range lines {
+		for i := range lines[cpu] {
+			if lines[cpu][i].lru > lruTick {
+				return fmt.Errorf("checkpoint: cache: cpu %d line %d lru %d beyond tick %d", cpu, i, lines[cpu][i].lru, lruTick)
+			}
+		}
+	}
+	pending := 0
+	for cpu := range reqs {
+		pending += len(reqs[cpu])
+	}
+
+	s.caches = lines
+	s.stats = stats
+	s.dir = dir
+	s.memory = memory
+	s.reqs = reqs
+	s.busy = busy
+	s.hitDone = hitDone
+	s.dirQueue = dirQueue
+	s.dirBusyAt = dirBusyAt
+	s.events = events
+	s.evSeq = evSeq
+	s.lruTick = lruTick
+	s.pending = pending
+	s.settled = settled
+	if err := s.CheckInvariant(); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+var (
+	_ sim.Stateful = (*System)(nil)
+	_ sim.Stateful = (*DirectorySystem)(nil)
+)

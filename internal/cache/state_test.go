@@ -1,0 +1,149 @@
+package cache
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// coherentSys is what the round-trip rig needs from either cache system.
+type coherentSys interface {
+	sim.Stateful
+	Request(int, Access)
+	Pending() bool
+}
+
+// ckptRig couples an engine with a cache system so the pair checkpoints as
+// one unit, the way a machine owning both would.
+type ckptRig struct {
+	eng *sim.Engine
+	sys coherentSys
+}
+
+func (r *ckptRig) SaveState(e *sim.Enc) {
+	r.eng.SaveState(e)
+	r.sys.SaveState(e)
+}
+
+func (r *ckptRig) LoadState(d *sim.Dec) error {
+	if err := r.eng.LoadState(d); err != nil {
+		return err
+	}
+	return r.sys.LoadState(d)
+}
+
+// newCkptRig builds a system of the given kind under an engine and, when
+// issue is set, loads it with a deterministic mix of hot shared words and
+// private ranges — enough traffic to have misses, upgrades, invalidations,
+// and in-flight messages live at any mid-run pause point.
+func newCkptRig(t *testing.T, kind string, issue bool) *ckptRig {
+	t.Helper()
+	const n = 4
+	cfg := Config{Sets: 4, Ways: 2, BlockWords: 2}
+	var sys coherentSys
+	switch kind {
+	case "snoopy":
+		sys = NewSystem(cfg, n)
+	case "directory":
+		sys = NewDirectorySystem(cfg, n, 3)
+	default:
+		t.Fatalf("unknown kind %q", kind)
+	}
+	eng := sim.NewEngine()
+	eng.Register(sys.(sim.Component))
+	if issue {
+		rng := sim.NewRNG(7)
+		for i := 0; i < 60; i++ {
+			for cpu := 0; cpu < n; cpu++ {
+				var addr uint32
+				if rng.Bool(0.5) {
+					addr = uint32(rng.Intn(6)) // hot shared words
+				} else {
+					addr = uint32(100 + cpu*32 + rng.Intn(8))
+				}
+				sys.Request(cpu, Access{Addr: addr, Write: rng.Bool(0.3), Value: int64(i)})
+			}
+		}
+	}
+	return &ckptRig{eng: eng, sys: sys}
+}
+
+func (r *ckptRig) run(limit sim.Cycle) bool {
+	_, ok := r.eng.Run(func() bool { return !r.sys.Pending() }, limit)
+	return ok
+}
+
+// TestCacheCheckpointRoundTrip pauses each coherence system mid-run,
+// serializes engine+system, restores into a fresh pair, and requires the
+// split run to end in exactly the state of the uninterrupted one.
+func TestCacheCheckpointRoundTrip(t *testing.T) {
+	for _, kind := range []string{"snoopy", "directory"} {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			ref := newCkptRig(t, kind, true)
+			if !ref.run(1_000_000) {
+				t.Fatal("reference run did not settle")
+			}
+			total := ref.eng.Now()
+			refBytes := sim.Checkpoint(ref)
+
+			for _, frac := range []sim.Cycle{1, total / 3, total / 2, total - 1} {
+				paused := newCkptRig(t, kind, true)
+				if paused.run(frac) {
+					t.Fatalf("pause at %d: run settled early", frac)
+				}
+				data := sim.Checkpoint(paused)
+
+				fresh := newCkptRig(t, kind, false)
+				if err := sim.Restore(fresh, data); err != nil {
+					t.Fatalf("restore at %d: %v", frac, err)
+				}
+				if re := sim.Checkpoint(fresh); !bytes.Equal(re, data) {
+					t.Fatalf("pause at %d: restore→save changed the stream", frac)
+				}
+				if !fresh.run(1_000_000) {
+					t.Fatalf("resume at %d: did not settle", frac)
+				}
+				if end := sim.Checkpoint(fresh); !bytes.Equal(end, refBytes) {
+					t.Fatalf("resume at %d: end state differs from uninterrupted run", frac)
+				}
+			}
+		})
+	}
+}
+
+// TestCacheCheckpointRejects ensures mismatched checkpoints refuse to load.
+func TestCacheCheckpointRejects(t *testing.T) {
+	snoopy := newCkptRig(t, "snoopy", true)
+	snoopy.run(50)
+	dir := newCkptRig(t, "directory", true)
+	dir.run(50)
+
+	if err := sim.Restore(newCkptRig(t, "directory", false), sim.Checkpoint(snoopy)); err == nil {
+		t.Fatal("directory system accepted a snoopy checkpoint")
+	}
+	if err := sim.Restore(newCkptRig(t, "snoopy", false), sim.Checkpoint(dir)); err == nil {
+		t.Fatal("snoopy system accepted a directory checkpoint")
+	}
+
+	other := &ckptRig{eng: sim.NewEngine(), sys: NewSystem(Config{Sets: 8, Ways: 2, BlockWords: 2}, 4)}
+	other.eng.Register(other.sys.(sim.Component))
+	if err := sim.Restore(other, sim.Checkpoint(snoopy)); err == nil {
+		t.Fatal("snoopy system accepted a differently-shaped checkpoint")
+	}
+}
+
+// TestCacheCheckpointRejectsDoneCallback pins the documented limitation:
+// an in-queue completion callback cannot be serialized and must panic
+// rather than be dropped.
+func TestCacheCheckpointRejectsDoneCallback(t *testing.T) {
+	s := NewSystem(Config{}, 1)
+	s.Request(0, Access{Addr: 1, Done: func(int64) {}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SaveState must panic on a pending Done callback")
+		}
+	}()
+	s.SaveState(sim.NewEnc())
+}

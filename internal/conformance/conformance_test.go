@@ -13,6 +13,14 @@ import (
 // reproduction command every Violation prints.
 var seedFlag = flag.Int64("conformance.seed", -1, "run only this conformance generator seed")
 
+// ckptAtFlag and ckptOutFlag are the time-travel repro a Violation with a
+// known run length prints: pause the seed's TTDA run at a cycle just
+// before the divergence and write the checkpoint for offline inspection.
+var (
+	ckptAtFlag  = flag.Int64("conformance.ckpt-at", -1, "with -conformance.seed: pause the TTDA run at this cycle and write a checkpoint")
+	ckptOutFlag = flag.String("conformance.ckpt-out", "", "path for the -conformance.ckpt-at checkpoint artifact")
+)
+
 // numSeeds is how many generated programs the full sweep pushes through
 // the TTDA, the vn core, and all six Section-1.2 baselines.
 const numSeeds = 64
@@ -24,6 +32,17 @@ func TestConformanceSeeds(t *testing.T) {
 		t.Logf("workload: %s", w)
 		t.Logf("MiniID form:\n%s", w.IDSource())
 		t.Logf("vn form:\n%s", w.ASMSource())
+		if *ckptAtFlag >= 0 {
+			if *ckptOutFlag == "" {
+				t.Fatal("-conformance.ckpt-at requires -conformance.ckpt-out")
+			}
+			msg, err := MaterializeCheckpoint(seed, sim.Cycle(*ckptAtFlag), *ckptOutFlag)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Log(msg)
+			return
+		}
 		for _, v := range CheckSeed(seed) {
 			t.Errorf("%s", v)
 		}
@@ -123,7 +142,7 @@ func TestSweepReport(t *testing.T) {
 	if len(r.Violations) != 0 {
 		t.Fatalf("unexpected violations: %v", r.Violations)
 	}
-	for _, o := range []Oracle{OracleResult, OracleDeterminism, OracleMetamorphic, OracleHonesty, OracleParallel, OracleCompiled} {
+	for _, o := range []Oracle{OracleResult, OracleDeterminism, OracleMetamorphic, OracleHonesty, OracleParallel, OracleCompiled, OracleCheckpoint} {
 		if r.PerOracle[o] == 0 {
 			t.Fatalf("oracle family %q ran zero checks", o)
 		}

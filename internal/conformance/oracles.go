@@ -9,7 +9,7 @@ import (
 	"repro/internal/vn"
 )
 
-// Oracle names the six check families.
+// Oracle names the seven check families.
 type Oracle string
 
 // Oracle families.
@@ -20,6 +20,7 @@ const (
 	OracleHonesty     Oracle = "engine-honesty"
 	OracleParallel    Oracle = "parallel-equivalence"
 	OracleCompiled    Oracle = "compiled-equivalence"
+	OracleCheckpoint  Oracle = "checkpoint-equivalence"
 )
 
 // Violation is one failed check, carrying enough to reproduce it.
@@ -28,6 +29,10 @@ type Violation struct {
 	Oracle  Oracle
 	Machine string
 	Detail  string
+	// Cycles is the uninterrupted run length of the machine involved, when
+	// the check knows it — it seeds the time-travel repro below. Zero means
+	// unknown.
+	Cycles uint64
 }
 
 // Repro is the minimized reproduction command: it re-runs exactly the
@@ -36,8 +41,28 @@ func (v Violation) Repro() string {
 	return fmt.Sprintf("go test ./internal/conformance -run TestConformanceSeeds -conformance.seed=%d -v", v.Seed)
 }
 
+// TimeTravel returns a command that materializes a TTDA checkpoint shortly
+// before the divergence point for interactive debugging, or "" when the
+// failing run's length is unknown.
+func (v Violation) TimeTravel() string {
+	if v.Cycles == 0 {
+		return ""
+	}
+	const back = 64
+	at := uint64(1)
+	if v.Cycles > back {
+		at = v.Cycles - back
+	}
+	return fmt.Sprintf("go test ./internal/conformance -run TestConformanceSeeds -conformance.seed=%d -conformance.ckpt-at=%d -conformance.ckpt-out=seed%d.ckpt",
+		v.Seed, at, v.Seed)
+}
+
 func (v Violation) String() string {
-	return fmt.Sprintf("[%s] %s: %s\n  reproduce with: %s", v.Oracle, v.Machine, v.Detail, v.Repro())
+	s := fmt.Sprintf("[%s] %s: %s\n  reproduce with: %s", v.Oracle, v.Machine, v.Detail, v.Repro())
+	if tt := v.TimeTravel(); tt != "" {
+		s += fmt.Sprintf("\n  checkpoint just before divergence: %s", tt)
+	}
+	return s
 }
 
 // Report aggregates a sweep.
@@ -61,10 +86,16 @@ func newCounter(seed uint64) *counter {
 }
 
 func (c *counter) check(o Oracle, machine string, ok bool, detail func() string) {
+	c.checkAt(o, machine, 0, ok, detail)
+}
+
+// checkAt is check with the uninterrupted run length attached, so a
+// violation can print a checkpoint-just-before-divergence repro.
+func (c *counter) checkAt(o Oracle, machine string, cycles uint64, ok bool, detail func() string) {
 	c.checks++
 	c.per[o]++
 	if !ok {
-		c.vs = append(c.vs, Violation{Seed: c.seed, Oracle: o, Machine: machine, Detail: detail()})
+		c.vs = append(c.vs, Violation{Seed: c.seed, Oracle: o, Machine: machine, Detail: detail(), Cycles: cycles})
 	}
 }
 
@@ -72,7 +103,7 @@ func (c *counter) fail(o Oracle, machine string, err error) {
 	c.check(o, machine, false, func() string { return err.Error() })
 }
 
-// CheckSeed generates workload seed and runs all six oracle families
+// CheckSeed generates workload seed and runs all seven oracle families
 // over the machine fleet, returning every violation (empty means the
 // fleet conforms on this program).
 func CheckSeed(seed uint64) []Violation {
@@ -97,6 +128,7 @@ func checkSeed(seed uint64) (*counter, []Violation) {
 	checkHonesty(ct, c)
 	checkParallel(ct, c)
 	checkCompiled(ct, c)
+	checkCheckpoint(ct, c)
 	return ct, ct.vs
 }
 
@@ -154,7 +186,7 @@ func checkDeterminism(ct *counter, c *compiled) {
 			ct.fail(OracleDeterminism, machine, fmt.Errorf("run errors: %v / %v", err1, err2))
 			return
 		}
-		ct.check(OracleDeterminism, machine, a == b, func() string {
+		ct.checkAt(OracleDeterminism, machine, a.Cycles, a == b, func() string {
 			return fmt.Sprintf("two identical runs diverged:\n  first  %+v\n  second %+v", a, b)
 		})
 	}
@@ -350,7 +382,7 @@ func checkParallel(ct *counter, c *compiled) {
 				continue
 			}
 			got := par.Observables()
-			ct.check(OracleParallel, fmt.Sprintf("%s/shards=%d", machine, n), got == want, func() string {
+			ct.checkAt(OracleParallel, fmt.Sprintf("%s/shards=%d", machine, n), want.Cycles, got == want, func() string {
 				return fmt.Sprintf("parallel run diverged from sequential:\n  sequential %+v\n  parallel   %+v", want, got)
 			})
 		}
@@ -379,7 +411,7 @@ func checkCompiled(ct *counter, c *compiled) {
 		ct.fail(OracleCompiled, "ttda", fmt.Errorf("run errors: %v / %v", err1, err2))
 		return
 	}
-	ct.check(OracleCompiled, "ttda", interp == plan, func() string {
+	ct.checkAt(OracleCompiled, "ttda", interp.Cycles, interp == plan, func() string {
 		return fmt.Sprintf("compiled run diverged from interpreted (full snapshot):\n  interpreted %+v\n  compiled    %+v", interp, plan)
 	})
 
@@ -396,7 +428,7 @@ func checkCompiled(ct *counter, c *compiled) {
 			continue
 		}
 		got := par.Observables()
-		ct.check(OracleCompiled, fmt.Sprintf("ttda/compiled/shards=%d", n), got == want, func() string {
+		ct.checkAt(OracleCompiled, fmt.Sprintf("ttda/compiled/shards=%d", n), want.Cycles, got == want, func() string {
 			return fmt.Sprintf("compiled parallel run diverged from interpreted sequential:\n  sequential %+v\n  parallel   %+v", want, got)
 		})
 	}
@@ -423,7 +455,7 @@ func Sweep(n int) Report {
 func (r Report) Summary() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "conformance: %d programs, %d checks", r.Programs, r.Checks)
-	for _, o := range []Oracle{OracleResult, OracleDeterminism, OracleMetamorphic, OracleHonesty, OracleParallel, OracleCompiled} {
+	for _, o := range []Oracle{OracleResult, OracleDeterminism, OracleMetamorphic, OracleHonesty, OracleParallel, OracleCompiled, OracleCheckpoint} {
 		fmt.Fprintf(&b, ", %s=%d", o, r.PerOracle[o])
 	}
 	if len(r.Violations) == 0 {

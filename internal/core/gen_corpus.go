@@ -1,0 +1,61 @@
+//go:build ignore
+
+// gen_corpus regenerates the committed fuzz corpus for
+// FuzzCheckpointDecode: a valid mid-run TTDA checkpoint plus one file per
+// corruption class. Run from this directory:
+//
+//	go run gen_corpus.go
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/id"
+	"repro/internal/sim"
+	"repro/internal/token"
+	"repro/internal/workload"
+)
+
+func main() {
+	prog, err := id.Compile(workload.MatMulID)
+	if err != nil {
+		log.Fatalf("compile: %v", err)
+	}
+	args, err := id.EntryArgs(prog, []token.Value{token.Int(3)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := core.NewMachine(core.Config{PEs: 4}, prog)
+	if _, err := m.Run(200, args...); err == nil {
+		log.Fatal("seed run finished before the pause point")
+	}
+	valid := sim.Checkpoint(m)
+
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x40
+	bumped := append([]byte(nil), valid...)
+	bumped[11] ^= 0xFF
+
+	dir := filepath.Join("testdata", "fuzz", "FuzzCheckpointDecode")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for name, data := range map[string][]byte{
+		"seed-valid":     valid,
+		"seed-empty":     {},
+		"seed-truncated": valid[:len(valid)/2],
+		"seed-flipped":   flipped,
+		"seed-version":   bumped,
+	} {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(data)))
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d bytes of input)\n", filepath.Join(dir, name), len(data))
+	}
+}

@@ -80,6 +80,13 @@ type Machine struct {
 	runErr  error
 	now     sim.Cycle
 	stats   MachineStats
+
+	// started marks a run in progress: entry arguments are injected only
+	// on the first Run call, so a run paused at a cycle limit (or restored
+	// from a checkpoint, which sets the flag) resumes instead of
+	// restarting. runStart anchors the Cycles statistic across the split.
+	started  bool
+	runStart sim.Cycle
 }
 
 type ctxRecord struct {
@@ -540,11 +547,14 @@ func (m *Machine) sweepPEsQ(now sim.Cycle, q *idQueue) sim.Cycle {
 // registration order for determinism, with simulated time jumping over any
 // run of cycles in which every component would provably no-op. It returns
 // the program results (values returned in context 0).
+//
+// A run that hits the cycle limit returns an error but leaves the machine
+// intact: calling Run again (or checkpointing with sim.Checkpoint and
+// restoring into a fresh machine) continues from the pause cycle, and the
+// completed split run is bit-identical to an uninterrupted one. Arguments
+// are injected only on the first call of a run; a continuation ignores
+// them.
 func (m *Machine) Run(limit sim.Cycle, args ...token.Value) ([]token.Value, error) {
-	entry := m.prog.Entry()
-	if len(args) != len(entry.Entries) {
-		return nil, fmt.Errorf("core: program %q wants %d arguments, got %d", m.prog.Name, len(entry.Entries), len(args))
-	}
 	if err := m.prog.Validate(); err != nil {
 		return nil, err
 	}
@@ -555,19 +565,26 @@ func (m *Machine) Run(limit sim.Cycle, args ...token.Value) ([]token.Value, erro
 		}
 		m.plan = cg
 	}
-	for j, v := range args {
-		act := token.ActivityName{Context: 0, CodeBlock: uint16(entry.ID), Statement: entry.Entries[j], Initiation: 1}
-		t := token.Token{
-			Class: token.Normal,
-			Tag:   token.Tag{Activity: act},
-			NT:    entry.Instr(entry.Entries[j]).NT,
-			Port:  0,
-			Value: v,
+	if !m.started {
+		entry := m.prog.Entry()
+		if len(args) != len(entry.Entries) {
+			return nil, fmt.Errorf("core: program %q wants %d arguments, got %d", m.prog.Name, len(entry.Entries), len(args))
 		}
-		t.PE = t.Tag.HomePE(m.cfg.PEs)
-		m.pes[t.PE].accept(t)
+		for j, v := range args {
+			act := token.ActivityName{Context: 0, CodeBlock: uint16(entry.ID), Statement: entry.Entries[j], Initiation: 1}
+			t := token.Token{
+				Class: token.Normal,
+				Tag:   token.Tag{Activity: act},
+				NT:    entry.Instr(entry.Entries[j]).NT,
+				Port:  0,
+				Value: v,
+			}
+			t.PE = t.Tag.HomePE(m.cfg.PEs)
+			m.pes[t.PE].accept(t)
+		}
+		m.started = true
+		m.runStart = m.now
 	}
-	start := m.now
 	_, ok := m.engine.Run(func() bool {
 		m.now = m.engine.Now()
 		return m.runErr != nil || m.quiescent()
@@ -579,11 +596,12 @@ func (m *Machine) Run(limit sim.Cycle, args ...token.Value) ([]token.Value, erro
 	if !ok {
 		return nil, fmt.Errorf("core: program %q did not finish within %d cycles", m.prog.Name, limit)
 	}
+	m.started = false
 	m.finishStats()
 	if err := m.checkClean(); err != nil {
 		return nil, err
 	}
-	m.stats.Cycles = uint64(m.now - start)
+	m.stats.Cycles = uint64(m.now - m.runStart)
 	return m.results, nil
 }
 

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/id"
+	"repro/internal/sim"
+	"repro/internal/token"
+	"repro/internal/workload"
+)
+
+// ckptConfigs are the machine shapes the round-trip tests cross: the
+// sequential kernel, the sharded kernel, and both crossed with the
+// compiled plan.
+func ckptConfigs() map[string]Config {
+	return map[string]Config{
+		"pe4":              {PEs: 4},
+		"pe4-compiled":     {PEs: 4, Compiled: true},
+		"pe4-sh2":          {PEs: 4, Shards: 2},
+		"pe4-sh2-compiled": {PEs: 4, Shards: 2, Compiled: true},
+	}
+}
+
+// runToEnd runs a fresh machine to completion and returns it with its
+// results. The matmul workload exercises calls, I-structures, and loops,
+// so every serialized subsystem is mid-flight at the pause points.
+func runToEnd(t *testing.T, cfg Config, srcArgs []token.Value) (*Machine, []token.Value) {
+	t.Helper()
+	prog, err := id.Compile(workload.MatMulID)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	m := NewMachine(cfg, prog)
+	got, err := m.Run(5_000_000, srcArgs...)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return m, got
+}
+
+// TestCheckpointResumeBitIdentical pauses a run at several mid-run cycles,
+// serializes, restores into a fresh machine, finishes, and requires the
+// split run to match the uninterrupted one exactly — results, cycle count,
+// and the full end-of-run checkpoint byte stream.
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	prog, err := id.Compile(workload.MatMulID)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	args, err := id.EntryArgs(prog, []token.Value{token.Int(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, cfg := range ckptConfigs() {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			ref, wantRes := runToEnd(t, cfg, args)
+			total := sim.Cycle(ref.Stats().Cycles)
+			if total < 10 {
+				t.Fatalf("run too short to split: %d cycles", total)
+			}
+			refBytes := sim.Checkpoint(ref)
+
+			for _, frac := range []sim.Cycle{1, total / 3, total / 2, total - 1} {
+				paused := NewMachine(cfg, prog)
+				_, err := paused.Run(frac, args...)
+				if err == nil {
+					t.Fatalf("pause at %d: run finished early", frac)
+				}
+				if !strings.Contains(err.Error(), "did not finish") {
+					t.Fatalf("pause at %d: %v", frac, err)
+				}
+				data := sim.Checkpoint(paused)
+
+				// Canonical encoding: restore → re-save is byte-identical.
+				again := NewMachine(cfg, prog)
+				if err := sim.Restore(again, data); err != nil {
+					t.Fatalf("restore at %d: %v", frac, err)
+				}
+				if re := sim.Checkpoint(again); !bytes.Equal(re, data) {
+					t.Fatalf("pause at %d: restore→save changed the stream (%d vs %d bytes)", frac, len(re), len(data))
+				}
+
+				// The restored machine finishes identically.
+				gotRes, err := again.Run(5_000_000)
+				if err != nil {
+					t.Fatalf("resume at %d: %v", frac, err)
+				}
+				if len(gotRes) != len(wantRes) {
+					t.Fatalf("resume at %d: %d results, want %d", frac, len(gotRes), len(wantRes))
+				}
+				for i := range gotRes {
+					if !gotRes[i].Equal(wantRes[i]) {
+						t.Fatalf("resume at %d: result %d = %s, want %s", frac, i, gotRes[i], wantRes[i])
+					}
+				}
+				if got := again.Stats().Cycles; got != ref.Stats().Cycles {
+					t.Fatalf("resume at %d: %d cycles, want %d", frac, got, ref.Stats().Cycles)
+				}
+				if end := sim.Checkpoint(again); !bytes.Equal(end, refBytes) {
+					t.Fatalf("resume at %d: end-of-run checkpoint differs from uninterrupted run", frac)
+				}
+			}
+		})
+	}
+}
+
+// TestCheckpointPauseResumeInPlace checks the no-serialize path: a machine
+// paused by its cycle limit continues bit-identically when Run is called
+// again on the same instance.
+func TestCheckpointPauseResumeInPlace(t *testing.T) {
+	prog, err := id.Compile(workload.MatMulID)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	args, err := id.EntryArgs(prog, []token.Value{token.Int(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, cfg := range ckptConfigs() {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			ref, wantRes := runToEnd(t, cfg, args)
+			refBytes := sim.Checkpoint(ref)
+			total := sim.Cycle(ref.Stats().Cycles)
+
+			m := NewMachine(cfg, prog)
+			if _, err := m.Run(total/2, args...); err == nil {
+				t.Fatal("run finished before the split point")
+			}
+			gotRes, err := m.Run(5_000_000)
+			if err != nil {
+				t.Fatalf("continue: %v", err)
+			}
+			for i := range gotRes {
+				if !gotRes[i].Equal(wantRes[i]) {
+					t.Fatalf("result %d = %s, want %s", i, gotRes[i], wantRes[i])
+				}
+			}
+			if got := m.Stats().Cycles; got != ref.Stats().Cycles {
+				t.Fatalf("split run took %d cycles, want %d", got, ref.Stats().Cycles)
+			}
+			if end := sim.Checkpoint(m); !bytes.Equal(end, refBytes) {
+				t.Fatal("split run end checkpoint differs from uninterrupted run")
+			}
+		})
+	}
+}
+
+// TestCheckpointRejectsWrongShape ensures a checkpoint refuses to load
+// into a machine of a different configuration instead of misdecoding.
+func TestCheckpointRejectsWrongShape(t *testing.T) {
+	prog, err := id.Compile(workload.MatMulID)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	args, err := id.EntryArgs(prog, []token.Value{token.Int(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(Config{PEs: 4}, prog)
+	if _, err := m.Run(50, args...); err == nil {
+		t.Fatal("run finished early")
+	}
+	data := sim.Checkpoint(m)
+
+	for name, cfg := range map[string]Config{
+		"more-pes": {PEs: 8},
+		"compiled": {PEs: 4, Compiled: true},
+		"sharded":  {PEs: 4, Shards: 2},
+	} {
+		if err := sim.Restore(NewMachine(cfg, prog), data); err == nil {
+			t.Errorf("%s: restore accepted a mismatched checkpoint", name)
+		}
+	}
+}

@@ -10,9 +10,9 @@ import (
 // E14ConformanceSweep runs the cross-machine differential harness as an
 // experiment: randomly generated programs are executed in both their
 // dataflow and von Neumann forms across the whole machine fleet, and the
-// six oracle families (result equivalence, determinism, metamorphic
+// seven oracle families (result equivalence, determinism, metamorphic
 // invariants, engine honesty, parallel equivalence, compiled
-// equivalence) are tallied. Unlike E1–E13, which each
+// equivalence, checkpoint equivalence) are tallied. Unlike E1–E13, which each
 // measure one of the paper's claims, E14 measures the reproduction
 // itself: the claim is that every machine in this repository computes
 // the same answers and obeys the paper's qualitative orderings on
@@ -43,6 +43,7 @@ func E14ConformanceSweep(opt Options) Result {
 		conformance.OracleHonesty,
 		conformance.OracleParallel,
 		conformance.OracleCompiled,
+		conformance.OracleCheckpoint,
 	} {
 		tb.AddRow(string(o), rep.PerOracle[o], perViolations[o])
 	}
@@ -56,8 +57,9 @@ func E14ConformanceSweep(opt Options) Result {
 		"%d generated programs ran through the TTDA, the vn core, and all six baselines: "+
 			"%d oracle checks, zero violations — answers agree everywhere, runs are bit-deterministic, "+
 			"latency never helps a von Neumann machine, TTDA time never beats S∞, combining never hurts, "+
-			"the wake-queue engine matches exhaustive stepping, and the sharded parallel kernel and "+
-			"the compiled execution plan are both bit-identical to sequential interpretation on every case.",
+			"the wake-queue engine matches exhaustive stepping, the sharded parallel kernel and "+
+			"the compiled execution plan are both bit-identical to sequential interpretation, and every run "+
+			"split at a random cycle by a checkpoint/restore round trip matches the uninterrupted run on every case.",
 		rep.Programs, rep.Checks)
 	return r
 }

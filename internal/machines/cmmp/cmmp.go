@@ -106,12 +106,15 @@ func (m *Machine) putPacket(pkt *network.Packet, msg *memMsg) {
 	m.msgFree = append(m.msgFree, msg)
 }
 
-// memMsg is a request or response crossing the crossbar.
+// memMsg is a request or response crossing the crossbar. origRef names the
+// issuing context alongside origDone so replies in flight survive a
+// checkpoint.
 type memMsg struct {
 	req      vn.MemRequest
 	isReply  bool
 	value    vn.Word
 	origDone func(vn.Word)
+	origRef  vn.DoneRef
 }
 
 // port numbering: 0..P-1 processors, P..P+B-1 banks.
@@ -132,7 +135,9 @@ func New(cfg Config, prog *vn.Program, contextsPerCore int) *Machine {
 	m.xbar.SetDelivery(m.deliver)
 	for p := 0; p < cfg.Processors; p++ {
 		port := &cpuPort{m: m, cpu: p}
-		m.cores = append(m.cores, vn.NewCore(prog, port, contextsPerCore))
+		c := vn.NewCore(prog, port, contextsPerCore)
+		c.SetSaveID(p)
+		m.cores = append(m.cores, c)
 	}
 	if cfg.Shards > 1 && cfg.Processors > 1 {
 		par := sim.NewParallelEngine()
@@ -191,14 +196,23 @@ func (m *Machine) deliver(pkt *network.Packet) {
 	cpu := pkt.Src
 	req := msg.req
 	m.putPacket(pkt, msg)
-	orig := req.Done
+	orig, origRef := req.Done, req.Ref
 	req.Addr = req.Addr / uint32(m.cfg.Banks)
-	req.Done = func(v vn.Word) {
+	req.Done = m.bankReplyDone(bank, cpu, orig, origRef)
+	req.Ref = wrapBankReply(bank, cpu, origRef)
+	m.banks[bank].Request(req)
+}
+
+// bankReplyDone returns the bank-side completion: package the value as a
+// reply message and send it back across the crossbar to the issuing
+// processor. Both the live path (deliver) and checkpoint restore build
+// the callback here, so restored machines behave identically.
+func (m *Machine) bankReplyDone(bank, cpu int, orig func(vn.Word), origRef vn.DoneRef) func(vn.Word) {
+	return func(v vn.Word) {
 		rm := m.getMsg()
-		rm.isReply, rm.value, rm.origDone = true, v, orig
+		rm.isReply, rm.value, rm.origDone, rm.origRef = true, v, orig, origRef
 		m.send(m.getPacket(m.bankPort(bank), cpu, rm))
 	}
-	m.banks[bank].Request(req)
 }
 
 // Halted reports whether every core halted.

@@ -74,10 +74,12 @@ type Stats struct {
 
 // Machine is the assembled Cm* model.
 type Machine struct {
-	cfg    Config
-	cores  []*vn.Core // flattened: cluster c core k = cores[c*CoresPerCluster+k]
-	buses  []*vn.BankedMemory
-	events *sim.EventQueue
+	cfg   Config
+	cores []*vn.Core // flattened: cluster c core k = cores[c*CoresPerCluster+k]
+	buses []*vn.BankedMemory
+	// kq holds pending Kmap transits as typed events (not closures), so
+	// in-flight remote references serialize into checkpoints.
+	kq kmapQueue
 	// pump is the registered event dispatcher, the wake target whenever a
 	// Kmap transit event is scheduled.
 	pump *eventPump
@@ -86,6 +88,107 @@ type Machine struct {
 	now      sim.Cycle
 	engine   sim.Driver
 	stats    Stats
+
+	// remoteOut tracks each remote reference between its forward transit
+	// and its reply, keyed by the id its bus-side DoneRef carries.
+	remoteOut map[uint64]*remoteRec
+	remoteSeq uint64
+}
+
+// remoteRec is one outstanding remote reference.
+type remoteRec struct {
+	issued   sim.Cycle
+	transit  sim.Cycle
+	origRef  vn.DoneRef
+	origDone func(vn.Word)
+}
+
+// kmapEvent is one scheduled Kmap transit: a forward request arriving at
+// the remote cluster's bus, or a reply delivering to the issuing core.
+type kmapEvent struct {
+	at  sim.Cycle
+	seq uint64
+
+	isReply bool
+	// forward transit
+	target int
+	req    vn.MemRequest
+	// reply transit
+	value    vn.Word
+	issued   sim.Cycle
+	origRef  vn.DoneRef
+	origDone func(vn.Word)
+}
+
+// kmapQueue is a min-heap of transit events ordered by (at, seq) — the
+// same total order sim.EventQueue dispatches in. Like sim.EventQueue, its
+// clock advances to each dispatched event's time, and reply scheduling is
+// measured against that clock.
+type kmapQueue struct {
+	h   []kmapEvent
+	now sim.Cycle
+	seq uint64
+}
+
+func (q *kmapQueue) Len() int { return len(q.h) }
+
+// Next reports the earliest pending transit, or sim.Never when empty.
+func (q *kmapQueue) Next() sim.Cycle {
+	if len(q.h) == 0 {
+		return sim.Never
+	}
+	return q.h[0].at
+}
+
+func (q *kmapQueue) less(i, j int) bool {
+	if q.h[i].at != q.h[j].at {
+		return q.h[i].at < q.h[j].at
+	}
+	return q.h[i].seq < q.h[j].seq
+}
+
+// push schedules ev, assigning its dispatch sequence number.
+func (q *kmapQueue) push(ev kmapEvent) {
+	if ev.at < q.now {
+		panic(fmt.Sprintf("cmstar: transit scheduled at %d, now is %d", ev.at, q.now))
+	}
+	q.seq++
+	ev.seq = q.seq
+	q.h = append(q.h, ev)
+	for i := len(q.h) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !q.less(i, p) {
+			break
+		}
+		q.h[i], q.h[p] = q.h[p], q.h[i]
+		i = p
+	}
+}
+
+// pop removes the earliest transit, advancing the queue clock to it.
+func (q *kmapQueue) pop() kmapEvent {
+	ev := q.h[0]
+	last := len(q.h) - 1
+	q.h[0] = q.h[last]
+	q.h[last] = kmapEvent{}
+	q.h = q.h[:last]
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(q.h) && q.less(l, min) {
+			min = l
+		}
+		if r < len(q.h) && q.less(r, min) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		q.h[i], q.h[min] = q.h[min], q.h[i]
+		i = min
+	}
+	q.now = ev.at
+	return ev
 }
 
 // New builds the machine, loading prog into every core (blocking, one
@@ -93,16 +196,18 @@ type Machine struct {
 func New(cfg Config, prog *vn.Program) *Machine {
 	cfg = cfg.withDefaults()
 	m := &Machine{
-		cfg:      cfg,
-		events:   sim.NewEventQueue(),
-		kmapBusy: make([]sim.Cycle, cfg.Clusters),
+		cfg:       cfg,
+		kmapBusy:  make([]sim.Cycle, cfg.Clusters),
+		remoteOut: map[uint64]*remoteRec{},
 	}
 	m.stats.RemoteLatency = metrics.NewHistogram(4, 8, 16, 32, 64, 128, 256, 512)
 	for c := 0; c < cfg.Clusters; c++ {
 		m.buses = append(m.buses, vn.NewBankedMemory(cfg.BusLatency, cfg.BusService))
 		for k := 0; k < cfg.CoresPerCluster; k++ {
 			port := &clusterPort{m: m, cluster: c}
-			m.cores = append(m.cores, vn.NewCore(prog, port, 1))
+			core := vn.NewCore(prog, port, 1)
+			core.SetSaveID(c*cfg.CoresPerCluster + k)
+			m.cores = append(m.cores, core)
 		}
 	}
 	m.pump = &eventPump{m: m}
@@ -135,14 +240,26 @@ type eventPump struct{ m *Machine }
 
 func (p *eventPump) Step(now sim.Cycle) {
 	p.m.now = now
-	p.m.events.RunUntil(now)
+	for p.m.kq.Len() > 0 && p.m.kq.Next() <= now {
+		p.m.dispatch(p.m.kq.pop())
+	}
 }
 
 func (p *eventPump) NextEvent(now sim.Cycle) sim.Cycle {
-	if t := p.m.events.Next(); t > now {
+	if t := p.m.kq.Next(); t > now {
 		return t
 	}
 	return now
+}
+
+// dispatch runs one due transit.
+func (m *Machine) dispatch(ev kmapEvent) {
+	if ev.isReply {
+		m.stats.RemoteLatency.Observe(uint64(m.now - ev.issued))
+		ev.origDone(ev.value)
+		return
+	}
+	m.buses[ev.target].Request(ev.req)
 }
 
 // clusterPort is the memory interface seen by cores of one cluster.
@@ -181,23 +298,33 @@ func (p *clusterPort) Request(r vn.MemRequest) {
 	}
 	m.kmapBusy[p.cluster] = start + m.cfg.KmapService
 	issued := m.engine.Now()
-	orig := r.Done
+	id := m.remoteSeq
+	m.remoteSeq++
+	m.remoteOut[id] = &remoteRec{issued: issued, transit: transit, origRef: r.Ref, origDone: r.Done}
 	remote := r
 	remote.Addr = local
-	remote.Done = func(v vn.Word) {
-		// reply transits back; deliver to the core after the return trip
-		at := m.events.Now() + transit
-		m.events.At(at, func() {
-			m.stats.RemoteLatency.Observe(uint64(m.now - issued))
-			orig(v)
+	remote.Ref = vn.DoneRef{Kind: doneRefRemoteReply, B: id}
+	remote.Done = m.remoteReplyDone(id)
+	at := start + m.cfg.KmapService + transit
+	m.kq.push(kmapEvent{at: at, target: target, req: remote})
+	m.engine.Wake(m.pump, at)
+}
+
+// remoteReplyDone returns the bus-side completion of remote reference id:
+// schedule the reply's return transit, measured against the transit
+// queue's clock exactly as the event-queue formulation did. Both the live
+// path and checkpoint restore build the callback here.
+func (m *Machine) remoteReplyDone(id uint64) func(vn.Word) {
+	return func(v vn.Word) {
+		rec := m.remoteOut[id]
+		delete(m.remoteOut, id)
+		at := m.kq.now + rec.transit
+		m.kq.push(kmapEvent{
+			at: at, isReply: true,
+			value: v, issued: rec.issued, origRef: rec.origRef, origDone: rec.origDone,
 		})
 		m.engine.Wake(m.pump, at)
 	}
-	at := start + m.cfg.KmapService + transit
-	m.events.At(at, func() {
-		m.buses[target].Request(remote)
-	})
-	m.engine.Wake(m.pump, at)
 }
 
 // Halted reports whether every core halted.
@@ -212,7 +339,7 @@ func (m *Machine) Halted() bool {
 
 // busy reports in-flight Kmap transits or bus traffic.
 func (m *Machine) busy() bool {
-	if m.events.Len() > 0 {
+	if m.kq.Len() > 0 {
 		return true
 	}
 	for _, b := range m.buses {

@@ -197,7 +197,9 @@ func New(cfg Config, prog *vn.Program) *Machine {
 	cfg = cfg.withDefaults()
 	m := &Machine{cfg: cfg, mem: NewFullEmptyMemory(cfg.MemLatency, cfg.MemService)}
 	for p := 0; p < cfg.Processors; p++ {
-		m.cores = append(m.cores, vn.NewCore(prog, m.mem, cfg.ContextsPerCore))
+		c := vn.NewCore(prog, m.mem, cfg.ContextsPerCore)
+		c.SetSaveID(p)
+		m.cores = append(m.cores, c)
 	}
 	if cfg.Shards > 1 && cfg.Processors > 1 {
 		par := sim.NewParallelEngine()

@@ -48,34 +48,56 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// faaReq is a combinable FETCH-AND-ADD request payload.
+// faaReq is a combinable FETCH-AND-ADD request payload. ref names the
+// continuation alongside the live done closure so in-flight requests can
+// be checkpointed and rebound on restore.
 type faaReq struct {
 	addr  uint32
 	delta vn.Word
 	done  func(vn.Word)
+	ref   vn.DoneRef
 }
 
 // reply carries a completed operation's value back to its continuation.
 type reply struct {
 	val  vn.Word
 	done func(vn.Word)
+	ref  vn.DoneRef
 }
 
 // CombineKey combines only with requests for the same address.
 func (f faaReq) CombineKey() (uint64, bool) { return uint64(f.addr), true }
 
+// faaSplit is the decombine record for a merged FETCH-AND-ADD: the queued
+// requester receives the fetched value v; the arrival receives v+delta. It
+// is plain data (network.Splitter) so a pending decombine survives a
+// checkpoint.
+type faaSplit struct {
+	delta     vn.Word
+	first     func(vn.Word)
+	second    func(vn.Word)
+	firstRef  vn.DoneRef
+	secondRef vn.DoneRef
+}
+
+// Split applies the Ultracomputer's serialization semantics to a reply.
+func (s faaSplit) Split(r interface{}) (interface{}, interface{}) {
+	v := r.(reply)
+	return reply{val: v.val, done: s.first, ref: s.firstRef},
+		reply{val: v.val + s.delta, done: s.second, ref: s.secondRef}
+}
+
 // Combine merges with the arriving request o. The queued request (f)
 // continues forward carrying the summed delta; on the way back the switch
-// splits the fetched value v into v (for f) and v+f.delta (for o) — the
-// Ultracomputer's serialization semantics.
-func (f faaReq) Combine(other network.Combinable) (network.Combinable, network.SplitFunc) {
+// splits the fetched value.
+func (f faaReq) Combine(other network.Combinable) (network.Combinable, network.Splitter) {
 	o := other.(faaReq)
-	merged := faaReq{addr: f.addr, delta: f.delta + o.delta, done: f.done}
-	split := func(r interface{}) (interface{}, interface{}) {
-		v := r.(reply)
-		return reply{val: v.val, done: f.done}, reply{val: v.val + f.delta, done: o.done}
+	merged := faaReq{addr: f.addr, delta: f.delta + o.delta, done: f.done, ref: f.ref}
+	return merged, faaSplit{
+		delta: f.delta,
+		first: f.done, firstRef: f.ref,
+		second: o.done, secondRef: o.ref,
 	}
-	return merged, split
 }
 
 // plainReq is a non-combinable memory operation.
@@ -137,7 +159,9 @@ func New(cfg Config, prog *vn.Program) *Machine {
 	m.sendRetry = network.NewRetryQueue(m.net.Send)
 	for p := 0; p < n; p++ {
 		port := &cpuPort{m: m, cpu: p}
-		m.cores = append(m.cores, vn.NewCore(prog, port, cfg.ContextsPerCore))
+		c := vn.NewCore(prog, port, cfg.ContextsPerCore)
+		c.SetSaveID(p)
+		m.cores = append(m.cores, c)
 	}
 	m.bankArr = &bankArray{m: m}
 	if cfg.Shards > 1 && n > 1 {
@@ -172,7 +196,7 @@ func (p *cpuPort) Request(r vn.MemRequest) {
 	dst := int(r.Addr) % p.m.n
 	var payload interface{}
 	if r.Op == vn.MemFetchAdd {
-		payload = faaReq{addr: r.Addr, delta: r.Value, done: r.Done}
+		payload = faaReq{addr: r.Addr, delta: r.Value, done: r.Done, ref: r.Ref}
 	} else {
 		payload = plainReq{req: r}
 	}
@@ -232,7 +256,7 @@ func (m *Machine) stepBank(b *bank, now sim.Cycle) {
 	case faaReq:
 		old := b.words[req.addr]
 		b.words[req.addr] = old + req.delta
-		payload = reply{val: old, done: req.done}
+		payload = reply{val: old, done: req.done, ref: req.ref}
 	case plainReq:
 		r := req.req
 		var v vn.Word
@@ -248,7 +272,7 @@ func (m *Machine) stepBank(b *bank, now sim.Cycle) {
 			v = b.words[r.Addr]
 			b.words[r.Addr] = v + r.Value
 		}
-		payload = reply{val: v, done: r.Done}
+		payload = reply{val: v, done: r.Done, ref: r.Ref}
 	default:
 		panic(fmt.Sprintf("ultra: unknown bank payload %T", pkt.Payload))
 	}

@@ -1,0 +1,139 @@
+package vliw
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// scheduleHash fingerprints the static schedule (FNV-1a over every field)
+// so a checkpoint refuses to resume against a different program without
+// carrying the whole schedule in the stream.
+func scheduleHash(schedule []Bundle) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime
+		}
+	}
+	mix(uint64(len(schedule)))
+	for _, b := range schedule {
+		mix(uint64(b.Ops))
+		mix(uint64(len(b.Loads)))
+		for _, ld := range b.Loads {
+			mix(uint64(ld.Slack))
+		}
+	}
+	return h
+}
+
+// SaveState serializes a (possibly mid-schedule) run (sim.Stateful).
+func (v *Machine) SaveState(e *sim.Enc) {
+	m := v.m
+	e.Tag("vliwmach", 1)
+	e.U64(scheduleHash(m.schedule))
+	e.Cycle(m.cfg.HitLatency)
+	e.Cycle(m.cfg.MissLatency)
+	e.F64(m.cfg.MissRate)
+	e.U64(m.cfg.Seed)
+	v.eng.SaveState(e)
+	m.rng.Save(e)
+	e.Int(m.next)
+	e.Int(m.cleaned)
+	e.Cycle(m.stallUntil)
+	keys := make([]int, 0, len(m.outstanding))
+	for k := range m.outstanding {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	e.Len(len(keys))
+	for _, k := range keys {
+		e.Int(k)
+		e.Len(len(m.outstanding[k]))
+		for _, c := range m.outstanding[k] {
+			e.Cycle(c)
+		}
+	}
+	e.U64(v.res.TotalOps)
+	e.Cycle(v.res.StallCycles)
+	e.U64(v.res.Misses)
+	e.U64(v.res.Loads)
+}
+
+// LoadState restores a run into a machine built over the same schedule and
+// configuration (sim.Stateful).
+func (v *Machine) LoadState(d *sim.Dec) error {
+	m := v.m
+	if err := d.Tag("vliwmach", 1); err != nil {
+		return err
+	}
+	if got, want := d.U64(), scheduleHash(m.schedule); got != want {
+		return fmt.Errorf("checkpoint: vliw: schedule hash %#x, machine has %#x", got, want)
+	}
+	if got := d.Cycle(); got != m.cfg.HitLatency {
+		return fmt.Errorf("checkpoint: vliw: hit latency %d, machine has %d", got, m.cfg.HitLatency)
+	}
+	if got := d.Cycle(); got != m.cfg.MissLatency {
+		return fmt.Errorf("checkpoint: vliw: miss latency %d, machine has %d", got, m.cfg.MissLatency)
+	}
+	if got := d.F64(); math.Float64bits(got) != math.Float64bits(m.cfg.MissRate) {
+		return fmt.Errorf("checkpoint: vliw: miss rate %v, machine has %v", got, m.cfg.MissRate)
+	}
+	if got := d.U64(); got != m.cfg.Seed {
+		return fmt.Errorf("checkpoint: vliw: seed %d, machine has %d", got, m.cfg.Seed)
+	}
+	if err := v.eng.LoadState(d); err != nil {
+		return err
+	}
+	m.rng.Load(d)
+	next := d.Int()
+	cleaned := d.Int()
+	stallUntil := d.Cycle()
+	if next < 0 || next > len(m.schedule) {
+		return fmt.Errorf("checkpoint: vliw: next bundle %d out of range", next)
+	}
+	if cleaned < 0 || cleaned > next+1 {
+		return fmt.Errorf("checkpoint: vliw: cleaned %d inconsistent with next %d", cleaned, next)
+	}
+	outstanding := map[int][]sim.Cycle{}
+	nKeys := d.Len(len(m.schedule) + 1)
+	prev := -1
+	for i := 0; i < nKeys; i++ {
+		k := d.Int()
+		if k <= prev || k < cleaned {
+			return fmt.Errorf("checkpoint: vliw: outstanding consumer %d out of order or already retired", k)
+		}
+		prev = k
+		nc := d.Len(1 << 20)
+		cs := make([]sim.Cycle, nc)
+		for j := range cs {
+			cs[j] = d.Cycle()
+		}
+		if nc == 0 {
+			return fmt.Errorf("checkpoint: vliw: consumer %d with no outstanding loads", k)
+		}
+		outstanding[k] = cs
+	}
+	totalOps := d.U64()
+	stallCycles := d.Cycle()
+	misses := d.U64()
+	loads := d.U64()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	m.next = next
+	m.cleaned = cleaned
+	m.stallUntil = stallUntil
+	m.outstanding = outstanding
+	v.res = Result{TotalOps: totalOps, StallCycles: stallCycles, Misses: misses, Loads: loads}
+	return nil
+}
+
+var _ sim.Stateful = (*Machine)(nil)

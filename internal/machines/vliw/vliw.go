@@ -128,32 +128,58 @@ func (m *machine) NextEvent(now sim.Cycle) sim.Cycle {
 	return now
 }
 
-// Run executes the static schedule against the dynamic memory model.
-// Bundles issue in order, one per cycle; before a bundle issues, every
-// load whose scheduled consumer is this bundle (or earlier) must have
-// completed — otherwise the whole machine stalls until it has.
-func Run(schedule []Bundle, cfg Config) Result {
+// Machine is a resumable run of a static schedule against the dynamic
+// memory model: issue bundles up to a cycle limit, checkpoint, and
+// continue — the schedule itself stays host data, validated (not carried)
+// by the checkpoint.
+type Machine struct {
+	m   *machine
+	eng *sim.Engine
+	res Result
+}
+
+// NewMachine prepares a run of the schedule under cfg.
+func NewMachine(schedule []Bundle, cfg Config) *Machine {
 	if cfg.HitLatency < 1 {
 		cfg.HitLatency = 1
 	}
 	if cfg.MissLatency < cfg.HitLatency {
 		cfg.MissLatency = cfg.HitLatency
 	}
-	var res Result
-	m := &machine{
+	v := &Machine{eng: sim.NewEngine()}
+	v.m = &machine{
 		schedule: schedule, cfg: cfg, rng: sim.NewRNG(cfg.Seed),
-		res: &res, outstanding: map[int][]sim.Cycle{},
+		res: &v.res, outstanding: map[int][]sim.Cycle{},
 	}
-	eng := sim.NewEngine()
-	eng.Register(m)
-	// Every bundle costs at most one stall (bounded by MissLatency) plus its
-	// issue cycle, so this limit can never bind.
-	limit := sim.Cycle(len(schedule)+1)*(cfg.MissLatency+1) + 1
-	elapsed, _ := eng.Run(func() bool { return m.next >= len(m.schedule) }, limit)
+	v.eng.Register(v.m)
+	return v
+}
+
+// Run advances until the schedule completes or limit cycles elapse. It
+// reports whether the schedule finished; a paused machine continues
+// bit-identically on the next call (or after a checkpoint round trip).
+func (v *Machine) Run(limit sim.Cycle) (Result, bool) {
+	_, _ = v.eng.Run(func() bool { return v.m.next >= len(v.m.schedule) }, limit)
+	if v.m.next < len(v.m.schedule) {
+		return v.res, false
+	}
 	// Loads still outstanding here have their scheduled consumers beyond
 	// the end of the schedule; nothing waits for them.
-	res.Cycles = elapsed
-	res.Engine = eng.Counters()
+	v.res.Cycles = v.eng.Now()
+	v.res.Engine = v.eng.Counters()
+	return v.res, true
+}
+
+// Run executes the static schedule against the dynamic memory model.
+// Bundles issue in order, one per cycle; before a bundle issues, every
+// load whose scheduled consumer is this bundle (or earlier) must have
+// completed — otherwise the whole machine stalls until it has.
+func Run(schedule []Bundle, cfg Config) Result {
+	v := NewMachine(schedule, cfg)
+	// Every bundle costs at most one stall (bounded by MissLatency) plus its
+	// issue cycle, so this limit can never bind.
+	limit := sim.Cycle(len(schedule)+1)*(v.m.cfg.MissLatency+1) + 1
+	res, _ := v.Run(limit)
 	return res
 }
 

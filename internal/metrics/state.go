@@ -1,0 +1,89 @@
+package metrics
+
+import "repro/internal/sim"
+
+// Checkpoint serialization for the measurement types. Histogram bounds are
+// construction-time configuration and are validated, not restored: a
+// checkpoint loads into a freshly built histogram with identical buckets.
+
+// Save appends the counter's state.
+func (c *Counter) Save(e *sim.Enc) { e.U64(c.n) }
+
+// Load restores the counter's state.
+func (c *Counter) Load(d *sim.Dec) { c.n = d.U64() }
+
+// Save appends the gauge's state.
+func (g *Gauge) Save(e *sim.Enc) {
+	e.I64(g.level)
+	e.I64(g.max)
+	e.U64(g.sum)
+	e.U64(g.samples)
+}
+
+// Load restores the gauge's state.
+func (g *Gauge) Load(d *sim.Dec) {
+	g.level = d.I64()
+	g.max = d.I64()
+	g.sum = d.U64()
+	g.samples = d.U64()
+}
+
+// Save appends the timed gauge's state.
+func (g *TimedGauge) Save(e *sim.Enc) {
+	e.I64(g.level)
+	e.I64(g.max)
+	e.U64(g.sum)
+	e.U64(g.last)
+	e.U64(g.cycles)
+}
+
+// Load restores the timed gauge's state.
+func (g *TimedGauge) Load(d *sim.Dec) {
+	g.level = d.I64()
+	g.max = d.I64()
+	g.sum = d.U64()
+	g.last = d.U64()
+	g.cycles = d.U64()
+}
+
+// Save appends the utilization's state.
+func (u *Utilization) Save(e *sim.Enc) {
+	e.U64(u.busy)
+	e.U64(u.total)
+}
+
+// Load restores the utilization's state.
+func (u *Utilization) Load(d *sim.Dec) {
+	u.busy = d.U64()
+	u.total = d.U64()
+}
+
+// Save appends the histogram's dynamic state (bounds are configuration).
+func (h *Histogram) Save(e *sim.Enc) {
+	e.U64(h.sum)
+	e.U64(h.n)
+	e.U64(h.max)
+	e.Len(len(h.counts))
+	for _, c := range h.counts {
+		e.U64(c)
+	}
+}
+
+// Load restores the histogram's dynamic state into a histogram built with
+// the identical bounds.
+func (h *Histogram) Load(d *sim.Dec) {
+	h.sum = d.U64()
+	h.n = d.U64()
+	h.max = d.U64()
+	n := d.Len(d.Remaining())
+	if d.Err() != nil {
+		return
+	}
+	if n != len(h.counts) {
+		d.Failf("histogram has %d buckets, machine has %d", n, len(h.counts))
+		return
+	}
+	for i := 0; i < n; i++ {
+		h.counts[i] = d.U64()
+	}
+}

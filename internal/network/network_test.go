@@ -311,13 +311,19 @@ type faaPayload struct {
 
 func (f faaPayload) CombineKey() (uint64, bool) { return f.addr, true }
 
-func (f faaPayload) Combine(other Combinable) (Combinable, SplitFunc) {
+func (f faaPayload) Combine(other Combinable) (Combinable, Splitter) {
 	o := other.(faaPayload)
-	held := f.delta
-	return faaPayload{addr: f.addr, delta: f.delta + o.delta}, func(reply interface{}) (interface{}, interface{}) {
-		v := reply.(int64)
-		return v, v + held
-	}
+	return faaPayload{addr: f.addr, delta: f.delta + o.delta}, faaSplitter{held: f.delta}
+}
+
+// faaSplitter decombines a test FETCH-AND-ADD reply.
+type faaSplitter struct {
+	held int64
+}
+
+func (s faaSplitter) Split(reply interface{}) (interface{}, interface{}) {
+	v := reply.(int64)
+	return v, v + s.held
 }
 
 func TestOmegaRoutesToCorrectMemory(t *testing.T) {

@@ -12,20 +12,25 @@ import (
 // FETCH-AND-ADD combining (Section 1.2.3).
 //
 // Combine merges the receiver (the packet already queued) with other (the
-// arriving packet) and returns the merged forward payload plus a split
-// function. When the merged request's reply comes back through the switch,
-// split is applied to the reply payload to produce the two original
+// arriving packet) and returns the merged forward payload plus a splitter.
+// When the merged request's reply comes back through the switch, the
+// splitter is applied to the reply payload to produce the two original
 // requesters' replies: first for the queued packet, second for the arrival.
 type Combinable interface {
 	// CombineKey returns the key (e.g. the memory address) two payloads
 	// must share to combine; ok=false opts out entirely.
 	CombineKey() (key uint64, ok bool)
 	// Combine merges with other.
-	Combine(other Combinable) (merged Combinable, split SplitFunc)
+	Combine(other Combinable) (merged Combinable, split Splitter)
 }
 
-// SplitFunc decombines a reply payload into the two original replies.
-type SplitFunc func(reply interface{}) (first, second interface{})
+// Splitter decombines a reply payload into the two original replies. It is
+// an interface over a plain data value — not a closure — so pending
+// decombine records can be serialized into checkpoints; implementations
+// must round-trip through their machine's PayloadCodec.
+type Splitter interface {
+	Split(reply interface{}) (first, second interface{})
+}
 
 // Omega is a log2(n)-stage omega network of 2×2 switches connecting n
 // processor ports to n memory ports, with optional request combining.
@@ -64,7 +69,7 @@ type Omega struct {
 }
 
 type splitRecord struct {
-	split   SplitFunc
+	split   Splitter
 	partner *Packet
 }
 
@@ -239,7 +244,7 @@ func (o *Omega) reverseInto(r *Packet) bool {
 	if rec, ok := o.decombine[step.stage][r.id]; ok {
 		delete(o.decombine[step.stage], r.id)
 		o.DecombineTable.Add(-1)
-		first, second := rec.split(r.Payload)
+		first, second := rec.split.Split(r.Payload)
 		r.Payload = first
 		partner := rec.partner
 		reply := o.acquire()

@@ -65,6 +65,16 @@ type Engine struct {
 	stepsExecuted uint64
 	cyclesSkipped uint64
 	wakesEnqueued uint64
+
+	// gridAnchor is the cycle the current run's stride grid is aligned to:
+	// the entry cycle of the run, preserved across checkpoint/resume so a
+	// resumed run lands on the same tick grid as the uninterrupted one.
+	gridAnchor Cycle
+	// resumePending is set by LoadState: the next Run must not re-arm every
+	// component (the restored wake queue is already exact) and must execute
+	// the idle-jump before its first tick, so a run resumed from a pause
+	// mid-jump skips the same cycles the uninterrupted run skipped.
+	resumePending bool
 }
 
 // Settler is implemented by components that keep per-cycle statistics and
@@ -452,8 +462,20 @@ func (e *Engine) settleAll() {
 func (e *Engine) Run(done func() bool, limit Cycle) (elapsed Cycle, ok bool) {
 	start := e.now
 	defer e.settleAll()
-	if !e.legacy {
-		e.wakeAllAt(e.now)
+	if e.resumePending {
+		// Resuming from a checkpoint: the restored wake queue is already
+		// exact, so no blanket re-arm — and the pause may have landed
+		// mid-jump (the limit clamped an idle skip), so the jump completes
+		// before the first tick, exactly as the uninterrupted run took it.
+		e.resumePending = false
+		if !done() {
+			e.idleJump(start, limit)
+		}
+	} else {
+		e.gridAnchor = e.now
+		if !e.legacy {
+			e.wakeAllAt(e.now)
+		}
 	}
 	for e.now-start < limit {
 		if done() {
@@ -467,56 +489,79 @@ func (e *Engine) Run(done func() bool, limit Cycle) (elapsed Cycle, ok bool) {
 		if done() {
 			continue // report the exact completion cycle, not a jump target
 		}
-		var t Cycle
-		if e.legacy {
-			t = e.legacyNextEvent()
-		} else if len(e.fheap) > 0 {
-			t = e.wake[e.fheap[0]]
-		} else {
-			t = Never
-		}
-		if t > e.now {
-			fromHorizon := false
-			if t == Never {
-				if e.busyHorizon <= e.now {
-					// Nothing is armed and no resource is busy. A component
-					// mutated without a wake (there are none, but the
-					// contract degrades safely) or a genuinely-finished
-					// machine whose done predicate lags: advance one
-					// exhaustive tick rather than jumping.
-					if !e.legacy {
-						e.wakeAllAt(e.now)
-					}
-					continue
-				}
-				// Nothing will fire an event, but a resource is still
-				// occupied: the done predicate can first hold at the
-				// horizon.
-				t = e.busyHorizon
-				fromHorizon = true
+		e.idleJump(start, limit)
+	}
+	if ok = done(); !ok {
+		// Paused at the limit: the wake queue is exact, so the next Run
+		// (on this engine, or on one restored from a checkpoint taken now)
+		// must resume rather than blanket re-arm.
+		e.resumePending = true
+	}
+	return e.now - start, ok
+}
+
+// idleJump advances simulated time to the next armed wake (or the busy
+// horizon) when nothing is due now, clamped to the run's cycle limit and
+// aligned to the stride grid. Shared by the post-tick path and the
+// resume-from-checkpoint prologue.
+func (e *Engine) idleJump(start, limit Cycle) {
+	var t Cycle
+	if e.legacy {
+		t = e.legacyNextEvent()
+	} else if len(e.fheap) > 0 {
+		t = e.wake[e.fheap[0]]
+	} else {
+		t = Never
+	}
+	if t <= e.now {
+		return
+	}
+	fromHorizon := false
+	if t == Never {
+		if e.busyHorizon <= e.now {
+			// Nothing is armed and no resource is busy. A component
+			// mutated without a wake (there are none, but the
+			// contract degrades safely) or a genuinely-finished
+			// machine whose done predicate lags: advance one
+			// exhaustive tick rather than jumping.
+			if !e.legacy {
+				e.wakeAllAt(e.now)
 			}
+			return
+		}
+		// Nothing will fire an event, but a resource is still
+		// occupied: the done predicate can first hold at the
+		// horizon.
+		t = e.busyHorizon
+		fromHorizon = true
+	}
+	clamped := false
+	if t-start > limit {
+		t = start + limit
+		clamped = true
+	}
+	if e.stride > 1 {
+		// stay on the tick grid (anchored at the original run's entry
+		// cycle, so resumed runs share the uninterrupted run's grid)
+		if off := (t - e.gridAnchor) % e.stride; off != 0 {
+			t += e.stride - off
 			if t-start > limit {
 				t = start + limit
-			}
-			if e.stride > 1 {
-				// stay on the tick grid
-				if off := (t - start) % e.stride; off != 0 {
-					t += e.stride - off
-					if t-start > limit {
-						t = start + limit
-					}
-				}
-			}
-			if t > e.now {
-				e.cyclesSkipped += uint64(t - e.now)
-			}
-			e.now = t
-			if fromHorizon && !e.legacy {
-				// The horizon tick is exhaustive, as it was under polling:
-				// no component predicted it, so every slot must run.
-				e.wakeAllAt(e.now)
+				clamped = true
 			}
 		}
 	}
-	return e.now - start, done()
+	if t > e.now {
+		e.cyclesSkipped += uint64(t - e.now)
+	}
+	e.now = t
+	if fromHorizon && !clamped && !e.legacy {
+		// The horizon tick is exhaustive, as it was under polling:
+		// no component predicted it, so every slot must run. When the
+		// clamp cut the jump short (the run is pausing at its limit),
+		// the arm is skipped: the resumed run re-derives the same
+		// horizon jump and arms at the true horizon, exactly as the
+		// uninterrupted run did.
+		e.wakeAllAt(e.now)
+	}
 }

@@ -78,6 +78,11 @@ type ParallelEngine struct {
 	wakesEnqueued uint64
 	workerSteps   []uint64 // Step calls per shard runner
 
+	// gridAnchor / resumePending: see Engine — the stride-grid anchor and
+	// the LoadState flag that makes the next Run resume without re-arming.
+	gridAnchor    Cycle
+	resumePending bool
+
 	pool *workerPool
 
 	dueRunners []int
@@ -564,7 +569,17 @@ func (e *ParallelEngine) Run(done func() bool, limit Cycle) (elapsed Cycle, ok b
 			e.pool = nil
 		}
 	}()
-	e.wakeAllAt(e.now)
+	if e.resumePending {
+		// Resuming from a checkpoint: the restored wake queue is exact;
+		// complete any idle jump the pause interrupted before ticking.
+		e.resumePending = false
+		if !done() {
+			e.idleJump(start, limit)
+		}
+	} else {
+		e.gridAnchor = e.now
+		e.wakeAllAt(e.now)
+	}
 	for e.now-start < limit {
 		if done() {
 			return e.now - start, true
@@ -573,43 +588,58 @@ func (e *ParallelEngine) Run(done func() bool, limit Cycle) (elapsed Cycle, ok b
 		if done() {
 			continue // report the exact completion cycle, not a jump target
 		}
-		var t Cycle
-		if len(e.fheap) > 0 {
-			t = e.wake[e.fheap[0]]
-		} else {
-			t = Never
+		e.idleJump(start, limit)
+	}
+	if ok = done(); !ok {
+		// Paused at the limit: the wake queue is exact, so the next Run
+		// (on this engine, or on one restored from a checkpoint taken now)
+		// must resume rather than blanket re-arm.
+		e.resumePending = true
+	}
+	return e.now - start, ok
+}
+
+// idleJump mirrors Engine.idleJump for the parallel kernel.
+func (e *ParallelEngine) idleJump(start, limit Cycle) {
+	var t Cycle
+	if len(e.fheap) > 0 {
+		t = e.wake[e.fheap[0]]
+	} else {
+		t = Never
+	}
+	if t <= e.now {
+		return
+	}
+	fromHorizon := false
+	if t == Never {
+		if e.busyHorizon <= e.now {
+			e.wakeAllAt(e.now)
+			return
 		}
-		if t > e.now {
-			fromHorizon := false
-			if t == Never {
-				if e.busyHorizon <= e.now {
-					e.wakeAllAt(e.now)
-					continue
-				}
-				t = e.busyHorizon
-				fromHorizon = true
-			}
+		t = e.busyHorizon
+		fromHorizon = true
+	}
+	clamped := false
+	if t-start > limit {
+		t = start + limit
+		clamped = true
+	}
+	if e.stride > 1 {
+		if off := (t - e.gridAnchor) % e.stride; off != 0 {
+			t += e.stride - off
 			if t-start > limit {
 				t = start + limit
-			}
-			if e.stride > 1 {
-				if off := (t - start) % e.stride; off != 0 {
-					t += e.stride - off
-					if t-start > limit {
-						t = start + limit
-					}
-				}
-			}
-			if t > e.now {
-				e.cyclesSkipped += uint64(t - e.now)
-			}
-			e.now = t
-			if fromHorizon {
-				e.wakeAllAt(e.now)
+				clamped = true
 			}
 		}
 	}
-	return e.now - start, done()
+	if t > e.now {
+		e.cyclesSkipped += uint64(t - e.now)
+	}
+	e.now = t
+	if fromHorizon && !clamped {
+		e.wakeAllAt(e.now)
+	}
 }
 
 // MemberWaker adapts a shard member (a core, a bus) to the engine's

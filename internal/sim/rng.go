@@ -43,6 +43,21 @@ func (r *RNG) Float64() float64 {
 // Bool returns true with probability p.
 func (r *RNG) Bool(p float64) bool { return r.Float64() < p }
 
+// Save writes the generator state (a single xorshift word) for
+// checkpointing.
+func (r *RNG) Save(e *Enc) { e.U64(r.state) }
+
+// Load restores the generator state. Xorshift never reaches zero from a
+// non-zero seed, so a zero word marks a corrupt stream.
+func (r *RNG) Load(d *Dec) {
+	s := d.U64()
+	if s == 0 {
+		d.Failf("rng state is zero")
+		return
+	}
+	r.state = s
+}
+
 // Perm returns a pseudo-random permutation of [0, n).
 func (r *RNG) Perm(n int) []int {
 	p := make([]int, n)

@@ -24,13 +24,41 @@ const (
 
 // MemRequest is one asynchronous memory operation. Done fires when the
 // operation completes, carrying the loaded/old value (reads, FAA, TAS) or
-// zero (writes).
+// zero (writes). Ref is Done's serializable identity: closures cannot
+// cross a checkpoint, so every in-flight request carries enough to rebuild
+// its callback in a freshly restored machine.
 type MemRequest struct {
 	Op    MemOp
 	Addr  uint32
 	Value Word
 	Done  func(Word)
+	Ref   DoneRef
 }
+
+// DoneRef identifies a request's completion callback for checkpointing.
+// Kind 0 means no callback; DoneRefCoreCtx is the core-issued callback
+// (A = the core's save ID, B = the context index); kinds at or above
+// DoneRefMachine are machine-defined wrappers (a reply path re-entering a
+// network, a remote-reference return trip) that the owning machine's
+// resolver reconstructs.
+type DoneRef struct {
+	Kind uint32
+	A    uint32
+	B    uint64
+}
+
+// DoneRef kinds.
+const (
+	DoneRefNone    uint32 = 0
+	DoneRefCoreCtx uint32 = 1
+	// DoneRefMachine is the first machine-defined wrapper kind.
+	DoneRefMachine uint32 = 16
+)
+
+// DoneResolver maps a DoneRef back to a live callback in a freshly
+// restored machine. Resolvers return nil only for DoneRefNone; an
+// unrecognized ref is a corrupt checkpoint and must error via the Dec.
+type DoneResolver func(ref DoneRef) func(Word)
 
 // MemPort issues memory requests on behalf of a core. Implementations
 // model latency, contention, caches, or network transport.
@@ -77,6 +105,57 @@ type context struct {
 	// one closure per context replaces one allocation per memory operation.
 	pendingRd uint8
 	done      func(Word)
+
+	// idx is the context's index within its core (for DoneRef identity).
+	idx int
+}
+
+// SetSaveID assigns the core's checkpoint identity: the A field of every
+// DoneRefCoreCtx ref this core issues. Machines with several cores assign
+// each a distinct ID at construction; the default 0 suits single-core
+// assemblies.
+func (c *Core) SetSaveID(id int) { c.saveID = uint32(id) }
+
+// DoneFor returns context i's persistent completion callback, creating it
+// on first use — the hook restore paths use to rebind in-flight requests
+// to a freshly constructed core.
+func (c *Core) DoneFor(i int) func(Word) {
+	ctx := c.ctxs[i]
+	if ctx.done == nil {
+		ctx.done = func(v Word) {
+			if ctx.pendingRd != 0 {
+				ctx.regs[ctx.pendingRd] = v
+			}
+			ctx.waiting = false
+			if c.waker != nil {
+				// The context just became runnable: the core's next event
+				// moved to now.
+				c.waker.Wake(c, c.waker.Now())
+			}
+		}
+	}
+	return ctx.done
+}
+
+// Resolver returns a DoneResolver covering the given cores, indexed by
+// their save IDs (cores[i] must have save ID i). Machines without wrapper
+// kinds use it directly; machines with wrappers delegate the core-context
+// kind to it.
+func Resolver(cores []*Core) DoneResolver {
+	return func(ref DoneRef) func(Word) {
+		if ref.Kind != DoneRefCoreCtx {
+			return nil
+		}
+		i := int(ref.A)
+		if i >= len(cores) {
+			return nil
+		}
+		c := cores[i]
+		if int(ref.B) >= len(c.ctxs) {
+			return nil
+		}
+		return c.DoneFor(int(ref.B))
+	}
 }
 
 // Core is a cycle-stepped processor with k hardware contexts. k=1 is the
@@ -90,6 +169,9 @@ type Core struct {
 	ctxs  []*context
 	next  int // round-robin pointer
 	stats CoreStats
+
+	// saveID is the core's identity inside DoneRefCoreCtx refs (SetSaveID).
+	saveID uint32
 
 	// Settlement state for event-driven runs: cycles an engine jumps over
 	// are accounted lazily, at the context state frozen when the core last
@@ -114,7 +196,7 @@ func NewCore(prog *Program, mem MemPort, k int) *Core {
 	}
 	c := &Core{prog: prog, mem: mem}
 	for i := 0; i < k; i++ {
-		c.ctxs = append(c.ctxs, &context{})
+		c.ctxs = append(c.ctxs, &context{idx: i})
 	}
 	return c
 }
@@ -337,20 +419,8 @@ func (c *Core) issueMem(ctx *context, req MemRequest, rd uint8) {
 	c.stats.MemOps.Inc()
 	ctx.waiting = true
 	ctx.pendingRd = rd
-	if ctx.done == nil {
-		ctx.done = func(v Word) {
-			if ctx.pendingRd != 0 {
-				ctx.regs[ctx.pendingRd] = v
-			}
-			ctx.waiting = false
-			if c.waker != nil {
-				// The context just became runnable: the core's next event
-				// moved to now.
-				c.waker.Wake(c, c.waker.Now())
-			}
-		}
-	}
-	req.Done = ctx.done
+	req.Done = c.DoneFor(ctx.idx)
+	req.Ref = DoneRef{Kind: DoneRefCoreCtx, A: c.saveID, B: uint64(ctx.idx)}
 	c.mem.Request(req)
 }
 

@@ -1,0 +1,208 @@
+package vn
+
+import "repro/internal/sim"
+
+// Checkpoint serialization for the von Neumann substrate. Programs are
+// static structure and never serialized: state restores into a freshly
+// constructed core/memory built over the identical program and
+// configuration. In-flight memory requests serialize their DoneRef; the
+// restoring machine's DoneResolver rebinds them to live callbacks.
+
+// SaveDoneRef appends a continuation name.
+func SaveDoneRef(e *sim.Enc, ref DoneRef) {
+	e.U32(ref.Kind)
+	e.U32(ref.A)
+	e.U64(ref.B)
+}
+
+// LoadDoneRef reads a continuation name.
+func LoadDoneRef(d *sim.Dec) DoneRef {
+	return DoneRef{Kind: d.U32(), A: d.U32(), B: d.U64()}
+}
+
+// MustResolve returns the live callback for ref, poisoning the decoder
+// when a non-none ref cannot be resolved.
+func MustResolve(d *sim.Dec, resolve DoneResolver, ref DoneRef) func(Word) {
+	if ref.Kind == DoneRefNone {
+		return nil
+	}
+	var f func(Word)
+	if resolve != nil {
+		f = resolve(ref)
+	}
+	if f == nil {
+		d.Failf("unresolvable done ref kind=%d a=%d b=%d", ref.Kind, ref.A, ref.B)
+	}
+	return f
+}
+
+// SaveMemRequest appends r without its callback (Ref carries identity).
+func SaveMemRequest(e *sim.Enc, r MemRequest) {
+	e.U8(uint8(r.Op))
+	e.U32(r.Addr)
+	e.I64(r.Value)
+	SaveDoneRef(e, r.Ref)
+}
+
+// LoadMemRequest reads a request and rebinds its callback through
+// resolve; an unresolvable non-none ref poisons the decoder.
+func LoadMemRequest(d *sim.Dec, resolve DoneResolver) MemRequest {
+	var r MemRequest
+	r.Op = MemOp(d.U8())
+	r.Addr = d.U32()
+	r.Value = d.I64()
+	r.Ref = LoadDoneRef(d)
+	if d.Err() != nil {
+		return r
+	}
+	if r.Op > MemProduce {
+		d.Failf("invalid memory op %d", r.Op)
+		return r
+	}
+	r.Done = MustResolve(d, resolve, r.Ref)
+	return r
+}
+
+// SaveState appends the core's dynamic state (registers, pcs, waiting
+// bits, round-robin pointer, statistics, settlement markers).
+func (c *Core) SaveState(e *sim.Enc) {
+	e.Tag("vncore", 1)
+	e.Int(c.next)
+	e.Cycle(c.settled)
+	e.U64(c.frozenWaiting)
+	e.Bool(c.frozenIdle)
+	c.stats.Busy.Save(e)
+	c.stats.Idle.Save(e)
+	c.stats.MemOps.Save(e)
+	c.stats.MemWait.Save(e)
+	c.stats.Switches.Save(e)
+	c.stats.Retired.Save(e)
+	e.Len(len(c.ctxs))
+	for _, ctx := range c.ctxs {
+		for _, r := range ctx.regs {
+			e.I64(r)
+		}
+		e.Int(ctx.pc)
+		e.Bool(ctx.waiting)
+		e.Bool(ctx.halted)
+		e.U8(ctx.pendingRd)
+	}
+}
+
+// LoadState restores the core's dynamic state (sim.Stateful).
+func (c *Core) LoadState(d *sim.Dec) error {
+	if err := d.Tag("vncore", 1); err != nil {
+		return err
+	}
+	c.next = d.Int()
+	c.settled = d.Cycle()
+	c.frozenWaiting = d.U64()
+	c.frozenIdle = d.Bool()
+	c.stats.Busy.Load(d)
+	c.stats.Idle.Load(d)
+	c.stats.MemOps.Load(d)
+	c.stats.MemWait.Load(d)
+	c.stats.Switches.Load(d)
+	c.stats.Retired.Load(d)
+	n := d.Len(d.Remaining())
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if n != len(c.ctxs) {
+		d.Failf("core has %d contexts, machine has %d", n, len(c.ctxs))
+		return d.Err()
+	}
+	for _, ctx := range c.ctxs {
+		for i := range ctx.regs {
+			ctx.regs[i] = d.I64()
+		}
+		ctx.pc = d.Int()
+		ctx.waiting = d.Bool()
+		ctx.halted = d.Bool()
+		ctx.pendingRd = d.U8()
+	}
+	if d.Err() == nil {
+		if k := c.next; k < 0 || k >= len(c.ctxs) {
+			d.Failf("round-robin pointer %d out of range", k)
+		}
+	}
+	return d.Err()
+}
+
+// saveBacking writes the word store in sorted address order.
+func saveBacking(e *sim.Enc, b *backing) {
+	sim.SaveU32Map(e, b.words, func(e *sim.Enc, w Word) { e.I64(w) })
+}
+
+func loadBacking(d *sim.Dec, b *backing) {
+	sim.LoadU32Map(d, b.words, func(d *sim.Dec) Word { return d.I64() })
+}
+
+// SaveTo appends the memory's dynamic state: the word store and the
+// in-flight request pipeline.
+func (m *LatencyMemory) SaveTo(e *sim.Enc) {
+	e.Tag("latmem", 1)
+	saveBacking(e, m.store)
+	e.Cycle(m.now)
+	e.Int(m.pending)
+	sim.SaveFIFO(e, &m.due, func(e *sim.Enc, dr dueReq) {
+		e.Cycle(dr.at)
+		SaveMemRequest(e, dr.r)
+	})
+}
+
+// LoadFrom restores the memory, rebinding in-flight callbacks through
+// resolve.
+func (m *LatencyMemory) LoadFrom(d *sim.Dec, resolve DoneResolver) error {
+	if err := d.Tag("latmem", 1); err != nil {
+		return err
+	}
+	loadBacking(d, m.store)
+	m.now = d.Cycle()
+	m.pending = d.Int()
+	return sim.LoadFIFO(d, &m.due, d.Remaining(), func(d *sim.Dec) dueReq {
+		return dueReq{at: d.Cycle(), r: LoadMemRequest(d, resolve)}
+	})
+}
+
+// SaveTo appends the bank's dynamic state.
+func (m *BankedMemory) SaveTo(e *sim.Enc) {
+	e.Tag("bankmem", 1)
+	saveBacking(e, m.store)
+	e.Cycle(m.busyUntil)
+	e.Int(m.pending)
+	e.Cycle(m.settled)
+	m.QueueLen.Save(e)
+	m.Served.Save(e)
+	sim.SaveFIFO(e, &m.queue, SaveMemRequest)
+	sim.SaveFIFO(e, &m.due, func(e *sim.Enc, dc dueCompleted) {
+		e.Cycle(dc.at)
+		SaveMemRequest(e, dc.c.r)
+		e.I64(dc.c.v)
+	})
+}
+
+// LoadFrom restores the bank, rebinding in-flight callbacks through
+// resolve.
+func (m *BankedMemory) LoadFrom(d *sim.Dec, resolve DoneResolver) error {
+	if err := d.Tag("bankmem", 1); err != nil {
+		return err
+	}
+	loadBacking(d, m.store)
+	m.busyUntil = d.Cycle()
+	m.pending = d.Int()
+	m.settled = d.Cycle()
+	m.QueueLen.Load(d)
+	m.Served.Load(d)
+	if err := sim.LoadFIFO(d, &m.queue, d.Remaining(), func(d *sim.Dec) MemRequest {
+		return LoadMemRequest(d, resolve)
+	}); err != nil {
+		return err
+	}
+	return sim.LoadFIFO(d, &m.due, d.Remaining(), func(d *sim.Dec) dueCompleted {
+		dc := dueCompleted{at: d.Cycle()}
+		dc.c.r = LoadMemRequest(d, resolve)
+		dc.c.v = d.I64()
+		return dc
+	})
+}
