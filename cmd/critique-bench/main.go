@@ -54,6 +54,7 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a heap profile taken at exit to this file")
 	confSmoke := flag.Int("conformance", 0, "run N seeds of the cross-machine conformance harness and exit (nonzero exit on any violation)")
 	shards := flag.Int("shards", 0, "run shardable machines on the conservative parallel kernel with N shards (0 = sequential; results are bit-identical either way)")
+	sweepWorkers := flag.Int("sweep-workers", 0, "bound the parallel sweep runner's worker pool for experiment and conformance sweeps (<= 0 = GOMAXPROCS; results are identical at any setting)")
 	compiled := flag.Bool("compiled", false, "run TTDA simulations through the ahead-of-time compiled execution plan (results are bit-identical either way)")
 	ckptEvery := flag.Uint64("checkpoint-every", 0, "run the kernel workload pausing every N cycles to checkpoint, verify the split run is cycle-for-cycle identical to a straight run, and exit")
 	ckptOut := flag.String("checkpoint-out", "critique-bench.ckpt", "checkpoint file for -checkpoint-every")
@@ -69,7 +70,7 @@ func main() {
 	}
 
 	if *confSmoke > 0 {
-		rep := conformance.Sweep(*confSmoke)
+		rep := conformance.SweepOpts(*confSmoke, *sweepWorkers)
 		fmt.Println(rep.Summary())
 		if len(rep.Violations) > 0 {
 			os.Exit(1)
@@ -113,9 +114,9 @@ func main() {
 	}
 
 	sweepStart := time.Now()
-	results := experiments.All(experiments.Options{Quick: *quick, Shards: *shards, Compiled: *compiled})
+	results := experiments.All(experiments.Options{Quick: *quick, Shards: *shards, Compiled: *compiled, SweepWorkers: *sweepWorkers})
 	if *ablations {
-		results = append(results, experiments.Ablations(experiments.Options{Quick: *quick, Compiled: *compiled})...)
+		results = append(results, experiments.Ablations(experiments.Options{Quick: *quick, Compiled: *compiled, SweepWorkers: *sweepWorkers})...)
 	}
 	sweepWall := time.Since(sweepStart)
 	failed := 0
@@ -142,7 +143,7 @@ func main() {
 		}
 	}
 	if *benchOut != "" {
-		if err := writeBench(*benchOut, *quick, selected, sweepWall); err != nil {
+		if err := writeBench(*benchOut, *quick, *sweepWorkers, selected, sweepWall); err != nil {
 			fmt.Fprintln(os.Stderr, "critique-bench:", err)
 			os.Exit(1)
 		}
@@ -156,8 +157,10 @@ func main() {
 // benchSchemaVersion identifies the layout of the -bench JSON document.
 // Bump it on any incompatible field change so downstream consumers (the
 // future content-addressed result cache) can refuse stale layouts instead
-// of misreading them.
-const benchSchemaVersion = 1
+// of misreading them. Version 2 added epoch-window columns to the shard
+// sweep (one row per shards × window × latency point) plus the
+// sweep_workers and barrier_ns_per_epoch fields.
+const benchSchemaVersion = 2
 
 // codeVersion stamps the producing binary from its embedded build info:
 // the VCS revision (suffixed +dirty when the tree was modified) when the
@@ -301,11 +304,26 @@ type benchReport struct {
 	// jumped over, and wakes enqueued. steps_executed against sim_cycles is
 	// the sparse-activation win in one ratio.
 	KernelCounters sim.Counters `json:"kernel_engine_counters"`
+	// SweepWorkers echoes the -sweep-workers bound this run used for the
+	// experiment sweep (0 = GOMAXPROCS).
+	SweepWorkers int `json:"sweep_workers"`
+	// SweepScaling times one fixed conformance sweep at several worker
+	// counts on the shared sweep runner; on a single-CPU host (see
+	// GoMaxProcs) the speedup column cannot exceed 1.0.
+	SweepScaling []sweepScaleBench `json:"sweep_scaling"`
+	// BarrierNsPerEpoch is the measured cost of one fork/join epoch round
+	// trip — arming, worker wake, the sense-reversing barrier, and the
+	// commit scan — on two shard runners that do no simulated work. On a
+	// single-CPU host (see GoMaxProcs) shards step inline and this measures
+	// only the scan overhead.
+	BarrierNsPerEpoch float64 `json:"barrier_ns_per_epoch"`
 	// KernelShards sweeps the same kernel workload across parallel-kernel
-	// shard counts: shards=1 is the sequential engine, shards>1 the
-	// conservative parallel kernel. Simulated cycles are identical across
-	// the sweep (bit-identity); wall time and the per-worker step counters
-	// are what move.
+	// shard counts, epoch-window settings, and fabric latencies: one row per
+	// (shards, epoch_window, net_latency) point, with shards=1 rows running
+	// the sequential engine and anchoring the speedup column for their
+	// latency. Simulated cycles are identical across rows at equal latency
+	// (bit-identity); wall time, window widths, and the per-worker step
+	// counters are what move.
 	KernelShards []kernelShardBench `json:"kernel_shards"`
 	// Baselines records simulated-cycle throughput for the von Neumann
 	// baseline machines on their experiment workloads, so baseline
@@ -313,19 +331,30 @@ type benchReport struct {
 	Baselines []baselineBench `json:"baselines"`
 }
 
-// kernelShardBench is one shard count's measurement on the shard-sweep
-// kernel workload.
+// kernelShardBench is one (shards, epoch_window, net_latency) point's
+// measurement on the shard-sweep kernel workload.
 type kernelShardBench struct {
-	Shards        int     `json:"shards"`
+	Shards int `json:"shards"`
+	// NetLatency is the ideal fabric's transit latency — the parallel
+	// kernel's lookahead, and with windows on, the adaptive horizon's reach.
+	NetLatency uint64 `json:"net_latency"`
+	// EpochWindow is the configured window width: 0/1 per-tick epochs,
+	// negative adaptive (horizon-bounded).
+	EpochWindow   int     `json:"epoch_window"`
 	Runs          int     `json:"runs"`
 	SimCycles     uint64  `json:"sim_cycles"`
 	WallMsPerRun  float64 `json:"wall_ms_per_run"`
 	McyclesPerSec float64 `json:"mcycles_per_sec"`
-	// SpeedupVsSeq is sequential wall time divided by this entry's wall
-	// time (1.0 for the shards=1 row by construction).
+	// SpeedupVsSeq is the same-latency sequential row's wall time divided
+	// by this entry's wall time (1.0 for shards=1 rows by construction).
 	SpeedupVsSeq float64 `json:"speedup_vs_seq"`
+	// EpochWindows and WindowCycles report how many multi-tick windows the
+	// run executed and how many simulated cycles they covered (both zero
+	// for per-tick rows).
+	EpochWindows uint64 `json:"epoch_windows"`
+	WindowCycles uint64 `json:"window_cycles"`
 	// WorkerSteps counts shard steps executed per worker goroutine
-	// (empty for the sequential row).
+	// (empty for the sequential rows).
 	WorkerSteps []uint64 `json:"worker_steps,omitempty"`
 }
 
@@ -463,7 +492,7 @@ func fmaxf(a, b float64) float64 {
 
 // writeBench measures cycle-accurate-kernel simulation speed on the
 // BenchmarkTTDAMachine workload and writes the report to path.
-func writeBench(path string, quick bool, selected []experiments.Result, sweepWall time.Duration) error {
+func writeBench(path string, quick bool, sweepWorkers int, selected []experiments.Result, sweepWall time.Duration) error {
 	prog, err := id.Compile(workload.MatMulID)
 	if err != nil {
 		return err
@@ -536,6 +565,10 @@ func writeBench(path string, quick bool, selected []experiments.Result, sweepWal
 		KernelCounters:   kernelCounters,
 		KernelShards:     shardSweep,
 
+		SweepWorkers:      sweepWorkers,
+		SweepScaling:      benchSweepScaling(quick),
+		BarrierNsPerEpoch: benchBarrier(),
+
 		CompileMs:             float64(compileWall.Microseconds()) / 1e3,
 		CompiledKernelWallMs:  float64(cWall.Microseconds()) / 1e3 / float64(runs),
 		CompiledMcyclesPerSec: float64(cCycles) * float64(runs) / fmaxf(1e-9, cWall.Seconds()) / 1e6,
@@ -560,8 +593,10 @@ func writeBench(path string, quick bool, selected []experiments.Result, sweepWal
 
 // benchKernelShards times the TTDA shard-sweep kernel — matmul(6) on 8
 // PEs, enough parallel work for the worker goroutines to amortize the
-// per-cycle barrier — at shard counts 1, 2, 4, 8. The shards=1 row runs
-// the sequential engine and anchors the speedup column.
+// per-epoch barrier — across (shards, epoch_window, net_latency) points.
+// Each latency's shards=1 row runs the sequential engine and anchors that
+// latency's speedup column; the lat=32 rows show what the adaptive window
+// buys when the fabric's lookahead is wide.
 func benchKernelShards(quick bool) ([]kernelShardBench, error) {
 	prog, err := id.Compile(workload.MatMulID)
 	if err != nil {
@@ -573,48 +608,113 @@ func benchKernelShards(quick bool) ([]kernelShardBench, error) {
 		n = token.Int(4)
 		runs = 2
 	}
+	points := []struct {
+		shards, window int
+		latency        sim.Cycle
+	}{
+		{1, 0, 2},
+		{2, 1, 2}, {2, -1, 2},
+		{4, 1, 2}, {4, -1, 2},
+		{8, 1, 2}, {8, -1, 2},
+		{1, 0, 32},
+		{2, 1, 32}, {2, -1, 32},
+	}
+	seqWall := map[sim.Cycle]float64{}
+	seqCycles := map[sim.Cycle]uint64{}
 	var out []kernelShardBench
-	for _, shards := range []int{1, 2, 4, 8} {
-		var cycles uint64
+	for _, pt := range points {
+		var cycles, windows, winCycles uint64
 		var workers []uint64
 		start := time.Now()
 		for i := 0; i < runs; i++ {
-			m := core.NewMachine(core.Config{PEs: 8, Shards: shards}, prog)
+			m := core.NewMachine(core.Config{PEs: 8, Shards: pt.shards, EpochWindow: pt.window, NetLatency: pt.latency}, prog)
 			if _, err := m.Run(1_000_000_000, n); err != nil {
 				return nil, err
 			}
 			cycles = m.Summarize().Cycles
 			workers = m.WorkerSteps()
+			windows, winCycles = m.WindowStats()
 		}
 		wall := time.Since(start)
 		b := kernelShardBench{
-			Shards:        shards,
+			Shards:        pt.shards,
+			NetLatency:    uint64(pt.latency),
+			EpochWindow:   pt.window,
 			Runs:          runs,
 			SimCycles:     cycles,
 			WallMsPerRun:  float64(wall.Microseconds()) / 1e3 / float64(runs),
 			McyclesPerSec: float64(cycles) * float64(runs) / fmaxf(1e-9, wall.Seconds()) / 1e6,
+			EpochWindows:  windows,
+			WindowCycles:  winCycles,
 			WorkerSteps:   workers,
 		}
-		if len(out) == 0 {
+		if pt.shards == 1 {
 			b.SpeedupVsSeq = 1
+			seqWall[pt.latency] = b.WallMsPerRun
+			seqCycles[pt.latency] = cycles
 		} else {
-			b.SpeedupVsSeq = out[0].WallMsPerRun / fmaxf(1e-9, b.WallMsPerRun)
-		}
-		if cycles != out0Cycles(out, cycles) {
-			return nil, fmt.Errorf("shard sweep: shards=%d simulated %d cycles, sequential simulated %d — bit-identity broken", shards, cycles, out0Cycles(out, cycles))
+			b.SpeedupVsSeq = seqWall[pt.latency] / fmaxf(1e-9, b.WallMsPerRun)
+			if cycles != seqCycles[pt.latency] {
+				return nil, fmt.Errorf("shard sweep: shards=%d window=%d lat=%d simulated %d cycles, sequential simulated %d — bit-identity broken",
+					pt.shards, pt.window, pt.latency, cycles, seqCycles[pt.latency])
+			}
 		}
 		out = append(out, b)
 	}
 	return out, nil
 }
 
-// out0Cycles returns the sequential row's cycle count, or fallback when the
-// sweep is still empty.
-func out0Cycles(out []kernelShardBench, fallback uint64) uint64 {
-	if len(out) == 0 {
-		return fallback
+// sweepScaleBench is one worker count's wall time on the fixed
+// sweep-scaling workload.
+type sweepScaleBench struct {
+	Workers int     `json:"workers"`
+	Seeds   int     `json:"seeds"`
+	WallMs  float64 `json:"wall_ms"`
+	// SpeedupVs1 is the workers=1 row's wall time divided by this row's.
+	SpeedupVs1 float64 `json:"speedup_vs_1"`
+}
+
+// benchSweepScaling times the same conformance sweep — every seed an
+// independent whole-fleet run — at worker counts 1, 2, 4 on the shared
+// sweep runner. The report is identical at every count (the runner's
+// determinism contract); only wall time moves.
+func benchSweepScaling(quick bool) []sweepScaleBench {
+	seeds := 16
+	if quick {
+		seeds = 6
 	}
-	return out[0].SimCycles
+	var out []sweepScaleBench
+	for _, workers := range []int{1, 2, 4} {
+		start := time.Now()
+		conformance.SweepOpts(seeds, workers)
+		wall := float64(time.Since(start).Microseconds()) / 1e3
+		b := sweepScaleBench{Workers: workers, Seeds: seeds, WallMs: wall, SpeedupVs1: 1}
+		if len(out) > 0 {
+			b.SpeedupVs1 = out[0].WallMs / fmaxf(1e-9, wall)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// barrierProbe is an always-awake shard runner that performs no simulated
+// work, so a per-tick run over it times epoch coordination alone.
+type barrierProbe struct{}
+
+func (barrierProbe) Step(sim.Cycle)                    {}
+func (barrierProbe) NextEvent(now sim.Cycle) sim.Cycle { return now }
+
+// benchBarrier measures one fork/join epoch round trip — arming, the
+// worker wake, the sense-reversing barrier, and the commit scan — by
+// running two no-work shard runners for a fixed number of per-tick epochs.
+func benchBarrier() float64 {
+	const epochs = 200_000
+	e := sim.NewParallelEngine()
+	e.RegisterShard(barrierProbe{})
+	e.RegisterShard(barrierProbe{})
+	start := time.Now()
+	e.Run(func() bool { return false }, epochs)
+	return float64(time.Since(start).Nanoseconds()) / float64(epochs)
 }
 
 // jsonResult shadows experiments.Result with a marshalable error field.

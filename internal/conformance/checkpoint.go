@@ -119,8 +119,8 @@ type ttdaAdapter struct {
 	res  []token.Value
 }
 
-func newTTDAAdapter(c *compiled, pes, shards int, compiledPlan bool) *ttdaAdapter {
-	m := core.NewMachine(core.Config{PEs: pes, NetLatency: 4, Shards: shards, Compiled: compiledPlan}, c.prog)
+func newTTDAAdapter(c *compiled, pes, shards, window int, compiledPlan bool) *ttdaAdapter {
+	m := core.NewMachine(core.Config{PEs: pes, NetLatency: 4, Shards: shards, EpochWindow: window, Compiled: compiledPlan}, c.prog)
 	return &ttdaAdapter{m: m, args: c.args}
 }
 
@@ -204,11 +204,16 @@ func checkCheckpoint(ct *counter, c *compiled) {
 		name  string
 		build func() resumable
 	}{
-		{"ttda", func() resumable { return newTTDAAdapter(c, 2, 0, false) }},
-		{"ttda/shards=2", func() resumable { return newTTDAAdapter(c, 4, 2, false) }},
-		{"ttda/shards=4", func() resumable { return newTTDAAdapter(c, 4, 4, false) }},
-		{"ttda/compiled", func() resumable { return newTTDAAdapter(c, 2, 0, true) }},
-		{"ttda/compiled/shards=2", func() resumable { return newTTDAAdapter(c, 4, 2, true) }},
+		{"ttda", func() resumable { return newTTDAAdapter(c, 2, 0, 0, false) }},
+		{"ttda/shards=2", func() resumable { return newTTDAAdapter(c, 4, 2, 0, false) }},
+		{"ttda/shards=4", func() resumable { return newTTDAAdapter(c, 4, 4, 0, false) }},
+		// Windowed kernels checkpoint only at window boundaries: Run's pause
+		// lands between windows, where the shards' clocks agree, so the split
+		// run must still match the uninterrupted one bit-for-bit.
+		{"ttda/shards=2/window=4", func() resumable { return newTTDAAdapter(c, 4, 2, 4, false) }},
+		{"ttda/shards=2/window=adaptive", func() resumable { return newTTDAAdapter(c, 4, 2, -1, false) }},
+		{"ttda/compiled", func() resumable { return newTTDAAdapter(c, 2, 0, 0, true) }},
+		{"ttda/compiled/shards=2", func() resumable { return newTTDAAdapter(c, 4, 2, 0, true) }},
 		{"vn", func() resumable {
 			m := newVNMachine(c, 2, 4)
 			return &baselineAdapter{m: m, snap: vnSnap(
@@ -405,7 +410,7 @@ func MaterializeCheckpoint(seed uint64, at sim.Cycle, path string) (string, erro
 	if err != nil {
 		return "", err
 	}
-	a := newTTDAAdapter(c, 2, 0, false)
+	a := newTTDAAdapter(c, 2, 0, 0, false)
 	done, err := a.run(at)
 	if err != nil {
 		return "", err
@@ -417,7 +422,7 @@ func MaterializeCheckpoint(seed uint64, at sim.Cycle, path string) (string, erro
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		return "", err
 	}
-	fresh := newTTDAAdapter(c, 2, 0, false)
+	fresh := newTTDAAdapter(c, 2, 0, 0, false)
 	if err := sim.Restore(fresh, data); err != nil {
 		return "", fmt.Errorf("written checkpoint does not restore: %v", err)
 	}

@@ -152,6 +152,26 @@ func TestSweepReport(t *testing.T) {
 	}
 }
 
+// TestSweepOptsWorkerInvariant pins that the parallel sweep runner yields
+// the identical aggregate report at any worker count — the property that
+// lets CI and the bench harness fan the 64-seed suite across cores.
+func TestSweepOptsWorkerInvariant(t *testing.T) {
+	ref := Sweep(4)
+	par := SweepOpts(4, 3)
+	if par.Programs != ref.Programs || par.Checks != ref.Checks {
+		t.Fatalf("parallel sweep tallies diverged: %d/%d programs, %d/%d checks",
+			par.Programs, ref.Programs, par.Checks, ref.Checks)
+	}
+	for o, k := range ref.PerOracle {
+		if par.PerOracle[o] != k {
+			t.Fatalf("oracle %q: %d checks parallel, %d sequential", o, par.PerOracle[o], k)
+		}
+	}
+	if len(par.Violations) != len(ref.Violations) {
+		t.Fatalf("violation counts diverged: %d parallel, %d sequential", len(par.Violations), len(ref.Violations))
+	}
+}
+
 // TestBothFormsAgreeWithGo is the tight inner loop of the result oracle,
 // kept separate so a generator bug is caught even if machine plumbing
 // breaks first: MiniID interpretation and the vn core must both match

@@ -108,11 +108,13 @@ func forceLegacy(e interface{ Register(sim.Component) }) {
 
 // runTTDA executes the dataflow graph on the cycle-accurate tagged-token
 // machine. shards > 1 selects the conservative parallel kernel (never
-// combined with legacy, which requires the sequential engine); compiledPlan
-// selects the ahead-of-time compiled dispatch core, which the
-// compiled-equivalence oracle pins against the interpreted core.
-func runTTDA(c *compiled, pes int, netLatency sim.Cycle, legacy bool, shards int, compiledPlan bool) (Snapshot, error) {
-	m := core.NewMachine(core.Config{PEs: pes, NetLatency: netLatency, Shards: shards, Compiled: compiledPlan}, c.prog)
+// combined with legacy, which requires the sequential engine); window sets
+// the parallel kernel's epoch window width (0/1 per-tick, >= 2 capped, < 0
+// adaptive — meaningful only with shards > 1); compiledPlan selects the
+// ahead-of-time compiled dispatch core, which the compiled-equivalence
+// oracle pins against the interpreted core.
+func runTTDA(c *compiled, pes int, netLatency sim.Cycle, legacy bool, shards, window int, compiledPlan bool) (Snapshot, error) {
+	m := core.NewMachine(core.Config{PEs: pes, NetLatency: netLatency, Shards: shards, EpochWindow: window, Compiled: compiledPlan}, c.prog)
 	if legacy {
 		forceLegacy(m.Engine())
 	}

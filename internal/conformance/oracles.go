@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/machines/ultra"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/vn"
 )
 
@@ -149,7 +150,7 @@ func checkResults(ct *counter, c *compiled) {
 	iv, _, err := runInterp(c)
 	expect("interp", iv, err)
 
-	ts, err := runTTDA(c, 2, 4, false, 0, false)
+	ts, err := runTTDA(c, 2, 4, false, 0, 0, false)
 	expect("ttda", ts.Result, err)
 
 	ev, err := runEmulator(c, 4)
@@ -191,7 +192,7 @@ func checkDeterminism(ct *counter, c *compiled) {
 		})
 	}
 
-	twice("ttda", func() (Snapshot, error) { return runTTDA(c, 2, 4, false, 0, false) })
+	twice("ttda", func() (Snapshot, error) { return runTTDA(c, 2, 4, false, 0, 0, false) })
 	twice("vn", func() (Snapshot, error) { return runVN(c, 2, 4, true) })
 	twice("cmmp", func() (Snapshot, error) { return runCmmp(c, 2, false, 0) })
 	twice("cmstar", func() (Snapshot, error) { return runCmstar(c, 8, false, 0) })
@@ -272,7 +273,7 @@ func checkMetamorphic(ct *counter, c *compiled) {
 		return
 	}
 	for _, pes := range []int{1, 2, 4} {
-		s, err := runTTDA(c, pes, 4, false, 0, false)
+		s, err := runTTDA(c, pes, 4, false, 0, 0, false)
 		checkCriticalPathBound(ct, it.Depth(), pes, s.Cycles, err)
 	}
 
@@ -347,7 +348,7 @@ func checkHonesty(ct *counter, c *compiled) {
 		})
 	}
 
-	pair("ttda", func(l bool) (Snapshot, error) { return runTTDA(c, 2, 4, l, 0, false) })
+	pair("ttda", func(l bool) (Snapshot, error) { return runTTDA(c, 2, 4, l, 0, 0, false) })
 	pair("vn", func(l bool) (Snapshot, error) { return runVN(c, 2, 4, !l) })
 	pair("cmmp", func(l bool) (Snapshot, error) { return runCmmp(c, 2, l, 0) })
 	pair("cmstar", func(l bool) (Snapshot, error) { return runCmstar(c, 8, l, 0) })
@@ -388,11 +389,36 @@ func checkParallel(ct *counter, c *compiled) {
 		}
 	}
 
-	fan("ttda", func(n int) (Snapshot, error) { return runTTDA(c, 4, 4, false, n, false) })
+	fan("ttda", func(n int) (Snapshot, error) { return runTTDA(c, 4, 4, false, n, 0, false) })
 	fan("cmmp", func(n int) (Snapshot, error) { return runCmmp(c, 2, false, n) })
 	fan("cmstar", func(n int) (Snapshot, error) { return runCmstar(c, 8, false, n) })
 	fan("ultra", func(n int) (Snapshot, error) { return runUltra(c, true, false, n) })
 	fan("hep", func(n int) (Snapshot, error) { return runHEP(c, false, n) })
+
+	// Epoch-window crossings: the TTDA's ideal fabric declares a lookahead,
+	// so the parallel kernel may run multi-tick windows (capped and
+	// adaptive). Every combination must still be bit-identical to the
+	// sequential reference.
+	seq, err := runTTDA(c, 4, 4, false, 0, 0, false)
+	if err != nil {
+		ct.fail(OracleParallel, "ttda/windows", err)
+		return
+	}
+	want := seq.Observables()
+	for _, n := range []int{2, 4} {
+		for _, win := range []int{4, -1} {
+			name := fmt.Sprintf("ttda/shards=%d/window=%d", n, win)
+			par, err := runTTDA(c, 4, 4, false, n, win, false)
+			if err != nil {
+				ct.fail(OracleParallel, name, err)
+				continue
+			}
+			got := par.Observables()
+			ct.checkAt(OracleParallel, name, want.Cycles, got == want, func() string {
+				return fmt.Sprintf("windowed parallel run diverged from sequential:\n  sequential %+v\n  parallel   %+v", want, got)
+			})
+		}
+	}
 }
 
 // --- oracle 6: compiled-vs-interpreted equivalence --------------------
@@ -405,8 +431,8 @@ func checkParallel(ct *counter, c *compiled) {
 // crosses the compiled plan with the conservative parallel kernel against
 // the interpreted sequential reference.
 func checkCompiled(ct *counter, c *compiled) {
-	interp, err1 := runTTDA(c, 2, 4, false, 0, false)
-	plan, err2 := runTTDA(c, 2, 4, false, 0, true)
+	interp, err1 := runTTDA(c, 2, 4, false, 0, 0, false)
+	plan, err2 := runTTDA(c, 2, 4, false, 0, 0, true)
 	if err1 != nil || err2 != nil {
 		ct.fail(OracleCompiled, "ttda", fmt.Errorf("run errors: %v / %v", err1, err2))
 		return
@@ -415,14 +441,14 @@ func checkCompiled(ct *counter, c *compiled) {
 		return fmt.Sprintf("compiled run diverged from interpreted (full snapshot):\n  interpreted %+v\n  compiled    %+v", interp, plan)
 	})
 
-	seq, err := runTTDA(c, 4, 4, false, 0, false)
+	seq, err := runTTDA(c, 4, 4, false, 0, 0, false)
 	if err != nil {
 		ct.fail(OracleCompiled, "ttda/pes=4", err)
 		return
 	}
 	want := seq.Observables()
 	for _, n := range parallelShardCounts {
-		par, err := runTTDA(c, 4, 4, false, n, true)
+		par, err := runTTDA(c, 4, 4, false, n, 0, true)
 		if err != nil {
 			ct.fail(OracleCompiled, fmt.Sprintf("ttda/compiled/shards=%d", n), err)
 			continue
@@ -437,16 +463,30 @@ func checkCompiled(ct *counter, c *compiled) {
 // --- sweep -----------------------------------------------------------
 
 // Sweep checks seeds [0, n) and aggregates.
-func Sweep(n int) Report {
+func Sweep(n int) Report { return SweepOpts(n, 1) }
+
+// SweepOpts is Sweep on the shared parallel sweep runner: seeds fan out
+// across at most workers goroutines (<= 0 means GOMAXPROCS). Each seed's
+// checks are fully independent — every machine is built fresh per run — and
+// per-seed tallies are folded into the report in seed order after the
+// barrier, so the report is identical at any worker count.
+func SweepOpts(n, workers int) Report {
+	seeds := make([]uint64, n)
+	for i := range seeds {
+		seeds[i] = uint64(i)
+	}
+	per, _ := sweep.Run(seeds, func(_ sweep.Env, seed uint64) (*counter, error) {
+		ct, _ := checkSeed(seed)
+		return ct, nil
+	}, sweep.Options{Workers: workers})
 	r := Report{PerOracle: map[Oracle]int{}}
-	for seed := 0; seed < n; seed++ {
-		ct, vs := checkSeed(uint64(seed))
+	for _, ct := range per {
 		r.Programs++
 		r.Checks += ct.checks
 		for o, k := range ct.per {
 			r.PerOracle[o] += k
 		}
-		r.Violations = append(r.Violations, vs...)
+		r.Violations = append(r.Violations, ct.vs...)
 	}
 	return r
 }

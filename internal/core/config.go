@@ -55,6 +55,18 @@ type Config struct {
 	// tracing samples machine state mid-step and stays single-threaded.
 	Shards int
 
+	// EpochWindow controls multi-tick epoch windows on the parallel
+	// kernel (Shards > 1): 0 or 1 runs the classic one-tick epochs, a
+	// value >= 2 caps each window at that many cycles, and a negative
+	// value runs fully adaptive windows bounded only by the fabric's
+	// cross-shard horizon. Windows require a fabric that declares a
+	// windowing lookahead (network.Windowable — the ideal network does;
+	// stepped fabrics with per-cycle arbitration do not): with any other
+	// fabric the setting is silently ignored and epochs stay per-tick.
+	// Results, cycle counts, and statistics are bit-identical across all
+	// settings.
+	EpochWindow int
+
 	// MatchBandwidth is how many tokens the waiting-matching section
 	// accepts per cycle. The default 2 models a dual-ported associative
 	// store so one two-operand instruction can be enabled per cycle.

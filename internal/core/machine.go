@@ -57,6 +57,11 @@ type Machine struct {
 	// kernel; shardOf maps a PE/module id to its owning shard.
 	shards  []*coreShard
 	shardOf []int
+	// winOn marks multi-tick epoch windows active (EpochWindow config on a
+	// Windowable fabric): the net driver stops mirroring runner wakes —
+	// the fabric schedules exact delivery times, so co-ticking it is
+	// unnecessary and would close every window.
+	winOn bool
 
 	// context manager state (conceptually distributed; centralized here
 	// with its cost charged through the PE controller's d=2 path)
@@ -260,7 +265,9 @@ func (m *Machine) wakePE(id int) {
 		}
 		if !sh.inStep {
 			m.par.Wake(sh, m.par.Now())
-			m.par.Wake(m.netDrv, m.par.Now())
+			if !m.winOn {
+				m.par.Wake(m.netDrv, m.par.Now())
+			}
 		}
 		return
 	}
@@ -284,12 +291,16 @@ func (m *Machine) wakeIS(id int) {
 			sh.isQ.push(id)
 		}
 		if sh.inStep {
-			if t := m.now + 1; t < sh.isNext {
+			// sh.now, not m.now: inside an epoch window the shard's local
+			// clock runs ahead of the machine clock.
+			if t := sh.now + 1; t < sh.isNext {
 				sh.isNext = t
 			}
 		} else {
 			m.par.Wake(sh, m.par.Now())
-			m.par.Wake(m.netDrv, m.par.Now())
+			if !m.winOn {
+				m.par.Wake(m.netDrv, m.par.Now())
+			}
 		}
 		return
 	}
@@ -650,6 +661,16 @@ func (m *Machine) WorkerSteps() []uint64 {
 		return nil
 	}
 	return m.par.WorkerSteps()
+}
+
+// WindowStats reports how many multi-tick epoch windows the parallel
+// kernel ran and how many simulated cycles they covered; zero outside
+// windowed parallel runs (see Config.EpochWindow).
+func (m *Machine) WindowStats() (windows, cycles uint64) {
+	if m.par == nil {
+		return 0, 0
+	}
+	return m.par.WindowStats()
 }
 
 // ISModules returns the per-PE I-structure modules.

@@ -424,7 +424,7 @@ func (pe *PE) stepInput(now sim.Cycle) {
 	for i := 0; i < bw && pe.input.Len() > 0; i++ {
 		t := pe.input.PopNoClear() // token.Token is pointer-free
 		overflowing := capLimit > 0 && pe.waiting.Len() >= capLimit && t.NT >= 2
-		pe.classify(t)
+		pe.classify(t, now)
 		if overflowing {
 			pe.stats.Overflows.Inc()
 			pe.matchBusyUntil = now + overflowPenalty
@@ -437,12 +437,14 @@ func (pe *PE) stepInput(now sim.Cycle) {
 // overflow store instead of the associative memory.
 const overflowPenalty = 4
 
-// classify implements Figure 2-3's input-type dispatch.
-func (pe *PE) classify(t token.Token) {
+// classify implements Figure 2-3's input-type dispatch. now is the PE's
+// local cycle — under multi-tick epoch windows the machine clock lags the
+// shard's local timeline, so the stepping clock is threaded through.
+func (pe *PE) classify(t token.Token, now sim.Cycle) {
 	switch t.Class {
 	case token.Normal:
 		pe.stats.TokensD0.Inc()
-		pe.match(t)
+		pe.match(t, now)
 	default:
 		// d=1 and d=2 tokens are generated internally and routed directly
 		// at the output section; arriving here is a machine bug.
@@ -451,7 +453,7 @@ func (pe *PE) classify(t token.Token) {
 }
 
 // match pairs tokens by activity name (associative lookup).
-func (pe *PE) match(t token.Token) {
+func (pe *PE) match(t token.Token, now sim.Cycle) {
 	if t.NT <= 1 {
 		var vals [2]token.Value
 		vals[t.Port] = t.Value
@@ -461,7 +463,7 @@ func (pe *PE) match(t token.Token) {
 	key := t.Tag.Activity
 	p, inserted := pe.waiting.lookupOrInsert(key)
 	if inserted {
-		pe.stats.MatchStoreOccupancy.Update(uint64(pe.m.now), int64(pe.waiting.Len()))
+		pe.stats.MatchStoreOccupancy.Update(uint64(now), int64(pe.waiting.Len()))
 	}
 	if p.have[t.Port] {
 		pe.fail(fmt.Errorf("core: duplicate token at %s port %d", key, t.Port))
@@ -472,7 +474,7 @@ func (pe *PE) match(t token.Token) {
 	if p.have[0] && p.have[1] {
 		vals := p.vals
 		pe.waiting.remove(key)
-		pe.stats.MatchStoreOccupancy.Update(uint64(pe.m.now), int64(pe.waiting.Len()))
+		pe.stats.MatchStoreOccupancy.Update(uint64(now), int64(pe.waiting.Len()))
 		pe.stats.Matches.Inc()
 		pe.ready.Push(enabledInstr{act: key, vals: vals})
 	}

@@ -92,7 +92,7 @@ func E1LatencyTolerance(opt Options) Result {
 		u1, u4, u16, tu float64
 		tc              uint64
 	}
-	rows, err := runPoints(lats, func(_ PointEnv, l int) (row, error) {
+	rows, err := runPoints(opt, lats, func(_ PointEnv, l int) (row, error) {
 		lat := sim.Cycle(l)
 		var out row
 		var err error

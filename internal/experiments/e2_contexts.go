@@ -57,7 +57,7 @@ func E2ContextCounts(opt Options) Result {
 			grid = append(grid, point{l, k})
 		}
 	}
-	utils, err := runPoints(grid, func(_ PointEnv, p point) (float64, error) {
+	utils, err := runPoints(opt, grid, func(_ PointEnv, p point) (float64, error) {
 		return util(sim.Cycle(p.l), p.k)
 	})
 	if err != nil {

@@ -80,7 +80,7 @@ done:   halt
 	alu.Name = "cycles/ALU iteration"
 	ratio.Name = "semaphore overhead x"
 	type row struct{ lc, ac float64 }
-	rows, err := runPoints(ps, func(_ PointEnv, p int) (row, error) {
+	rows, err := runPoints(opt, ps, func(_ PointEnv, p int) (row, error) {
 		lc, err := runCounter(p)
 		if err != nil {
 			return row{}, err

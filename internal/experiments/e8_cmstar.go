@@ -31,7 +31,7 @@ func E8Cmstar(opt Options) Result {
 		cycles sim.Cycle
 		util   float64
 	}
-	distRows, err := runPoints(dists, func(_ PointEnv, dist int) (distRow, error) {
+	distRows, err := runPoints(opt, dists, func(_ PointEnv, dist int) (distRow, error) {
 		prog, err := vn.Assemble(workload.MemLoopASM)
 		if err != nil {
 			return distRow{}, err
@@ -132,7 +132,7 @@ func E8Cmstar(opt Options) Result {
 		cb, ci       sim.Cycle
 		utilI, fracI float64
 	}
-	cfgRows, err := runPoints(cfgs, func(_ PointEnv, c cfg) (cfgRow, error) {
+	cfgRows, err := runPoints(opt, cfgs, func(_ PointEnv, c cfg) (cfgRow, error) {
 		cb, _, _, err := timeFor(c.clusters, c.cores, false)
 		if err != nil {
 			return cfgRow{}, err

@@ -28,6 +28,10 @@ type Options struct {
 	// and findings are bit-identical (the conformance suite's
 	// compiled-equivalence oracle enforces it).
 	Compiled bool
+	// SweepWorkers bounds the parallel sweep runner's worker pool for
+	// each experiment's parameter sweep (internal/sweep); <= 0 means
+	// GOMAXPROCS. Results are deterministic at any setting.
+	SweepWorkers int
 }
 
 // Result is one experiment's output.

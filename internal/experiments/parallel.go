@@ -1,74 +1,23 @@
 package experiments
 
 import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-
-	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
 // PointEnv is the per-point context a sweep worker receives: the point's
 // position in the sweep and a private RNG seeded deterministically from
 // that position, so a parallel sweep draws exactly the same random numbers
 // no matter how points are interleaved across workers.
-type PointEnv struct {
-	// Index is the point's position in the input slice.
-	Index int
-	// RNG is seeded from Index alone; stochastic points stay reproducible
-	// under any worker schedule.
-	RNG *sim.RNG
-}
+type PointEnv = sweep.Env
 
-// runPoints evaluates fn over every sweep point, fanning the points across
-// up to GOMAXPROCS worker goroutines. Sweep points in this repository are
-// independent whole-machine simulations (each builds its own machine from
-// its own compiled program), which makes them embarrassingly parallel; the
-// experiment's *output* stays deterministic because results are assembled
-// into a slice indexed by point, and any derived quantities (baselines,
-// ratios, "first point to reach X" scans) are computed after the barrier
-// in input order. On error, the one from the lowest-indexed failing point
-// is returned — again independent of scheduling.
-func runPoints[P, R any](points []P, fn func(env PointEnv, p P) (R, error)) ([]R, error) {
-	results := make([]R, len(points))
-	errs := make([]error, len(points))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(points) {
-		workers = len(points)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var cursor atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(cursor.Add(1)) - 1
-				if i >= len(points) {
-					return
-				}
-				env := PointEnv{Index: i, RNG: sim.NewRNG(pointSeed(i))}
-				results[i], errs[i] = fn(env, points[i])
-			}
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return results, nil
-}
-
-// pointSeed derives a well-mixed RNG seed from a sweep-point index
-// (splitmix64 finalizer).
-func pointSeed(i int) uint64 {
-	z := uint64(i) + 0x9E3779B97F4A7C15
-	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
-	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
-	return z ^ (z >> 31)
+// runPoints evaluates fn over every sweep point on the shared sweep
+// runner (internal/sweep), bounded by opt.SweepWorkers workers
+// (GOMAXPROCS when unset). Sweep points in this repository are
+// independent whole-machine simulations, so the experiment's *output*
+// stays deterministic at any worker count: results are assembled into a
+// slice indexed by point, derived quantities (baselines, ratios, "first
+// point to reach X" scans) are computed after the barrier in input order,
+// and on error the one from the lowest-indexed failing point is returned.
+func runPoints[P, R any](opt Options, points []P, fn func(env PointEnv, p P) (R, error)) ([]R, error) {
+	return sweep.Run(points, fn, sweep.Options{Workers: opt.SweepWorkers})
 }

@@ -147,7 +147,7 @@ func New(cfg Config, prog *vn.Program, contextsPerCore int) *Machine {
 		for _, b := range m.banks {
 			par.Register(b)
 		}
-		vn.ShardCores(par, m.cores, cfg.Shards)
+		vn.ShardCores(par, m.cores, cfg.Shards, vn.FabricLookahead(m.xbar))
 	} else {
 		eng := sim.NewEngine()
 		m.engine = eng

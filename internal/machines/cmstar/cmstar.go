@@ -218,7 +218,7 @@ func New(cfg Config, prog *vn.Program) *Machine {
 		for _, b := range m.buses {
 			par.Register(b)
 		}
-		vn.ShardCores(par, m.cores, cfg.Shards)
+		vn.ShardCores(par, m.cores, cfg.Shards, vn.FabricLookahead(m.pump))
 	} else {
 		eng := sim.NewEngine()
 		m.engine = eng

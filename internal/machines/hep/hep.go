@@ -205,7 +205,7 @@ func New(cfg Config, prog *vn.Program) *Machine {
 		par := sim.NewParallelEngine()
 		m.engine = par
 		par.Register(m.mem)
-		vn.ShardCores(par, m.cores, cfg.Shards)
+		vn.ShardCores(par, m.cores, cfg.Shards, vn.FabricLookahead(m.mem))
 	} else {
 		eng := sim.NewEngine()
 		m.engine = eng

@@ -170,7 +170,7 @@ func New(cfg Config, prog *vn.Program) *Machine {
 		par.Register(m.sendRetry)
 		par.Register(m.net)
 		par.Register(m.bankArr)
-		vn.ShardCores(par, m.cores, cfg.Shards)
+		vn.ShardCores(par, m.cores, cfg.Shards, vn.FabricLookahead(m.net))
 	} else {
 		eng := sim.NewEngine()
 		m.engine = eng

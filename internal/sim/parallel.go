@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -35,6 +36,10 @@ import (
 // deferred effect can influence another shard within the same tick. That
 // is the fabric's lookahead: the minimum cross-shard latency it declares
 // (network.Lookaheader). The shard planner refuses lookahead < 1.
+//
+// Machines whose fabric declares a windowing lookahead (EnableWindows) can
+// widen an epoch to several ticks: see the "adaptive epoch windows"
+// section below.
 //
 // Everything else — wake-queue arming, SlotNow's slot clock, the
 // settle-before-mutation rule, busy-horizon quiescence, idle-cycle
@@ -86,6 +91,60 @@ type ParallelEngine struct {
 	pool *workerPool
 
 	dueRunners []int
+
+	// --- adaptive epoch windows (EnableWindows) ---
+
+	// winOn enables multi-tick epochs; winLook is the fabric's declared
+	// windowing lookahead and winCap an optional ceiling on window width
+	// (0 = adaptive/unbounded).
+	winOn   bool
+	winLook Cycle
+	winCap  Cycle
+	// inWindow is true while a window executes; SaveState refuses then,
+	// and arm clamps runner wakes to their frontier.
+	inWindow bool
+	// winRunners caches the WindowRunner view of each shard runner.
+	winRunners []WindowRunner
+	// frontier[k] is the lowest tick runner k may still step inside the
+	// current window: one past the last tick it executed. Commit-time
+	// wakes back-dated to an already-stepped tick clamp up to it.
+	frontier []Cycle
+	// pendTick[k] is the tick at which runner k dirty-stopped and whose
+	// deferred ops await their commit slot; Never when none pending.
+	pendTick []Cycle
+	// winMark[k] records which region ticks runner k stepped (census for
+	// exact cycles-skipped accounting); winRes holds per-pass results.
+	winMark [][]bool
+	winRes  []windowResult
+
+	winEpochs uint64 // windows executed
+	winTicks  uint64 // simulated cycles covered by those windows
+}
+
+// windowResult is one runner's answer from a window pass.
+type windowResult struct {
+	last  Cycle
+	next  Cycle
+	steps uint64
+	dirty bool
+	ran   bool
+}
+
+// WindowRunner is a shard runner that can execute several consecutive
+// ticks of its local timeline between barriers. EnableWindows requires
+// every registered shard runner to implement it.
+type WindowRunner interface {
+	Component
+	// StepWindow advances the runner's local timeline from tick `from`
+	// toward `until` (exclusive): the runner steps every tick its own
+	// next-event answer makes due, in ascending order, marking each
+	// stepped tick t in stepped[t-base] (the engine's executed-tick
+	// census), and stops early — a dirty stop — immediately after any
+	// tick on which it appended to its deferred-op log. It returns the
+	// last tick it stepped, the earliest future tick it wants to run
+	// (Never when parked; ignored after a dirty stop), whether it stopped
+	// dirty, and how many Steps it executed.
+	StepWindow(from, until Cycle, stepped []bool, base Cycle) (last, next Cycle, dirty bool, steps uint64)
 }
 
 // NewParallelEngine returns an empty parallel engine at cycle 0.
@@ -141,9 +200,71 @@ func (e *ParallelEngine) register(c Component) {
 	}
 }
 
+// EnableWindows opts the engine into adaptive multi-tick epochs. lookahead
+// is the fabric's declared windowing lookahead: an effect a runner defers
+// at tick t cannot reach another shard before t+lookahead (the fabric must
+// schedule exact delivery times at injection and tolerate not being
+// stepped on delivery-free ticks — see network.Windowable). cap bounds the
+// width of one window in cycles (<= 0 means adaptive: bounded only by the
+// horizon rule). A cap of 1 degenerates to per-tick epochs.
+//
+// Window soundness is the machine's side of a contract: deferred ops may
+// only (a) mutate state read exclusively inside commit hooks, (b) schedule
+// serial-component work at or after t+lookahead, or (c) mutate the
+// producing shard's own state — the dirty stop keeps that shard from
+// running past its own uncommitted effects. Machines whose shard members
+// are attached through MemberWaker must not enable windows: the member
+// settle path uses the epoch clock, which lags the runner's local tick
+// inside a window.
+//
+// Call after every RegisterShard; every runner must implement
+// WindowRunner, and lookahead must be at least 1.
+func (e *ParallelEngine) EnableWindows(lookahead, cap Cycle) {
+	if e.firstRunner < 0 {
+		panic("sim: EnableWindows before any RegisterShard")
+	}
+	if lookahead < 1 {
+		panic(fmt.Sprintf("sim: EnableWindows lookahead %d — a window needs a cross-shard latency of at least 1 cycle", lookahead))
+	}
+	if cap == 1 {
+		return // per-tick epochs requested explicitly
+	}
+	n := e.Shards()
+	e.winRunners = make([]WindowRunner, n)
+	for k := 0; k < n; k++ {
+		r, ok := e.components[e.firstRunner+k].(WindowRunner)
+		if !ok {
+			panic("sim: EnableWindows requires every shard runner to implement WindowRunner")
+		}
+		e.winRunners[k] = r
+	}
+	e.frontier = make([]Cycle, n)
+	e.pendTick = make([]Cycle, n)
+	e.winRes = make([]windowResult, n)
+	e.winMark = make([][]bool, n)
+	for k := range e.winMark {
+		e.winMark[k] = make([]bool, lookahead)
+	}
+	e.winLook, e.winCap = lookahead, cap
+	if e.winCap < 0 {
+		e.winCap = 0
+	}
+	e.winOn = true
+}
+
+// WindowStats reports how many multi-tick windows ran and how many
+// simulated cycles they covered (0, 0 when windowing is off or never
+// engaged). Diagnostics only; not part of the checkpoint state.
+func (e *ParallelEngine) WindowStats() (windows, cycles uint64) {
+	return e.winEpochs, e.winTicks
+}
+
 // OnCommit installs the machine's commit hook, called once per tick after
 // the parallel phase joins (even when the deferred logs are empty). The
-// hook drains every shard's log in ascending shard order.
+// hook must drain, from every shard's log in ascending shard order, the
+// ops whose production tick is at or before now — in per-tick mode that is
+// every logged op; inside a window later-tick ops stay queued for a later
+// commit slot.
 func (e *ParallelEngine) OnCommit(fn func(now Cycle)) { e.commit = fn }
 
 // Shards reports the number of registered shard runners.
@@ -319,6 +440,14 @@ func (e *ParallelEngine) arm(i int, at Cycle) {
 	if at < e.now {
 		at = e.now
 	}
+	if e.inWindow && i >= e.firstRunner {
+		// A commit replayed at an already-executed tick may wake its
+		// producing runner back-dated; the runner's local timeline has
+		// passed that tick, so the wake lands at its frontier instead.
+		if f := e.frontier[i-e.firstRunner]; at < f {
+			at = f
+		}
+	}
 	if p := e.pos[i]; p >= 0 {
 		if at < e.wake[i] {
 			e.wake[i] = at
@@ -427,6 +556,286 @@ func (e *ParallelEngine) tick() {
 	e.now += e.stride
 }
 
+// --- adaptive epoch windows ---
+//
+// A window is a run of ticks [now, wEnd) that the engine can prove free of
+// serial-component work and of cross-shard influence: wEnd never passes
+// the earliest armed serial wake, and never passes runnerMin+lookahead,
+// where runnerMin is the earliest armed runner wake — so an effect a
+// runner defers at tick u >= runnerMin cannot reach another shard (or the
+// fabric's delivery path) before u+lookahead >= wEnd. Inside the window
+// each shard runs its local timeline independently between barriers; the
+// only synchronization left is the dirty-stop protocol:
+//
+//   - a runner halts its timeline immediately after any tick u on which it
+//     deferred ops (its own state may depend on their commit at u);
+//   - the engine replays pending ops strictly in (tick, shard) order, with
+//     the clock rewound to the production tick so commit-time timestamps
+//     (InjectedAt, memory due cycles) match the per-tick engine exactly —
+//     and only once no runner armed earlier could still produce
+//     earlier-tick ops;
+//   - the committed runner resumes from its frontier, never re-stepping a
+//     tick it already executed.
+//
+// In the worst case (ops on every tick) this degenerates to per-tick
+// epochs; when cross-shard traffic is sparse it collapses a barrier per
+// tick into a barrier per lookahead-window, and fuses the idle jump in.
+
+// tryWindow attempts a multi-tick epoch ending no later than maxEnd.
+// It reports false — fall back to a normal tick — when the window would
+// not beat per-tick stepping.
+func (e *ParallelEngine) tryWindow(maxEnd Cycle) bool {
+	if e.stride != 1 || len(e.due) > 0 || e.Shards() == 0 {
+		return false
+	}
+	serialMin, runnerMin := Never, Never
+	for _, i := range e.fheap {
+		if i < e.firstRunner {
+			if e.wake[i] < serialMin {
+				serialMin = e.wake[i]
+			}
+		} else if e.wake[i] < runnerMin {
+			runnerMin = e.wake[i]
+		}
+	}
+	if runnerMin == Never || serialMin <= e.now {
+		return false
+	}
+	base := runnerMin
+	if base < e.now {
+		base = e.now
+	}
+	wEnd := base + e.winLook
+	if serialMin < wEnd {
+		wEnd = serialMin
+	}
+	if e.winCap > 0 && e.now+e.winCap < wEnd {
+		wEnd = e.now + e.winCap
+	}
+	if wEnd > maxEnd {
+		wEnd = maxEnd
+	}
+	if wEnd <= e.now+1 || runnerMin >= wEnd {
+		return false
+	}
+	e.runWindow(base, wEnd)
+	return true
+}
+
+// runWindow executes the window [e.now, wEnd). base is the first tick any
+// runner can step (max of the earliest armed runner wake and now); the
+// stepped region [base, wEnd) is at most lookahead cycles wide.
+func (e *ParallelEngine) runWindow(base, wEnd Cycle) {
+	e.inWindow = true
+	winStart := e.now
+	width := int(wEnd - base)
+	for k := range e.winMark {
+		mark := e.winMark[k]
+		if width > len(mark) {
+			mark = make([]bool, width)
+			e.winMark[k] = mark
+		}
+		for t := 0; t < width; t++ {
+			mark[t] = false
+		}
+		e.frontier[k] = winStart
+		e.pendTick[k] = Never
+	}
+	maxStepped := winStart - 1
+	for {
+		// Earliest armed runner wake and earliest pending commit tick.
+		armedMin := Never
+		for _, i := range e.fheap {
+			if i >= e.firstRunner && e.wake[i] < armedMin {
+				armedMin = e.wake[i]
+			}
+		}
+		pendMin := Never
+		for _, t := range e.pendTick {
+			if t < pendMin {
+				pendMin = t
+			}
+		}
+		if pendMin != Never && pendMin < armedMin {
+			// No runner is armed at or before pendMin, so no shard can still
+			// produce ops at that tick: its ops are complete and next in the
+			// global (tick, shard) order. A runner armed exactly at pendMin
+			// must run first — it may defer ops at that very tick, and
+			// committing before it does would replay the tick's ops across
+			// two commit calls, out of shard order.
+			e.commitWindowTick(pendMin)
+			continue
+		}
+		if armedMin >= wEnd {
+			break // window drained: every runner parked at or past the horizon
+		}
+		if last := e.runWindowPass(wEnd, base); last > maxStepped {
+			maxStepped = last
+		}
+	}
+	// Fold the shards' per-window accumulators (busy horizons, shard
+	// counters) exactly as the per-tick mode folds them every tick. The
+	// deferred logs are empty here — the loop above drained them.
+	if e.commit != nil {
+		saved := e.now
+		e.now = maxStepped
+		e.inCommit = true
+		e.commit(maxStepped)
+		e.inCommit = false
+		e.now = saved
+	}
+	e.inWindow = false
+
+	// Exact cycles-skipped accounting: the per-tick engine would have
+	// executed exactly the distinct ticks some runner stepped, and idle-
+	// jumped (counting) everything else in [winStart, endNow).
+	executed := 0
+	for t := 0; t < width; t++ {
+		for k := range e.winMark {
+			if e.winMark[k][t] {
+				executed++
+				break
+			}
+		}
+	}
+	endNow := wEnd
+	if len(e.fheap) == 0 {
+		// Everything parked: mirror the per-tick engine, which stops
+		// ticking right after the last executed tick (the exact completion
+		// cycle the done() contract reports).
+		endNow = maxStepped + 1
+	}
+	e.cyclesSkipped += uint64(endNow-winStart) - uint64(executed)
+	e.winEpochs++
+	e.winTicks += uint64(endNow - winStart)
+	e.prevTick = maxStepped
+	e.now = endNow
+}
+
+// runWindowPass pops every runner armed before wEnd and runs each from its
+// wake to the horizon (or its dirty stop) — concurrently when workers are
+// available. It returns the highest tick stepped in the pass.
+func (e *ParallelEngine) runWindowPass(wEnd, base Cycle) (maxLast Cycle) {
+	e.dueRunners = e.dueRunners[:0]
+	for len(e.fheap) > 0 && e.wake[e.fheap[0]] < wEnd {
+		i := e.heapPopMin()
+		if i < e.firstRunner {
+			panic("sim: serial component armed inside an epoch window — the fabric's declared lookahead was violated")
+		}
+		e.dueRunners = append(e.dueRunners, i)
+	}
+	maxLast = base - 1
+	if len(e.dueRunners) == 0 {
+		return maxLast
+	}
+	for k := range e.winRes {
+		e.winRes[k] = windowResult{}
+	}
+	n := e.Shards()
+	if n <= 1 || len(e.dueRunners) == 1 || runtime.GOMAXPROCS(0) == 1 {
+		// Degenerate pass: no concurrency, same phase discipline — see
+		// runPhase for why GOMAXPROCS=1 steps inline.
+		e.inPhase = true
+		for _, i := range e.dueRunners {
+			k := i - e.firstRunner
+			last, next, dirty, steps := e.winRunners[k].StepWindow(e.windowFrom(i), wEnd, e.winMark[k], base)
+			e.winRes[k] = windowResult{last: last, next: next, steps: steps, dirty: dirty, ran: true}
+		}
+		e.inPhase = false
+	} else {
+		p := e.ensurePool(n)
+		for k := range p.winRunner {
+			p.winRunner[k] = -1
+		}
+		p.winPass = true
+		p.winUntil = wEnd
+		p.winBase = base
+		own := -1
+		busy := false
+		for _, i := range e.dueRunners {
+			k := i - e.firstRunner
+			if k == 0 {
+				own = i
+				continue
+			}
+			p.winRunner[k-1] = i
+			p.winFrom[k-1] = e.windowFrom(i)
+			busy = true
+		}
+		e.inPhase = true
+		if busy {
+			p.dispatch(e)
+		}
+		if own >= 0 {
+			last, next, dirty, steps := e.winRunners[0].StepWindow(e.windowFrom(own), wEnd, e.winMark[0], base)
+			e.winRes[0] = windowResult{last: last, next: next, steps: steps, dirty: dirty, ran: true}
+		}
+		if busy {
+			p.join()
+		}
+		p.winPass = false
+		e.inPhase = false
+	}
+	for k := range e.winRes {
+		r := &e.winRes[k]
+		if !r.ran {
+			continue
+		}
+		i := e.firstRunner + k
+		e.workerSteps[k] += r.steps
+		e.stepsExecuted += r.steps
+		e.frontier[k] = r.last + 1
+		if r.last > maxLast {
+			maxLast = r.last
+		}
+		if r.dirty {
+			e.pendTick[k] = r.last
+		} else if r.next != Never {
+			e.arm(i, r.next)
+		}
+	}
+	return maxLast
+}
+
+// windowFrom is the first tick runner i steps in this pass: its armed
+// wake, clamped to the window start and to its own frontier.
+func (e *ParallelEngine) windowFrom(i int) Cycle {
+	from := e.wake[i]
+	if from < e.now {
+		from = e.now
+	}
+	if f := e.frontier[i-e.firstRunner]; from < f {
+		from = f
+	}
+	return from
+}
+
+// commitWindowTick replays every pending deferred op produced at tick u,
+// in ascending shard order, with the clock rewound to u — reproducing the
+// per-tick engine's commit at the end of tick u exactly, timestamps
+// included. Committed runners are re-armed from their post-commit
+// NextEvent answer (frontier-clamped), mirroring the per-tick re-arm.
+func (e *ParallelEngine) commitWindowTick(u Cycle) {
+	saved := e.now
+	e.now = u
+	e.inCommit = true
+	if e.commit != nil {
+		e.commit(u)
+	}
+	e.inCommit = false
+	for k, t := range e.pendTick {
+		if t != u {
+			continue
+		}
+		e.pendTick[k] = Never
+		i := e.firstRunner + k
+		if nx := e.events[i].NextEvent(u); nx != Never {
+			e.arm(i, nx)
+		}
+	}
+	e.now = saved
+}
+
 // runPhase steps every due runner, each on its pinned worker; the
 // coordinating goroutine takes shard 0's work itself.
 func (e *ParallelEngine) runPhase() {
@@ -435,10 +844,10 @@ func (e *ParallelEngine) runPhase() {
 		// Degenerate tick: no concurrency, but the same phase discipline
 		// (member self-wakes settle in place at the now+1 boundary). The
 		// GOMAXPROCS=1 case matters for correctness of *cost*: with a
-		// single scheduler thread the spin barrier would just burn the
-		// quantum handing the core back and forth, so the coordinator
-		// steps every shard inline — bit-identity is unaffected (shard
-		// steps are independent by construction; order is immaterial).
+		// single scheduler thread the barrier would just burn the quantum
+		// handing the core back and forth, so the coordinator steps every
+		// shard inline — bit-identity is unaffected (shard steps are
+		// independent by construction; order is immaterial).
 		e.inPhase = true
 		for _, i := range e.dueRunners {
 			k := i - e.firstRunner
@@ -449,51 +858,104 @@ func (e *ParallelEngine) runPhase() {
 		e.inPhase = false
 		return
 	}
-	if e.pool == nil {
-		e.pool = newWorkerPool(n - 1)
-	}
-	p := e.pool
+	p := e.ensurePool(n)
 	for k := range p.work {
-		p.work[k] = nil
+		p.work[k] = p.work[k][:0]
 	}
 	var own []int
+	busy := false
 	for _, i := range e.dueRunners {
 		k := i - e.firstRunner
 		if k == 0 {
 			own = append(own, i)
 			continue
 		}
-		p.work[k-1] = append(p.work[k-1][:0], i)
+		p.work[k-1] = append(p.work[k-1], i)
+		busy = true
 	}
 	e.inPhase = true
-	p.dispatch(e)
+	if busy {
+		p.dispatch(e)
+	}
 	for _, i := range own {
 		e.components[i].Step(e.now)
 		e.workerSteps[0]++
 	}
-	p.join()
+	if busy {
+		p.join()
+	}
 	e.inPhase = false
 	e.stepsExecuted += uint64(len(e.dueRunners))
 }
 
-// workerPool is a spin-synchronized fork/join pool: one goroutine per
-// non-coordinator shard, signalled by an atomic epoch counter. Ticks are
-// microseconds apart, so spinning (with Gosched back-off for
-// oversubscribed GOMAXPROCS) beats channel hand-offs by an order of
-// magnitude; Run shuts the pool down on exit so idle machines never burn
-// a core.
+func (e *ParallelEngine) ensurePool(shards int) *workerPool {
+	if e.pool == nil {
+		e.pool = newWorkerPool(shards - 1)
+	}
+	return e.pool
+}
+
+// workerPool is a fork/join pool with one goroutine per non-coordinator
+// shard, synchronized by a sense-reversing barrier: the atomic epoch
+// counter is the generalized sense (a worker's private `seen` value vs the
+// shared epoch), so no reset phase is needed between ticks. Waiters — the
+// workers awaiting a dispatch and the coordinator awaiting the join — spin
+// a bounded count hot (ticks are microseconds apart, so the fast path must
+// not syscall), then yield the processor with runtime.Gosched for a while
+// (an oversubscribed GOMAXPROCS must not livelock a quantum), and finally
+// park on a buffered channel (a futex-style sleep under the Go scheduler),
+// so idle shards stop burning cores entirely. Run shuts the pool down on
+// exit so a finished machine holds no goroutines.
 type workerPool struct {
 	epoch atomic.Uint64
 	done  atomic.Int64
 	stop  atomic.Bool
 	eng   *ParallelEngine
-	work  [][]int // work[k] = due runner indices for worker k+1
-	wg    sync.WaitGroup
+	// workers is the pool size, fixed at construction. Every worker counts
+	// into every join — even one with no work this epoch — so a returned
+	// join guarantees no worker still reads the epoch's assignment fields
+	// when the coordinator starts writing the next epoch's. (A partial
+	// join that skipped idle workers would race: an idle worker late out
+	// of the barrier could read work/winRunner mid-rewrite.)
+	workers int64
+	work    [][]int // per-tick mode: work[k] = due runner indices for worker k+1
+
+	// Window-pass assignment (winPass selects the mode for the epoch):
+	// worker k runs engine component winRunner[k] (-1 = idle this pass)
+	// from winFrom[k] toward winUntil.
+	winPass   bool
+	winUntil  Cycle
+	winBase   Cycle
+	winRunner []int
+	winFrom   []Cycle
+
+	parked      []atomic.Bool
+	workerWake  []chan struct{}
+	coordParked atomic.Bool
+	coordWake   chan struct{}
+	wg          sync.WaitGroup
 }
 
+// Barrier wait tuning: spin hot, then yield, then park.
+const (
+	barrierHotSpins   = 256
+	barrierYieldSpins = 1024
+	joinHotSpins      = 64
+	joinYieldSpins    = 512
+)
+
 func newWorkerPool(workers int) *workerPool {
-	p := &workerPool{work: make([][]int, workers)}
+	p := &workerPool{
+		workers:    int64(workers),
+		work:       make([][]int, workers),
+		winRunner:  make([]int, workers),
+		winFrom:    make([]Cycle, workers),
+		parked:     make([]atomic.Bool, workers),
+		workerWake: make([]chan struct{}, workers),
+		coordWake:  make(chan struct{}, 1),
+	}
 	for k := 0; k < workers; k++ {
+		p.workerWake[k] = make(chan struct{}, 1)
 		p.wg.Add(1)
 		go p.run(k)
 	}
@@ -501,20 +963,78 @@ func newWorkerPool(workers int) *workerPool {
 }
 
 // dispatch publishes the tick to the workers. The atomic epoch store
-// orders every serial-phase write before the workers' reads.
+// orders every serial-phase write (including the work assignments) before
+// the workers' reads; parked workers are then poked awake.
 func (p *workerPool) dispatch(e *ParallelEngine) {
 	p.eng = e
 	p.done.Store(0)
 	p.epoch.Add(1)
+	for k := range p.workerWake {
+		if p.parked[k].Load() {
+			select {
+			case p.workerWake[k] <- struct{}{}:
+			default:
+			}
+		}
+	}
 }
 
-// join spins until every worker finished its shard. The atomic loads
-// order the workers' shard writes before the commit phase's reads.
+// join waits until every worker finished the epoch. The atomic done loads
+// order the workers' shard writes before the commit phase's reads. Bounded
+// spin, then yield, then park on coordWake — the last finishing worker
+// sends the wake.
 func (p *workerPool) join() {
-	n := int64(len(p.work))
-	for spins := 0; p.done.Load() < n; spins++ {
-		if spins > 64 {
+	for spins := 0; p.done.Load() < p.workers; spins++ {
+		switch {
+		case spins < joinHotSpins:
+		case spins < joinHotSpins+joinYieldSpins:
 			runtime.Gosched()
+		default:
+			select {
+			case <-p.coordWake: // drop a stale token before parking
+			default:
+			}
+			p.coordParked.Store(true)
+			if p.done.Load() >= p.workers {
+				p.coordParked.Store(false)
+				return
+			}
+			<-p.coordWake
+			p.coordParked.Store(false)
+		}
+	}
+}
+
+// await blocks worker k until the epoch moves past seen (true) or the pool
+// stops (false).
+func (p *workerPool) await(k int, seen uint64) bool {
+	for spins := 0; ; spins++ {
+		if p.epoch.Load() != seen {
+			return true
+		}
+		if p.stop.Load() {
+			return false
+		}
+		switch {
+		case spins < barrierHotSpins:
+		case spins < barrierHotSpins+barrierYieldSpins:
+			runtime.Gosched()
+		default:
+			ch := p.workerWake[k]
+			select {
+			case <-ch: // drop a stale token before parking
+			default:
+			}
+			// Publish parked before the final re-check: dispatch stores
+			// the epoch before reading parked, so either this worker sees
+			// the new epoch here or dispatch sees parked and sends.
+			p.parked[k].Store(true)
+			if p.epoch.Load() != seen || p.stop.Load() {
+				p.parked[k].Store(false)
+				continue
+			}
+			<-ch
+			p.parked[k].Store(false)
 		}
 	}
 }
@@ -523,27 +1043,51 @@ func (p *workerPool) run(k int) {
 	defer p.wg.Done()
 	seen := uint64(0)
 	for {
-		for spins := 0; p.epoch.Load() == seen; spins++ {
-			if p.stop.Load() {
-				return
-			}
-			if spins > 256 {
-				runtime.Gosched()
-			}
+		if !p.await(k, seen) {
+			return
 		}
-		seen++
+		seen = p.epoch.Load()
 		e := p.eng
-		for _, i := range p.work[k] {
-			e.components[i].Step(e.now)
-			e.workerSteps[k+1]++
+		if p.winPass {
+			if i := p.winRunner[k]; i >= 0 {
+				sk := i - e.firstRunner
+				last, next, dirty, steps := e.winRunners[sk].StepWindow(p.winFrom[k], p.winUntil, e.winMark[sk], p.winBase)
+				e.winRes[sk] = windowResult{last: last, next: next, steps: steps, dirty: dirty, ran: true}
+			}
+		} else {
+			for _, i := range p.work[k] {
+				e.components[i].Step(e.now)
+				e.workerSteps[k+1]++
+			}
 		}
-		p.done.Add(1)
+		// Even an idle worker finishes: see the workers field contract.
+		p.finish()
 	}
 }
 
-// shutdown stops and joins the workers.
+// finish counts this worker into the join and wakes the coordinator if it
+// parked waiting for the last one. The done.Add is this worker's last
+// touch of any per-epoch shared state — everything after it reads only
+// construction-time or atomic fields, so the coordinator is free to start
+// the next serial phase the moment the count completes.
+func (p *workerPool) finish() {
+	if p.done.Add(1) >= p.workers && p.coordParked.Load() {
+		select {
+		case p.coordWake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// shutdown stops and joins the workers, waking any that parked.
 func (p *workerPool) shutdown() {
 	p.stop.Store(true)
+	for k := range p.workerWake {
+		select {
+		case p.workerWake[k] <- struct{}{}:
+		default:
+		}
+	}
 	p.wg.Wait()
 }
 
@@ -562,6 +1106,10 @@ func (e *ParallelEngine) settleAll() {
 // engine owned by a finished machine holds no resources.
 func (e *ParallelEngine) Run(done func() bool, limit Cycle) (elapsed Cycle, ok bool) {
 	start := e.now
+	maxEnd := start + limit
+	if maxEnd < start {
+		maxEnd = Never // overflow: effectively unbounded
+	}
 	defer e.settleAll()
 	defer func() {
 		if e.pool != nil {
@@ -584,7 +1132,9 @@ func (e *ParallelEngine) Run(done func() bool, limit Cycle) (elapsed Cycle, ok b
 		if done() {
 			return e.now - start, true
 		}
-		e.tick()
+		if !e.winOn || !e.tryWindow(maxEnd) {
+			e.tick()
+		}
 		if done() {
 			continue // report the exact completion cycle, not a jump target
 		}
@@ -650,6 +1200,10 @@ func (e *ParallelEngine) idleJump(start, limit Cycle) {
 // boundary is now+1, exactly Engine's rule — and leaves arming to the
 // runner's post-commit NextEvent poll, which subsumes the wake (the
 // member's own NextEvent reflects the mutation that prompted it).
+//
+// The in-phase settle boundary uses the engine's epoch clock, which inside
+// a multi-tick window lags the runner's local tick: machines that attach
+// shard members through MemberWaker must not EnableWindows.
 type MemberWaker struct {
 	Eng    *ParallelEngine
 	Runner Component

@@ -16,6 +16,10 @@ type ringSend struct {
 	due Cycle
 	dst int
 	val int
+	// tick is the production tick of a deferred send (shard log entries
+	// only); the commit hook drains entries up to the commit tick, the
+	// same prefix discipline real machines use under epoch windows.
+	tick Cycle
 }
 
 type ringFabric struct {
@@ -52,8 +56,13 @@ type ringCell struct {
 	pending int // delivered this tick by the fabric, consumed at the next step
 	tokens  int
 	budget  int
-	steps   uint64
-	passed  uint64
+	// chew is the number of shard-local work ticks a cell spends on each
+	// received token before forwarding it — the clean stretches that let
+	// an epoch window widen past one tick.
+	chew     int
+	chewLeft int
+	steps    uint64
+	passed   uint64
 }
 
 func (c *ringCell) Step(now Cycle) {
@@ -61,17 +70,24 @@ func (c *ringCell) Step(now Cycle) {
 	if c.pending > 0 {
 		c.tokens += c.pending
 		c.pending = 0
+		if c.chew > 0 && c.budget > 0 {
+			c.chewLeft = c.chew
+		}
+	}
+	if c.chewLeft > 0 {
+		c.chewLeft--
+		return
 	}
 	if c.tokens > 0 && c.budget > 0 {
 		c.tokens--
 		c.budget--
 		c.passed++
-		c.m.send(c, (c.id+1)%len(c.m.cells), 1)
+		c.m.send(c, (c.id+1)%len(c.m.cells), 1, now)
 	}
 }
 
 func (c *ringCell) NextEvent(now Cycle) Cycle {
-	if c.pending > 0 || (c.tokens > 0 && c.budget > 0) {
+	if c.pending > 0 || c.chewLeft > 0 || (c.tokens > 0 && c.budget > 0) {
 		return now
 	}
 	return Never
@@ -89,6 +105,27 @@ func (s *ringShard) Step(now Cycle) {
 		if c.NextEvent(now) <= now {
 			c.Step(now)
 		}
+	}
+}
+
+// StepWindow implements WindowRunner: advance the shard's local timeline
+// tick by tick, halting after any tick that deferred sends (see
+// coreShard.StepWindow for the dirty-stop rationale).
+func (s *ringShard) StepWindow(from, until Cycle, stepped []bool, base Cycle) (last, next Cycle, dirty bool, steps uint64) {
+	t := from
+	for {
+		stepped[t-base] = true
+		steps++
+		last = t
+		s.Step(t)
+		if len(s.sends) > 0 {
+			return last, Never, true, steps
+		}
+		nx := s.NextEvent(t + 1)
+		if nx >= until {
+			return last, nx, false, steps
+		}
+		t = nx
 	}
 }
 
@@ -112,13 +149,13 @@ type ringMachine struct {
 	latency Cycle
 }
 
-func (m *ringMachine) send(c *ringCell, dst, val int) {
+func (m *ringMachine) send(c *ringCell, dst, val int, now Cycle) {
 	if sh := m.shardOf[c.id]; sh != nil {
-		sh.sends = append(sh.sends, ringSend{dst: dst, val: val})
+		sh.sends = append(sh.sends, ringSend{dst: dst, val: val, tick: now})
 		return
 	}
-	m.fabric.inflight = append(m.fabric.inflight, ringSend{due: m.eng.Now() + m.latency, dst: dst, val: val})
-	m.eng.Wake(m.fabric, m.eng.Now()+m.latency)
+	m.fabric.inflight = append(m.fabric.inflight, ringSend{due: now + m.latency, dst: dst, val: val})
+	m.eng.Wake(m.fabric, now+m.latency)
 }
 
 func (m *ringMachine) deliver(dst, val int) {
@@ -133,11 +170,15 @@ func (m *ringMachine) deliver(dst, val int) {
 
 func (m *ringMachine) commit(now Cycle) {
 	for _, sh := range m.shards {
-		for _, s := range sh.sends {
+		n := 0
+		for n < len(sh.sends) && sh.sends[n].tick <= now {
+			n++
+		}
+		for _, s := range sh.sends[:n] {
 			m.fabric.inflight = append(m.fabric.inflight, ringSend{due: now + m.latency, dst: s.dst, val: s.val})
 			m.eng.Wake(m.fabric, now+m.latency)
 		}
-		sh.sends = sh.sends[:0]
+		sh.sends = sh.sends[:copy(sh.sends, sh.sends[n:])]
 	}
 }
 
@@ -146,7 +187,7 @@ func (m *ringMachine) quiet() bool {
 		return false
 	}
 	for _, c := range m.cells {
-		if c.pending > 0 || (c.tokens > 0 && c.budget > 0) {
+		if c.pending > 0 || c.chewLeft > 0 || (c.tokens > 0 && c.budget > 0) {
 			return false
 		}
 	}

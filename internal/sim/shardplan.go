@@ -1,5 +1,7 @@
 package sim
 
+import "fmt"
+
 // Span is a contiguous run [Lo, Hi) of sequentially-ordered units —
 // component indices in a machine's canonical registration order.
 type Span struct {
@@ -42,4 +44,17 @@ func PlanShards(units, shards int) []Span {
 		lo += size
 	}
 	return spans
+}
+
+// PlanShardsLookahead is PlanShards with the conservative-parallelism
+// precondition checked: the fabric's declared lookahead must be at least
+// one cycle, or a cross-shard effect deferred to the commit phase could
+// have been observed by another shard within the producing tick and the
+// epoch protocol would no longer be bit-identical to sequential
+// execution.
+func PlanShardsLookahead(units, shards int, lookahead Cycle) ([]Span, error) {
+	if lookahead < 1 {
+		return nil, fmt.Errorf("sim: shard plan needs fabric lookahead >= 1 cycle, got %d — a zero-latency fabric delivers cross-shard effects within the producing tick, which the deferred-commit epoch protocol cannot reproduce", lookahead)
+	}
+	return PlanShards(units, shards), nil
 }

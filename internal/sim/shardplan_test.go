@@ -1,6 +1,9 @@
 package sim
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestPlanShardsCoversExactlyOnce(t *testing.T) {
 	for units := 1; units <= 40; units++ {
@@ -33,21 +36,48 @@ func TestPlanShardsCoversExactlyOnce(t *testing.T) {
 }
 
 func TestPlanShardsBalance(t *testing.T) {
-	spans := PlanShards(10, 4)
-	if len(spans) != 4 {
-		t.Fatalf("want 4 spans, got %d", len(spans))
-	}
-	min, max := spans[0].Len(), spans[0].Len()
-	for _, sp := range spans {
-		if sp.Len() < min {
-			min = sp.Len()
+	// Property over the whole grid: span sizes may differ by at most one,
+	// so no worker ever carries more than one extra unit of load.
+	for units := 1; units <= 40; units++ {
+		for shards := 1; shards <= 12; shards++ {
+			spans := PlanShards(units, shards)
+			min, max := spans[0].Len(), spans[0].Len()
+			for _, sp := range spans {
+				if sp.Len() < min {
+					min = sp.Len()
+				}
+				if sp.Len() > max {
+					max = sp.Len()
+				}
+			}
+			if max-min > 1 {
+				t.Fatalf("units=%d shards=%d: unbalanced spans min %d max %d (%v)",
+					units, shards, min, max, spans)
+			}
 		}
-		if sp.Len() > max {
-			max = sp.Len()
-		}
 	}
-	if max-min > 1 {
-		t.Fatalf("unbalanced spans: min %d max %d (%v)", min, max, spans)
+}
+
+func TestPlanShardsLookahead(t *testing.T) {
+	spansZero, err := PlanShardsLookahead(8, 2, 0)
+	if err == nil {
+		t.Fatalf("lookahead 0: want error, got spans %v", spansZero)
+	}
+	if !strings.Contains(err.Error(), "lookahead") || !strings.Contains(err.Error(), "deferred-commit") {
+		t.Fatalf("lookahead 0: error %q does not explain the protocol constraint", err)
+	}
+	spans, err := PlanShardsLookahead(10, 4, 1)
+	if err != nil {
+		t.Fatalf("lookahead 1 must be accepted: %v", err)
+	}
+	want := PlanShards(10, 4)
+	if len(spans) != len(want) {
+		t.Fatalf("plan mismatch: %v vs %v", spans, want)
+	}
+	for i := range spans {
+		if spans[i] != want[i] {
+			t.Fatalf("plan mismatch at %d: %v vs %v", i, spans, want)
+		}
 	}
 }
 

@@ -496,6 +496,13 @@ func (e *ParallelEngine) SaveState(enc *Enc) {
 	if e.stepping >= 0 || len(e.due) > 0 || e.inPhase || e.inCommit {
 		panic("sim: ParallelEngine.SaveState mid-tick")
 	}
+	if e.inWindow {
+		// Inside a multi-tick epoch window the shards' local clocks have
+		// diverged and deferred ops may be pending commit; only window
+		// boundaries are checkpointable states (Run clamps every window to
+		// the pause limit, so pauses always land on one).
+		panic("sim: ParallelEngine.SaveState mid-window — epoch windows only checkpoint at window boundaries")
+	}
 	enc.Tag("parengine", 1)
 	saveEngineCore(enc, engineCore{
 		now: e.now, prevTick: e.prevTick, stride: e.stride,

@@ -1,0 +1,154 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// TestRunDeterministicAcrossWorkerCounts is the runner's core contract:
+// the same points produce bit-identical results (including each point's
+// RNG draws) at any worker count.
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	points := make([]int, 37)
+	for i := range points {
+		points[i] = i * 3
+	}
+	eval := func(env Env, p int) (uint64, error) {
+		return uint64(p)*1e9 + env.RNG.Uint64()%1e9 + uint64(env.Index), nil
+	}
+	ref, err := Run(points, eval, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 4, 16, 100} {
+		got, err := Run(points, eval, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d point %d: %d, want %d", workers, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestRunLowestIndexErrorWins pins the schedule-independent error rule.
+func TestRunLowestIndexErrorWins(t *testing.T) {
+	points := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	for _, workers := range []int{1, 4} {
+		_, err := Run(points, func(_ Env, p int) (int, error) {
+			if p >= 3 {
+				return 0, fmt.Errorf("point %d failed", p)
+			}
+			return p, nil
+		}, Options{Workers: workers})
+		if err == nil || !strings.Contains(err.Error(), "point 3") {
+			t.Fatalf("workers=%d: err %v, want the lowest-indexed failure (point 3)", workers, err)
+		}
+	}
+}
+
+func TestRunSeedsMatchSeed(t *testing.T) {
+	got, err := Run([]int{0, 1, 2}, func(env Env, _ int) (uint64, error) {
+		return env.RNG.Uint64(), nil
+	}, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range got {
+		want := Run1RNG(i)
+		if g != want {
+			t.Fatalf("point %d drew %d, want %d (Seed-derived)", i, g, want)
+		}
+	}
+}
+
+// Run1RNG reproduces the first draw a point's Env RNG yields.
+func Run1RNG(i int) uint64 {
+	return sim.NewRNG(Seed(i)).Uint64()
+}
+
+// TestRunProgressNDJSON checks every record parses, the done counter is
+// monotonic, and every index is reported exactly once.
+func TestRunProgressNDJSON(t *testing.T) {
+	var buf bytes.Buffer
+	points := make([]int, 11)
+	_, err := Run(points, func(env Env, _ int) (int, error) {
+		return env.Index, nil
+	}, Options{Workers: 3, Progress: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(points) {
+		t.Fatalf("%d progress records for %d points", len(lines), len(points))
+	}
+	seen := make([]bool, len(points))
+	prevDone := 0
+	for _, line := range lines {
+		var rec struct {
+			Done, Total, Index int
+			OK                 bool
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad NDJSON record %q: %v", line, err)
+		}
+		if rec.Total != len(points) || !rec.OK {
+			t.Fatalf("record %q: want total=%d ok=true", line, len(points))
+		}
+		if rec.Done != prevDone+1 {
+			t.Fatalf("done counter not monotonic: %q after done=%d", line, prevDone)
+		}
+		prevDone = rec.Done
+		if seen[rec.Index] {
+			t.Fatalf("index %d reported twice", rec.Index)
+		}
+		seen[rec.Index] = true
+	}
+}
+
+// TestRunCancellation: a canceled context skips unstarted points and
+// surfaces the context error.
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	points := make([]int, 1000)
+	_, err := Run(points, func(env Env, _ int) (int, error) {
+		if ran.Add(1) == 3 {
+			cancel()
+		}
+		time.Sleep(time.Millisecond)
+		return 0, nil
+	}, Options{Workers: 2, Context: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n >= int64(len(points)) {
+		t.Fatalf("cancellation did not stop the sweep (%d points ran)", n)
+	}
+}
+
+func TestSeedMixes(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := 0; i < 10_000; i++ {
+		s := Seed(i)
+		if seen[s] {
+			t.Fatalf("seed collision at index %d", i)
+		}
+		seen[s] = true
+	}
+	// Adjacent indices must not produce near-identical seeds.
+	if Seed(0)^Seed(1) == 1 {
+		t.Fatal("adjacent seeds differ only in the low bit — not mixed")
+	}
+}

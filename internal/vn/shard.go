@@ -1,6 +1,9 @@
 package vn
 
-import "repro/internal/sim"
+import (
+	"repro/internal/network"
+	"repro/internal/sim"
+)
 
 // This file adapts vn cores to the conservative parallel simulation
 // kernel (sim.ParallelEngine). Every Section-1.2 multiprocessor model
@@ -75,12 +78,19 @@ func (sh *CoreShard) Settle(through sim.Cycle) {
 // runners on par, interposes the deferring memory port on every core, and
 // installs the commit hook that replays deferred requests in ascending
 // shard (= ascending core) order. Call it after every serial component is
-// registered. The machine's real memory ports must tolerate being called
-// from the commit phase, which every sim-aware port does: Wake and
-// SlotNow are legal there and carry the same slot semantics a mid-step
-// sequential call sees.
-func ShardCores(par *sim.ParallelEngine, cores []*Core, shards int) []*CoreShard {
-	spans := sim.PlanShards(len(cores), shards)
+// registered. lookahead is the memory system's declared cross-shard
+// latency (network.Lookaheader; pass 1 for a fabric that declares none):
+// the deferred-commit protocol is only sound when a request issued at
+// cycle t cannot complete before t+1, so the plan rejects lookahead < 1.
+// The machine's real memory ports must tolerate being called from the
+// commit phase, which every sim-aware port does: Wake and SlotNow are
+// legal there and carry the same slot semantics a mid-step sequential
+// call sees.
+func ShardCores(par *sim.ParallelEngine, cores []*Core, shards int, lookahead sim.Cycle) []*CoreShard {
+	spans, err := sim.PlanShardsLookahead(len(cores), shards, lookahead)
+	if err != nil {
+		panic(err)
+	}
 	out := make([]*CoreShard, 0, len(spans))
 	for _, sp := range spans {
 		sh := &CoreShard{cores: cores[sp.Lo:sp.Hi]}
@@ -102,6 +112,20 @@ func ShardCores(par *sim.ParallelEngine, cores []*Core, shards int) []*CoreShard
 		}
 	})
 	return out
+}
+
+// FabricLookahead extracts a memory system's declared cross-shard latency
+// for ShardCores: the fabric's Lookahead when it declares one, otherwise
+// the 1-cycle floor every vn memory path honours (no request issued at
+// cycle t completes before t+1 — completions fire from serial steps of
+// later cycles or from the commit drain).
+func FabricLookahead(fabric any) sim.Cycle {
+	if lh, ok := fabric.(network.Lookaheader); ok {
+		if la := lh.Lookahead(); la > 1 {
+			return la
+		}
+	}
+	return 1
 }
 
 var (
