@@ -22,11 +22,11 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"runtime/debug"
 	"runtime/pprof"
 	"strings"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/conformance"
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -162,35 +162,6 @@ func main() {
 // sweep_workers and barrier_ns_per_epoch fields.
 const benchSchemaVersion = 2
 
-// codeVersion stamps the producing binary from its embedded build info:
-// the VCS revision (suffixed +dirty when the tree was modified) when the
-// toolchain recorded one, else the main module version, else "unknown".
-func codeVersion() string {
-	bi, ok := debug.ReadBuildInfo()
-	if !ok {
-		return "unknown"
-	}
-	var rev, modified string
-	for _, s := range bi.Settings {
-		switch s.Key {
-		case "vcs.revision":
-			rev = s.Value
-		case "vcs.modified":
-			modified = s.Value
-		}
-	}
-	if rev != "" {
-		if modified == "true" {
-			return rev + "+dirty"
-		}
-		return rev
-	}
-	if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
-		return bi.Main.Version
-	}
-	return "unknown"
-}
-
 // checkpointSelfCheck demonstrates and verifies split-run bit-identity on
 // the kernel workload (matmul(4) on 8 PEs): a run paused every `every`
 // cycles — or resumed from a prior checkpoint file — must match a
@@ -266,7 +237,8 @@ func splitBudget(every uint64) sim.Cycle {
 // simulator speed across revisions (BENCH_*.json).
 type benchReport struct {
 	// SchemaVersion and CodeVersion identify the document layout and the
-	// producing code revision; see benchSchemaVersion and codeVersion.
+	// producing code revision; see benchSchemaVersion and
+	// buildinfo.CodeVersion.
 	SchemaVersion int    `json:"schema_version"`
 	CodeVersion   string `json:"code_version"`
 
@@ -548,7 +520,7 @@ func writeBench(path string, quick bool, sweepWorkers int, selected []experiment
 	}
 	rep := benchReport{
 		SchemaVersion:    benchSchemaVersion,
-		CodeVersion:      codeVersion(),
+		CodeVersion:      buildinfo.CodeVersion(),
 		Quick:            quick,
 		GoMaxProcs:       runtime.GOMAXPROCS(0),
 		SweepWallMs:      float64(sweepWall.Microseconds()) / 1e3,

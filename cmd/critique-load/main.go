@@ -1,0 +1,127 @@
+// Command critique-load is the serve API's load generator: it replays a
+// population of conformance-generator programs — one cold pass, then
+// repeat passes — against critique-serve (or a self-hosted in-process
+// server) with concurrent client workers, and records p50/p99 latency
+// for cold runs and cache hits, throughput, and hit rate into a BENCH
+// JSON document (schema v2 extension, BENCH_PR9.json in the repo).
+//
+// Usage:
+//
+//	critique-load -out BENCH_PR9.json            # self-hosted server
+//	critique-load -addr http://localhost:8091    # running server
+//	critique-load -programs 64 -repeats 9 -concurrency 16 -machine ttda
+//	critique-load -check   # exit 1 unless repeat hit rate >= 0.9 and
+//	                       # cold p99 >= 10x hit p99
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/serve"
+)
+
+// benchSchemaVersion matches critique-bench's BENCH JSON layout family;
+// this document extends schema v2 with the serve_load section.
+const benchSchemaVersion = 2
+
+// benchDoc is the written document.
+type benchDoc struct {
+	SchemaVersion int               `json:"schema_version"`
+	CodeVersion   string            `json:"code_version"`
+	GoMaxProcs    int               `json:"gomaxprocs"`
+	ServeLoad     *serve.LoadReport `json:"serve_load"`
+}
+
+func main() {
+	addr := flag.String("addr", "", "target server URL (empty = self-host an in-process server)")
+	programs := flag.Int("programs", 64, "distinct conformance-generator programs")
+	repeats := flag.Int("repeats", 9, "replay passes over the program set after the cold pass")
+	concurrency := flag.Int("concurrency", 16, "concurrent client workers")
+	machine := flag.String("machine", "ttda", "machine the traffic targets")
+	config := flag.String("config", "", `machine config attached to every request, as JSON (e.g. '{"pes":16,"shards":4,"epoch_window":16}')`)
+	argScale := flag.Int64("arg-scale", 1, "multiply each minid program's entry argument (longer cold simulations)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "self-hosted server's worker slots")
+	out := flag.String("out", "", "write the BENCH JSON document to this file")
+	check := flag.Bool("check", false, "exit nonzero unless repeat hit rate >= 0.9 and cold p99 >= 10x hit p99")
+	flag.Parse()
+
+	var cfg *serve.Config
+	if *config != "" {
+		cfg = &serve.Config{}
+		if err := json.Unmarshal([]byte(*config), cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "critique-load: -config:", err)
+			os.Exit(1)
+		}
+	}
+
+	rep, err := serve.RunLoad(serve.LoadOptions{
+		URL:         *addr,
+		Self:        serve.Options{Workers: *workers, Backlog: *concurrency * 4, Timeout: *timeout},
+		Programs:    *programs,
+		Repeats:     *repeats,
+		Concurrency: *concurrency,
+		Machine:     *machine,
+		Config:      cfg,
+		ArgScale:    *argScale,
+		Timeout:     *timeout,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "critique-load:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("critique-load: %d requests (%d cold, %d hits, %d coalesced, %d errors) in %.0f ms — %.0f req/s\n",
+		rep.Requests, rep.Cold, rep.Hits, rep.Coalesced, rep.Errors, rep.WallMs, rep.ThroughputRPS)
+	fmt.Printf("  cold p50/p99 %.3f/%.3f ms, hit p50/p99 %.3f/%.3f ms (cold/hit p99 %.1fx)\n",
+		rep.ColdP50Ms, rep.ColdP99Ms, rep.HitP50Ms, rep.HitP99Ms, rep.ColdOverHitP99)
+	fmt.Printf("  hit rate %.3f overall, %.3f on repeat traffic\n", rep.HitRate, rep.RepeatHitRate)
+
+	if *out != "" {
+		doc := benchDoc{
+			SchemaVersion: benchSchemaVersion,
+			CodeVersion:   buildinfo.CodeVersion(),
+			GoMaxProcs:    runtime.GOMAXPROCS(0),
+			ServeLoad:     rep,
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "critique-load:", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "critique-load:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "critique-load:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("critique-load: wrote %s\n", *out)
+	}
+
+	if rep.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "critique-load: %d requests failed\n", rep.Errors)
+		os.Exit(1)
+	}
+	if *check {
+		if rep.RepeatHitRate < 0.9 {
+			fmt.Fprintf(os.Stderr, "critique-load: repeat hit rate %.3f < 0.9\n", rep.RepeatHitRate)
+			os.Exit(1)
+		}
+		if rep.ColdOverHitP99 < 10 {
+			fmt.Fprintf(os.Stderr, "critique-load: cold p99 only %.1fx hit p99 (< 10x)\n", rep.ColdOverHitP99)
+			os.Exit(1)
+		}
+		fmt.Println("critique-load: check passed")
+	}
+}

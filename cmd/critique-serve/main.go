@@ -1,0 +1,84 @@
+// Command critique-serve runs the reproduction as a long-lived
+// simulation service: an HTTP/JSON API that accepts MiniID or vn
+// assembly programs (or named experiments E1..E14), executes them on a
+// chosen machine model through a bounded worker pool, coalesces
+// concurrent identical submissions, and serves repeat traffic from a
+// content-addressed result cache keyed by (program, machine, config,
+// code version). Simulations are deterministic, so cache hits are exact
+// replays, byte for byte.
+//
+// Usage:
+//
+//	critique-serve                      # listen on :8091
+//	critique-serve -addr :9000 -workers 8 -timeout 10s
+//
+// Submit and fetch:
+//
+//	curl -s localhost:8091/v1/run -d '{"kind":"minid","machine":"ttda",
+//	  "program":"def main(n) = n * 2;","args":[21]}'
+//	curl -s localhost:8091/v1/run -d '{"experiment":"E5"}'
+//	curl -s localhost:8091/v1/stats
+//
+// SIGINT/SIGTERM drain gracefully: in-flight requests finish, queued
+// async jobs are cut off at their next engine slice, and the worker
+// pool is drained before exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8091", "listen address")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulation workers")
+	backlog := flag.Int("backlog", 64, "submissions allowed to wait for a worker before 503")
+	cacheEntries := flag.Int("cache-entries", 4096, "result cache capacity (entries)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request simulation budget")
+	maxBody := flag.Int64("max-body", 0, "request body cap in bytes (0 = default)")
+	flag.Parse()
+
+	s := serve.New(serve.Options{
+		Workers:      *workers,
+		Backlog:      *backlog,
+		CacheEntries: *cacheEntries,
+		Timeout:      *timeout,
+		MaxBody:      *maxBody,
+	})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := <-stop
+		log.Printf("critique-serve: %v — draining", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Printf("critique-serve: shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("critique-serve: listening on %s (code %s, %d workers)", *addr, s.CodeVersion(), *workers)
+	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatalf("critique-serve: %v", err)
+	}
+	<-done
+	s.Close()
+	log.Print("critique-serve: drained")
+}

@@ -1,0 +1,12 @@
+package buildinfo
+
+import "testing"
+
+// Test binaries carry build info but usually no VCS stamp; CodeVersion
+// must degrade to a non-empty marker rather than an empty string (an
+// empty stamp would silently merge cache namespaces).
+func TestCodeVersionNonEmpty(t *testing.T) {
+	if v := CodeVersion(); v == "" {
+		t.Fatal("CodeVersion returned an empty string")
+	}
+}

@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestCoalescingExecutesOnce fires N concurrent identical submissions
+// through a real HTTP server and asserts exactly one underlying
+// execution: one leader reports "miss", every other caller reports
+// "coalesced", and all N response bodies are byte-identical. Run under
+// -race in CI, this is also the concurrency soundness check for the
+// flight/cache/pool plumbing.
+func TestCoalescingExecutesOnce(t *testing.T) {
+	s := newTestServer(t, Options{Workers: 2, Backlog: 16})
+	gate := make(chan struct{})
+	s.runStarted = func(string) { <-gate }
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	body := runBody(t, KindVNAsm, "vn", storeAsm(7), nil)
+	spec := &JobSpec{Kind: KindVNAsm, Machine: "vn", Program: storeAsm(7)}
+	if err := spec.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	key := spec.Key(s.CodeVersion())
+
+	const n = 8
+	bodies := make([][]byte, n)
+	sources := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			b, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("request %d: status %d: %s", i, resp.StatusCode, b)
+				return
+			}
+			bodies[i] = b
+			sources[i] = resp.Header.Get("X-Cache")
+		}(i)
+	}
+
+	// Hold the execution open until every other submitter has provably
+	// joined the in-flight call, so nothing can sidestep coalescing by
+	// arriving late and hitting the cache.
+	waitFor(t, "all followers joined", func() bool { return s.flight.followersOf(key) == n-1 })
+	close(gate)
+	wg.Wait()
+
+	st := s.Stats()
+	if st.Executions != 1 {
+		t.Errorf("executions = %d, want exactly 1", st.Executions)
+	}
+	if st.Coalesced != n-1 {
+		t.Errorf("coalesced = %d, want %d", st.Coalesced, n-1)
+	}
+	var miss, coalesced int
+	for i, src := range sources {
+		switch src {
+		case "miss":
+			miss++
+		case "coalesced":
+			coalesced++
+		default:
+			t.Errorf("request %d: X-Cache = %q", i, src)
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Errorf("request %d: response differs from request 0", i)
+		}
+	}
+	if miss != 1 || coalesced != n-1 {
+		t.Errorf("sources = 1 miss + %d coalesced? got %d miss, %d coalesced", n-1, miss, coalesced)
+	}
+}
+
+// TestFollowerPromotedOnLeaderCancel: when the leader's client vanishes
+// mid-run, its execution dies with it — but a still-live follower must
+// not inherit the corpse. It retries, becomes the leader, and completes;
+// the total execution count stays one because the aborted run never
+// finished.
+func TestFollowerPromotedOnLeaderCancel(t *testing.T) {
+	s := newTestServer(t, Options{Workers: 2})
+	starts := make(chan string, 4)
+	gate := make(chan struct{})
+	s.runStarted = func(key string) {
+		starts <- key
+		<-gate
+	}
+
+	// countdownAsm spans several engine slices, so a canceled context is
+	// observed at a slice boundary before the run can finish.
+	spec := &JobSpec{Kind: KindVNAsm, Machine: "vn", Program: countdownAsm}
+	if err := spec.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	key := spec.Key(s.CodeVersion())
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	defer cancelLeader()
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, _, err := s.execute(leaderCtx, spec, key)
+		leaderErr <- err
+	}()
+	<-starts // leader holds a worker slot, blocked on the gate
+
+	type outcome struct {
+		body   []byte
+		source string
+		err    error
+	}
+	followerOut := make(chan outcome, 1)
+	go func() {
+		b, src, err := s.execute(context.Background(), spec, key)
+		followerOut <- outcome{b, src, err}
+	}()
+	waitFor(t, "follower joined the flight", func() bool { return s.flight.followersOf(key) == 1 })
+
+	// Kill the leader's client, then let the engine turn: the leader
+	// aborts at its first slice check and takes the shared flight down
+	// with a Canceled error.
+	cancelLeader()
+	close(gate)
+	if err := <-leaderErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader error = %v, want context.Canceled", err)
+	}
+
+	// The follower is promoted: it re-runs the job itself (the second
+	// runStarted call) and succeeds.
+	out := <-followerOut
+	if out.err != nil {
+		t.Fatalf("promoted follower failed: %v", out.err)
+	}
+	if out.source != "miss" {
+		t.Errorf("promoted follower source = %q, want miss (it executed)", out.source)
+	}
+	res := decodeResult(t, out.body)
+	if res.Result == nil || *res.Result != 7 {
+		t.Errorf("promoted follower result = %v, want 7", res.Result)
+	}
+	if got := s.Stats().Executions; got != 1 {
+		t.Errorf("executions = %d, want 1 (the aborted leader run must not count)", got)
+	}
+	if len(starts) == 0 {
+		t.Error("follower was never promoted to run the job itself")
+	}
+}

@@ -1,0 +1,38 @@
+package serve
+
+import "testing"
+
+// TestRunLoadSmoke runs the load generator end to end at miniature
+// scale: a self-hosted server, a few generated programs, full repeat
+// traffic. It pins the accounting rather than the latency numbers —
+// repeat traffic over an unevictable cache must hit every time.
+func TestRunLoadSmoke(t *testing.T) {
+	rep, err := RunLoad(LoadOptions{
+		Self:        Options{Workers: 2, Backlog: 32},
+		Programs:    4,
+		Repeats:     2,
+		Concurrency: 4,
+		Machine:     "vn",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("report has %d errors: %+v", rep.Errors, rep)
+	}
+	if want := 4 * (1 + 2); rep.Requests != want {
+		t.Errorf("requests = %d, want %d", rep.Requests, want)
+	}
+	if rep.RepeatHitRate != 1.0 {
+		t.Errorf("repeat hit rate = %v, want 1.0 (cache leaked)", rep.RepeatHitRate)
+	}
+	if rep.Cold != 4 {
+		t.Errorf("cold requests = %d, want 4", rep.Cold)
+	}
+	if rep.Server.Executions != 4 {
+		t.Errorf("server executions = %d, want 4", rep.Server.Executions)
+	}
+	if rep.ColdP99Ms <= 0 || rep.HitP99Ms <= 0 || rep.ThroughputRPS <= 0 {
+		t.Errorf("latency/throughput not measured: %+v", rep)
+	}
+}

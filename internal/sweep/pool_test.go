@@ -1,0 +1,179 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func poolWaitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestPoolRunsEveryJob(t *testing.T) {
+	p := NewPool(2, 8)
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := p.Do(context.Background(), func() { ran.Add(1) }); err != nil {
+				t.Errorf("Do: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if ran.Load() != 10 {
+		t.Errorf("ran %d jobs, want 10", ran.Load())
+	}
+	if p.Running() != 0 || p.Waiting() != 0 {
+		t.Errorf("pool not quiescent: running %d waiting %d", p.Running(), p.Waiting())
+	}
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	p := NewPool(2, 8)
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 16)
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Do(context.Background(), func() {
+				entered <- struct{}{}
+				<-gate
+			})
+		}()
+	}
+	<-entered
+	<-entered
+	// Both slots are held; no third job may enter.
+	select {
+	case <-entered:
+		t.Fatal("a third job entered a 2-worker pool")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if p.Running() != 2 {
+		t.Errorf("running = %d, want 2", p.Running())
+	}
+	close(gate)
+	wg.Wait()
+}
+
+func TestPoolSaturation(t *testing.T) {
+	p := NewPool(1, 1)
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 4)
+	var wg sync.WaitGroup
+	// One running plus the permitted waiters (slot handoff + backlog).
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := p.Do(context.Background(), func() {
+				entered <- struct{}{}
+				<-gate
+			}); err != nil {
+				t.Errorf("admitted Do failed: %v", err)
+			}
+		}()
+	}
+	<-entered
+	poolWaitFor(t, "two submitters queued", func() bool { return p.Waiting() == 2 })
+
+	if err := p.Do(context.Background(), func() {}); !errors.Is(err, ErrSaturated) {
+		t.Errorf("over-capacity Do = %v, want ErrSaturated", err)
+	}
+	close(gate)
+	wg.Wait()
+}
+
+func TestPoolCancelWhileWaiting(t *testing.T) {
+	p := NewPool(1, 4)
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p.Do(context.Background(), func() {
+			entered <- struct{}{}
+			<-gate
+		})
+	}()
+	<-entered
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- p.Do(ctx, func() { t.Error("canceled submitter's fn ran") })
+	}()
+	poolWaitFor(t, "submitter queued", func() bool { return p.Waiting() == 1 })
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled Do = %v, want context.Canceled", err)
+	}
+	if p.Waiting() != 0 {
+		t.Errorf("waiting = %d after cancellation, want 0", p.Waiting())
+	}
+	close(gate)
+	wg.Wait()
+
+	// The abandoned wait must not have leaked a slot.
+	if err := p.Do(context.Background(), func() {}); err != nil {
+		t.Errorf("post-cancellation Do = %v, want nil", err)
+	}
+}
+
+func TestPoolCloseAndDrain(t *testing.T) {
+	p := NewPool(2, 4)
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := p.Do(context.Background(), func() {
+			entered <- struct{}{}
+			<-gate
+		}); err != nil {
+			t.Errorf("pre-close Do: %v", err)
+		}
+	}()
+	<-entered
+
+	p.Close()
+	if err := p.Do(context.Background(), func() { t.Error("fn ran after Close") }); !errors.Is(err, ErrClosed) {
+		t.Errorf("post-close Do = %v, want ErrClosed", err)
+	}
+
+	drained := make(chan struct{})
+	go func() {
+		p.Drain()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		t.Fatal("Drain returned while a job was still running")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(gate)
+	wg.Wait()
+	select {
+	case <-drained:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Drain never returned after the running job finished")
+	}
+}

@@ -1,0 +1,68 @@
+package sweep
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// TestProgressSharedWriterConcurrentRuns is the regression test for the
+// NDJSON progress writer race: two sweeps sharing one writer — here a
+// deliberately unsynchronized bytes.Buffer — must emit whole,
+// well-formed lines with exact per-run accounting. Before the fix each
+// Run serialized only against itself (a per-Run mutex), so concurrent
+// runs raced on the writer and tore lines; under -race this test fails
+// outright on the old code.
+func TestProgressSharedWriterConcurrentRuns(t *testing.T) {
+	const runs, points = 2, 150
+	var shared bytes.Buffer
+	var wg sync.WaitGroup
+	for r := 0; r < runs; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := Run(make([]int, points), func(Env, int) (int, error) { return 0, nil },
+				Options{Workers: 4, Progress: &shared})
+			if err != nil {
+				t.Errorf("Run: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	type rec struct {
+		Done  int  `json:"done"`
+		Total int  `json:"total"`
+		Index int  `json:"index"`
+		OK    bool `json:"ok"`
+	}
+	lines := 0
+	doneSeen := make(map[int]int)
+	sc := bufio.NewScanner(bytes.NewReader(shared.Bytes()))
+	for sc.Scan() {
+		lines++
+		var r rec
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("line %d is not valid NDJSON (torn write?): %q: %v", lines, sc.Text(), err)
+		}
+		if r.Total != points || !r.OK || r.Index < 0 || r.Index >= points {
+			t.Fatalf("line %d has impossible fields: %+v", lines, r)
+		}
+		doneSeen[r.Done]++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines != runs*points {
+		t.Fatalf("got %d progress lines, want %d", lines, runs*points)
+	}
+	// Each run's done counter is monotonic 1..points, so across the two
+	// interleaved runs every value must appear exactly twice.
+	for d := 1; d <= points; d++ {
+		if doneSeen[d] != runs {
+			t.Errorf("done=%d appeared %d times, want %d", d, doneSeen[d], runs)
+		}
+	}
+}

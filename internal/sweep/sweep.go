@@ -23,6 +23,11 @@ import (
 	"repro/internal/sim"
 )
 
+// progressMu serializes NDJSON progress records across every Run (and
+// Pool) in the process, so sweeps sharing one writer never tear lines.
+// Contention is negligible: one short Write per completed point.
+var progressMu sync.Mutex
+
 // Env is the per-point context a worker hands to the point function.
 type Env struct {
 	// Index is the point's position in the input slice.
@@ -40,7 +45,11 @@ type Options struct {
 	// Progress, when non-nil, receives one NDJSON record per completed
 	// point: {"done":d,"total":n,"index":i,"ok":b}. Records are written
 	// in completion order (schedule-dependent); the "done" counter is
-	// monotonic.
+	// monotonic per Run. Every record is emitted as a single Write under
+	// a package-wide lock, so concurrent sweeps may share one writer —
+	// even an unsynchronized one like bytes.Buffer — without torn or
+	// interleaved lines (their records simply intermix whole-line-wise;
+	// tag the writer or the record consumer if runs must be told apart).
 	Progress io.Writer
 	// Context, when non-nil, cancels the sweep: points not yet started
 	// when it is done are skipped, and Run reports the context's error
@@ -80,14 +89,18 @@ func Run[P, R any](points []P, fn func(env Env, p P) (R, error), opt Options) ([
 	}
 	ctx := opt.Context
 	var done atomic.Int64
-	var progressMu sync.Mutex
 	report := func(i int, ok bool) {
 		if opt.Progress == nil {
 			return
 		}
 		d := done.Add(1)
+		// Render outside the lock, write the whole line inside it. The
+		// lock is package-wide (not per-Run) so two sweeps sharing one
+		// writer serialize against each other, not just against
+		// themselves — a per-Run mutex raced on the shared writer.
+		line := fmt.Appendf(nil, "{\"done\":%d,\"total\":%d,\"index\":%d,\"ok\":%t}\n", d, n, i, ok)
 		progressMu.Lock()
-		fmt.Fprintf(opt.Progress, "{\"done\":%d,\"total\":%d,\"index\":%d,\"ok\":%t}\n", d, n, i, ok)
+		opt.Progress.Write(line)
 		progressMu.Unlock()
 	}
 	var cursor atomic.Int64
