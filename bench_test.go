@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/direct"
 	"repro/internal/emulator"
 	"repro/internal/experiments"
 	"repro/internal/graph"
@@ -76,6 +77,52 @@ func BenchmarkInterpreter(b *testing.B) {
 		fired = it.Fired()
 	}
 	b.ReportMetric(float64(fired)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
+// BenchmarkDirectVsInterp runs the direct-execution oracle backend and
+// the interpreted TTDA machine (8 PEs) on the same workload programs —
+// the per-workload pair behind BENCH's direct_speedup_vs_interpreted
+// ratio. Loop-heavy shapes (sumloop) collapse their circulation
+// firings into native Go loops; recursion-heavy shapes (fib) only shed
+// the cycle model.
+func BenchmarkDirectVsInterp(b *testing.B) {
+	cases := []struct {
+		name string
+		src  string
+		arg  int64
+	}{
+		{"sumloop", workload.SumLoopID, 20000},
+		{"matmul", workload.MatMulID, 4},
+		{"fib", workload.FibID, 14},
+	}
+	for _, c := range cases {
+		prog, err := id.Compile(c.src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(c.name+"/direct", func(b *testing.B) {
+			var fired uint64
+			for i := 0; i < b.N; i++ {
+				x := direct.New(prog)
+				if _, err := x.Run(token.Int(c.arg)); err != nil {
+					b.Fatal(err)
+				}
+				fired = x.Fired()
+			}
+			b.ReportMetric(float64(fired)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mfirings/s")
+		})
+		b.Run(c.name+"/ttda", func(b *testing.B) {
+			var fired uint64
+			for i := 0; i < b.N; i++ {
+				m := core.NewMachine(core.Config{PEs: 8}, prog)
+				if _, err := m.Run(1_000_000_000, token.Int(c.arg)); err != nil {
+					b.Fatal(err)
+				}
+				fired = m.Summarize().Fired
+			}
+			b.ReportMetric(float64(fired)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mfirings/s")
+		})
+	}
 }
 
 // BenchmarkTTDAMachine measures the cycle-accurate machine's simulation

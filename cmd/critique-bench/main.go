@@ -29,6 +29,7 @@ import (
 	"repro/internal/buildinfo"
 	"repro/internal/conformance"
 	"repro/internal/core"
+	"repro/internal/direct"
 	"repro/internal/experiments"
 	"repro/internal/graph"
 	"repro/internal/id"
@@ -159,8 +160,10 @@ func main() {
 // future content-addressed result cache) can refuse stale layouts instead
 // of misreading them. Version 2 added epoch-window columns to the shard
 // sweep (one row per shards × window × latency point) plus the
-// sweep_workers and barrier_ns_per_epoch fields.
-const benchSchemaVersion = 2
+// sweep_workers and barrier_ns_per_epoch fields. Version 3 added the
+// direct-execution oracle backend fields (direct_wall_ms_per_run,
+// direct_mfirings_per_sec, direct_speedup_vs_interpreted).
+const benchSchemaVersion = 3
 
 // checkpointSelfCheck demonstrates and verifies split-run bit-identity on
 // the kernel workload (matmul(4) on 8 PEs): a run paused every `every`
@@ -271,6 +274,23 @@ type benchReport struct {
 	CompileMs             float64 `json:"compile_ms"`
 	CompiledKernelWallMs  float64 `json:"compiled_kernel_wall_ms_per_run"`
 	CompiledMcyclesPerSec float64 `json:"compiled_mcycles_per_sec"`
+	// DirectWorkloads times the direct-execution oracle backend against
+	// the interpreted TTDA (8 PEs, same program and argument, results and
+	// firing counts asserted bit-identical to the reference interpreter on
+	// every run): one row per workload, because the speedup is shape-
+	// dependent — loop-circulation firings collapse into native Go loops
+	// (two orders of magnitude), while recursion-heavy graphs only shed
+	// the cycle model (single digits). The headline DirectRuns/DirectWallMs/
+	// DirectMfiringsSec/DirectSpeedup fields repeat the DirectProgram row —
+	// the loop workload, where the backend's reason to exist lives. Like
+	// all wall numbers here they inherit this host's run-to-run noise (see
+	// GoMaxProcs); the ratio's magnitude, not its third digit, is the claim.
+	DirectProgram     string        `json:"direct_program"`
+	DirectRuns        int           `json:"direct_runs"`
+	DirectWallMs      float64       `json:"direct_wall_ms_per_run"`
+	DirectMfiringsSec float64       `json:"direct_mfirings_per_sec"`
+	DirectSpeedup     float64       `json:"direct_speedup_vs_interpreted"`
+	DirectWorkloads   []directBench `json:"direct_workloads"`
 	// KernelCounters reports the engine's scheduling counters for one
 	// kernel run: component steps actually executed, cycles the wake-queue
 	// jumped over, and wakes enqueued. steps_executed against sim_cycles is
@@ -510,6 +530,11 @@ func writeBench(path string, quick bool, sweepWorkers int, selected []experiment
 		return fmt.Errorf("compiled kernel simulated %d cycles, interpreted %d — bit-identity broken", cCycles, cycles)
 	}
 
+	directRows, err := benchDirect(quick)
+	if err != nil {
+		return err
+	}
+
 	perExp := make(map[string]float64, len(selected))
 	for _, r := range selected {
 		perExp[r.ID] = float64(r.Wall.Microseconds()) / 1e3
@@ -544,6 +569,18 @@ func writeBench(path string, quick bool, sweepWorkers int, selected []experiment
 		CompileMs:             float64(compileWall.Microseconds()) / 1e3,
 		CompiledKernelWallMs:  float64(cWall.Microseconds()) / 1e3 / float64(runs),
 		CompiledMcyclesPerSec: float64(cCycles) * float64(runs) / fmaxf(1e-9, cWall.Seconds()) / 1e6,
+
+		DirectWorkloads: directRows,
+	}
+	for _, row := range directRows {
+		if row.Program != directHeadline {
+			continue
+		}
+		rep.DirectProgram = row.Program
+		rep.DirectRuns = row.DirectRuns
+		rep.DirectWallMs = row.DirectWallMs
+		rep.DirectMfiringsSec = row.DirectMfiringsSec
+		rep.DirectSpeedup = row.Speedup
 	}
 	if rep.Baselines, err = benchBaselines(runs); err != nil {
 		return err
@@ -558,9 +595,107 @@ func writeBench(path string, quick bool, sweepWorkers int, selected []experiment
 		f.Close()
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "critique-bench: wrote %s (%.2f Mcycles/s interpreted, %.2f compiled, compile %.1f ms, sweep %.0f ms)\n",
-		path, rep.McyclesPerSec, rep.CompiledMcyclesPerSec, rep.CompileMs, rep.SweepWallMs)
+	fmt.Fprintf(os.Stderr, "critique-bench: wrote %s (%.2f Mcycles/s interpreted, %.2f compiled, direct %s %.3f ms/run = %.0fx, compile %.1f ms, sweep %.0f ms)\n",
+		path, rep.McyclesPerSec, rep.CompiledMcyclesPerSec, rep.DirectProgram, rep.DirectWallMs, rep.DirectSpeedup, rep.CompileMs, rep.SweepWallMs)
 	return f.Close()
+}
+
+// directHeadline names the direct_workloads row the headline direct_*
+// fields repeat: the loop workload, where loop circulation collapses
+// into native control flow and the backend earns its keep.
+const directHeadline = "sumloop(20000)"
+
+// directBench is one row of the direct-vs-interpreted table: the same
+// program and argument on the interpreted TTDA (8 PEs) and on the
+// direct-execution oracle backend.
+type directBench struct {
+	Program           string  `json:"program"`
+	Arg               int64   `json:"arg"`
+	TTDARuns          int     `json:"ttda_runs"`
+	TTDAWallMs        float64 `json:"ttda_wall_ms_per_run"`
+	DirectRuns        int     `json:"direct_runs"`
+	DirectWallMs      float64 `json:"direct_wall_ms_per_run"`
+	DirectMfiringsSec float64 `json:"direct_mfirings_per_sec"`
+	Speedup           float64 `json:"speedup_vs_interpreted"`
+}
+
+// benchDirect measures the direct backend against the interpreted TTDA
+// on three workload shapes. Every direct run's results are asserted
+// bit-identical to the reference interpreter's, and the firing count
+// must match too (the firing multiset of a dataflow graph is
+// schedule-invariant). The direct side gets many more reps than the
+// simulated side because each run is orders of magnitude shorter.
+func benchDirect(quick bool) ([]directBench, error) {
+	runs := 10
+	if quick {
+		runs = 3
+	}
+	cases := []struct {
+		name string
+		src  string
+		arg  int64
+	}{
+		{"matmul(4)", workload.MatMulID, 4},
+		{directHeadline, workload.SumLoopID, 20000},
+		{"fib(18)", workload.FibID, 18},
+	}
+	rows := make([]directBench, 0, len(cases))
+	for _, c := range cases {
+		prog, err := id.Compile(c.src)
+		if err != nil {
+			return nil, err
+		}
+		tStart := time.Now()
+		for i := 0; i < runs; i++ {
+			m := core.NewMachine(core.Config{PEs: 8}, prog)
+			if _, err := m.Run(1_000_000_000, token.Int(c.arg)); err != nil {
+				return nil, err
+			}
+		}
+		tWall := time.Since(tStart)
+
+		it := graph.NewInterp(prog)
+		ref, err := it.Run(token.Int(c.arg))
+		if err != nil {
+			return nil, err
+		}
+		dRuns := runs * 20
+		var dFired uint64
+		dStart := time.Now()
+		for i := 0; i < dRuns; i++ {
+			x := direct.New(prog)
+			res, err := x.Run(token.Int(c.arg))
+			if err != nil {
+				return nil, err
+			}
+			if len(res) != len(ref) {
+				return nil, fmt.Errorf("direct %s returned %d results, interpreter %d", c.name, len(res), len(ref))
+			}
+			for j := range res {
+				if !res[j].Equal(ref[j]) {
+					return nil, fmt.Errorf("direct %s result %d = %s, interpreter %s — bit-identity broken", c.name, j, res[j], ref[j])
+				}
+			}
+			if x.Fired() != it.Fired() {
+				return nil, fmt.Errorf("direct %s fired %d instructions, interpreter %d", c.name, x.Fired(), it.Fired())
+			}
+			dFired = x.Fired()
+		}
+		dWall := time.Since(dStart)
+
+		row := directBench{
+			Program:           c.name,
+			Arg:               c.arg,
+			TTDARuns:          runs,
+			TTDAWallMs:        float64(tWall.Microseconds()) / 1e3 / float64(runs),
+			DirectRuns:        dRuns,
+			DirectWallMs:      float64(dWall.Microseconds()) / 1e3 / float64(dRuns),
+			DirectMfiringsSec: float64(dFired) * float64(dRuns) / fmaxf(1e-9, dWall.Seconds()) / 1e6,
+		}
+		row.Speedup = row.TTDAWallMs / fmaxf(1e-9, row.DirectWallMs)
+		rows = append(rows, row)
+	}
+	return rows, nil
 }
 
 // benchKernelShards times the TTDA shard-sweep kernel — matmul(6) on 8

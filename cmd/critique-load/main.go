@@ -3,7 +3,10 @@
 // repeat passes — against critique-serve (or a self-hosted in-process
 // server) with concurrent client workers, and records p50/p99 latency
 // for cold runs and cache hits, throughput, and hit rate into a BENCH
-// JSON document (schema v2 extension, BENCH_PR9.json in the repo).
+// JSON document (schema v3 extension, BENCH_PR9.json in the repo). By
+// default it replays the same traffic a second time against machine
+// "direct" — the cycle-free oracle backend — and records that pass's
+// percentiles next to the cycle-accurate ones (-direct-pass=false skips).
 //
 // Usage:
 //
@@ -27,8 +30,9 @@ import (
 )
 
 // benchSchemaVersion matches critique-bench's BENCH JSON layout family;
-// this document extends schema v2 with the serve_load section.
-const benchSchemaVersion = 2
+// schema v3 adds the serve_load_direct section (the cycle-free oracle
+// backend's pass) next to the cycle-accurate serve_load numbers.
+const benchSchemaVersion = 3
 
 // benchDoc is the written document.
 type benchDoc struct {
@@ -36,6 +40,10 @@ type benchDoc struct {
 	CodeVersion   string            `json:"code_version"`
 	GoMaxProcs    int               `json:"gomaxprocs"`
 	ServeLoad     *serve.LoadReport `json:"serve_load"`
+	// ServeLoadDirect is the same traffic replayed against machine
+	// "direct": result-only serving with no cycle model, the p50/p99
+	// every cycle-accurate number is read against.
+	ServeLoadDirect *serve.LoadReport `json:"serve_load_direct,omitempty"`
 }
 
 func main() {
@@ -50,6 +58,7 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "self-hosted server's worker slots")
 	out := flag.String("out", "", "write the BENCH JSON document to this file")
 	check := flag.Bool("check", false, "exit nonzero unless repeat hit rate >= 0.9 and cold p99 >= 10x hit p99")
+	directPass := flag.Bool("direct-pass", true, "also replay the same traffic against machine \"direct\" and record its p50/p99")
 	flag.Parse()
 
 	var cfg *serve.Config
@@ -83,12 +92,36 @@ func main() {
 		rep.ColdP50Ms, rep.ColdP99Ms, rep.HitP50Ms, rep.HitP99Ms, rep.ColdOverHitP99)
 	fmt.Printf("  hit rate %.3f overall, %.3f on repeat traffic\n", rep.HitRate, rep.RepeatHitRate)
 
+	// The direct pass replays the identical program population against the
+	// cycle-free oracle backend: same cache, same coalescing, no cycle
+	// model. Its cold p50/p99 is what result-only traffic pays.
+	var directRep *serve.LoadReport
+	if *directPass && *machine != "direct" {
+		directRep, err = serve.RunLoad(serve.LoadOptions{
+			URL:         *addr,
+			Self:        serve.Options{Workers: *workers, Backlog: *concurrency * 4, Timeout: *timeout},
+			Programs:    *programs,
+			Repeats:     *repeats,
+			Concurrency: *concurrency,
+			Machine:     "direct",
+			ArgScale:    *argScale,
+			Timeout:     *timeout,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "critique-load: direct pass:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("critique-load [direct]: %d requests (%d errors) — cold p50/p99 %.3f/%.3f ms, hit p50/p99 %.3f/%.3f ms\n",
+			directRep.Requests, directRep.Errors, directRep.ColdP50Ms, directRep.ColdP99Ms, directRep.HitP50Ms, directRep.HitP99Ms)
+	}
+
 	if *out != "" {
 		doc := benchDoc{
-			SchemaVersion: benchSchemaVersion,
-			CodeVersion:   buildinfo.CodeVersion(),
-			GoMaxProcs:    runtime.GOMAXPROCS(0),
-			ServeLoad:     rep,
+			SchemaVersion:   benchSchemaVersion,
+			CodeVersion:     buildinfo.CodeVersion(),
+			GoMaxProcs:      runtime.GOMAXPROCS(0),
+			ServeLoad:       rep,
+			ServeLoadDirect: directRep,
 		}
 		f, err := os.Create(*out)
 		if err != nil {
@@ -111,6 +144,10 @@ func main() {
 
 	if rep.Errors > 0 {
 		fmt.Fprintf(os.Stderr, "critique-load: %d requests failed\n", rep.Errors)
+		os.Exit(1)
+	}
+	if directRep != nil && directRep.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "critique-load: %d direct-pass requests failed\n", directRep.Errors)
 		os.Exit(1)
 	}
 	if *check {

@@ -132,6 +132,50 @@ func TestHarnessDetectsCriticalPathViolation(t *testing.T) {
 	}
 }
 
+// TestHarnessDetectsCorruptedDirectResult doctors the direct-execution
+// seam so the oracle backend reports an off-by-one answer, and demands the
+// direct-equivalence oracle fail with the standard minimized repro
+// command. This is the teeth test for the eighth family: a backend with no
+// cycle model has exactly one observable, so the harness must die the
+// moment that observable drifts.
+func TestHarnessDetectsCorruptedDirectResult(t *testing.T) {
+	honest := directRun
+	defer func() { directRun = honest }()
+	directRun = func(c *compiled) (int64, uint64, error) {
+		v, fired, err := honest(c)
+		return v + 1, fired, err // corrupt the answer, keep the firing count
+	}
+
+	ct := newCounter(12345)
+	w := Generate(12345)
+	c, err := compile(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDirect(ct, c)
+	if len(ct.vs) == 0 {
+		t.Fatal("harness accepted a corrupted direct-backend result")
+	}
+	v := ct.vs[0]
+	if v.Oracle != OracleDirect {
+		t.Fatalf("violation filed under %q, want %q", v.Oracle, OracleDirect)
+	}
+	if !strings.Contains(v.Repro(), "-conformance.seed=12345") {
+		t.Fatalf("violation lacks a minimized repro command: %q", v.Repro())
+	}
+	if !strings.Contains(v.String(), "reproduce with:") {
+		t.Fatalf("violation text does not surface the repro command:\n%s", v)
+	}
+
+	// The honest backend must pass the same seed cleanly.
+	directRun = honest
+	ok := newCounter(12345)
+	checkDirect(ok, c)
+	if len(ok.vs) != 0 {
+		t.Fatalf("direct oracle rejected the honest backend: %v", ok.vs)
+	}
+}
+
 // TestSweepReport pins the aggregate report shape E14 and the
 // critique-bench smoke flag consume.
 func TestSweepReport(t *testing.T) {
@@ -142,7 +186,7 @@ func TestSweepReport(t *testing.T) {
 	if len(r.Violations) != 0 {
 		t.Fatalf("unexpected violations: %v", r.Violations)
 	}
-	for _, o := range []Oracle{OracleResult, OracleDeterminism, OracleMetamorphic, OracleHonesty, OracleParallel, OracleCompiled, OracleCheckpoint} {
+	for _, o := range []Oracle{OracleResult, OracleDeterminism, OracleMetamorphic, OracleHonesty, OracleParallel, OracleCompiled, OracleCheckpoint, OracleDirect} {
 		if r.PerOracle[o] == 0 {
 			t.Fatalf("oracle family %q ran zero checks", o)
 		}

@@ -4,13 +4,14 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/direct"
 	"repro/internal/machines/ultra"
 	"repro/internal/sim"
 	"repro/internal/sweep"
 	"repro/internal/vn"
 )
 
-// Oracle names the seven check families.
+// Oracle names the eight check families.
 type Oracle string
 
 // Oracle families.
@@ -22,6 +23,7 @@ const (
 	OracleParallel    Oracle = "parallel-equivalence"
 	OracleCompiled    Oracle = "compiled-equivalence"
 	OracleCheckpoint  Oracle = "checkpoint-equivalence"
+	OracleDirect      Oracle = "direct-equivalence"
 )
 
 // Violation is one failed check, carrying enough to reproduce it.
@@ -104,7 +106,7 @@ func (c *counter) fail(o Oracle, machine string, err error) {
 	c.check(o, machine, false, func() string { return err.Error() })
 }
 
-// CheckSeed generates workload seed and runs all seven oracle families
+// CheckSeed generates workload seed and runs all eight oracle families
 // over the machine fleet, returning every violation (empty means the
 // fleet conforms on this program).
 func CheckSeed(seed uint64) []Violation {
@@ -130,6 +132,7 @@ func checkSeed(seed uint64) (*counter, []Violation) {
 	checkParallel(ct, c)
 	checkCompiled(ct, c)
 	checkCheckpoint(ct, c)
+	checkDirect(ct, c)
 	return ct, ct.vs
 }
 
@@ -460,6 +463,52 @@ func checkCompiled(ct *counter, c *compiled) {
 	}
 }
 
+// --- oracle 8: direct-execution equivalence ---------------------------
+
+// directRun executes the program on the direct-execution oracle backend
+// and returns its single integer result plus the firing count. It is a
+// package variable so the harness-teeth test can doctor it; production
+// code must never reassign it.
+var directRun = func(c *compiled) (int64, uint64, error) {
+	x := direct.New(c.prog)
+	res, err := x.Run(c.args...)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(res) != 1 {
+		return 0, 0, fmt.Errorf("direct: %d results", len(res))
+	}
+	v, err := res[0].AsInt()
+	return v, x.Fired(), err
+}
+
+// checkDirect pins the direct-execution backend to the fleet: its answer
+// must equal the workload's closed form (which the result oracle already
+// ties to every machine, so agreement is transitive across the fleet) and
+// its firing count must equal the reference interpreter's — the firing
+// multiset of a dataflow graph is schedule-invariant, so the depth-first
+// direct schedule and the breadth-first interpreter waves must fire
+// exactly the same activity instances.
+func checkDirect(ct *counter, c *compiled) {
+	want := c.w.Expected()
+	got, fired, err := directRun(c)
+	if err != nil {
+		ct.fail(OracleDirect, "direct", err)
+		return
+	}
+	ct.check(OracleDirect, "direct", got == want, func() string {
+		return fmt.Sprintf("direct backend got %d, want %d (%s)", got, want, c.w)
+	})
+	_, it, err := runInterp(c)
+	if err != nil {
+		ct.fail(OracleDirect, "direct/firings", err)
+		return
+	}
+	ct.check(OracleDirect, "direct/firings", fired == it.Fired(), func() string {
+		return fmt.Sprintf("direct backend fired %d activity instances, interpreter fired %d (%s)", fired, it.Fired(), c.w)
+	})
+}
+
 // --- sweep -----------------------------------------------------------
 
 // Sweep checks seeds [0, n) and aggregates.
@@ -495,7 +544,7 @@ func SweepOpts(n, workers int) Report {
 func (r Report) Summary() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "conformance: %d programs, %d checks", r.Programs, r.Checks)
-	for _, o := range []Oracle{OracleResult, OracleDeterminism, OracleMetamorphic, OracleHonesty, OracleParallel, OracleCompiled, OracleCheckpoint} {
+	for _, o := range []Oracle{OracleResult, OracleDeterminism, OracleMetamorphic, OracleHonesty, OracleParallel, OracleCompiled, OracleCheckpoint, OracleDirect} {
 		fmt.Fprintf(&b, ", %s=%d", o, r.PerOracle[o])
 	}
 	if len(r.Violations) == 0 {

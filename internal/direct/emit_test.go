@@ -1,0 +1,129 @@
+package direct
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/id"
+	"repro/internal/token"
+	"repro/internal/workload"
+)
+
+// runEmitted emits prog as standalone Go source, writes it to a temp
+// module-free directory, and executes it with `go run`, returning stdout
+// lines, stderr, and the exit error (nil on success).
+func runEmitted(t *testing.T, prog *graph.Program, args ...string) ([]string, string, error) {
+	t.Helper()
+	src, err := EmitGo(prog)
+	if err != nil {
+		t.Fatalf("EmitGo: %v", err)
+	}
+	dir := t.TempDir()
+	file := filepath.Join(dir, "main.go")
+	if err := os.WriteFile(file, src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "run", file)
+	cmd.Args = append(cmd.Args, args...)
+	var out, errb strings.Builder
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	runErr := cmd.Run()
+	var lines []string
+	if s := strings.TrimRight(out.String(), "\n"); s != "" {
+		lines = strings.Split(s, "\n")
+	}
+	return lines, errb.String(), runErr
+}
+
+// TestEmitGoMatchesInterpreter runs emitted standalone programs and demands
+// their stdout equals the interpreter's results line for line.
+func TestEmitGoMatchesInterpreter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping go-run of emitted source")
+	}
+	cases := []struct {
+		name string
+		src  string
+		args []token.Value
+		cli  []string
+	}{
+		{"sumloop", workload.SumLoopID, []token.Value{token.Int(1000)}, []string{"1000"}},
+		{"fib", workload.FibID, []token.Value{token.Int(12)}, []string{"12"}},
+		{"trapezoid", workload.TrapezoidID,
+			[]token.Value{token.Float(0), token.Float(1), token.Float(100)},
+			[]string{"0.0", "1.0", "100.0"}},
+		{"matmul", workload.MatMulID, []token.Value{token.Int(3)}, []string{"3"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prog, err := id.Compile(tc.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runArgs, err := id.EntryArgs(prog, tc.args)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := graph.NewInterp(prog).Run(runArgs...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, stderr, runErr := runEmitted(t, prog, tc.cli...)
+			if runErr != nil {
+				t.Fatalf("emitted program failed: %v\nstderr: %s", runErr, stderr)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("emitted printed %d results, interp returned %d\nstdout: %q", len(got), len(want), got)
+			}
+			for i := range want {
+				if got[i] != want[i].String() {
+					t.Fatalf("result %d: emitted %q, interp %q", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestEmitGoHiddenTrigger pins the zero-parameter-main convention: the
+// emitted program supplies the hidden trigger itself when run bare.
+func TestEmitGoHiddenTrigger(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping go-run of emitted source")
+	}
+	prog, err := id.Compile(`def main() = 6 * 7;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stderr, runErr := runEmitted(t, prog)
+	if runErr != nil {
+		t.Fatalf("emitted program failed: %v\nstderr: %s", runErr, stderr)
+	}
+	if len(got) != 1 || got[0] != "42" {
+		t.Fatalf("stdout = %q, want [42]", got)
+	}
+}
+
+// TestEmitGoFault pins fault behavior: a program the interpreter rejects at
+// run time must exit nonzero from the emitted binary with the same fault
+// named on stderr.
+func TestEmitGoFault(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping go-run of emitted source")
+	}
+	prog, err := id.Compile(`def main(n) = 1 / (n - n);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stderr, runErr := runEmitted(t, prog, "3")
+	if runErr == nil {
+		t.Fatalf("emitted program accepted a division by zero; stdout %q", got)
+	}
+	if !strings.Contains(stderr, "division by zero") {
+		t.Fatalf("stderr %q lacks the fault name", stderr)
+	}
+}

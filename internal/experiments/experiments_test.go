@@ -244,7 +244,7 @@ func TestE14Shape(t *testing.T) {
 		t.Fatalf("expected 1 table, got %d", len(r.Tables))
 	}
 	rows := r.Tables[0].Rows
-	if len(rows) != 7 {
+	if len(rows) != 8 {
 		t.Fatalf("expected one row per oracle family, got %d", len(rows))
 	}
 	for _, row := range rows {

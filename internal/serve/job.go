@@ -1,13 +1,14 @@
 // Package serve turns the reproduction into a long-running simulation
 // service: an HTTP/JSON API that accepts MiniID or vn assembly programs
-// (or named experiments), runs them on a chosen machine model through a
+// (or named experiments, or the cycle-free direct oracle backend for
+// result-only traffic), runs them on a chosen machine model through a
 // bounded worker pool, coalesces concurrent identical submissions into
 // one execution, and caches results content-addressed by a canonical
 // hash of (program, machine, config, code version).
 //
 // The design leans on the repository's central property: every
 // simulation is deterministic, bit-for-bit, at any shard count, window
-// setting, or execution mode (the conformance suite's seven oracle
+// setting, or execution mode (the conformance suite's eight oracle
 // families enforce it). Determinism is what makes the cache exact — a
 // hit is not an approximation of a rerun, it *is* the rerun, byte for
 // byte — and what makes coalescing safe: concurrent identical
@@ -71,8 +72,8 @@ type JobSpec struct {
 	// Program is MiniID or vn assembly source, per Kind.
 	Program string `json:"program,omitempty"`
 	Kind    string `json:"kind,omitempty"`
-	// Machine names the model to run Program on: interp, ttda, vn,
-	// cmmp, cmstar, ultra, hep.
+	// Machine names the model to run Program on: interp, direct, ttda,
+	// vn, cmmp, cmstar, ultra, hep.
 	Machine string `json:"machine,omitempty"`
 	// Args are the integer entry arguments of a MiniID program's main.
 	Args []int64 `json:"args,omitempty"`
@@ -99,6 +100,7 @@ func errf(status int, format string, args ...interface{}) *apiError {
 // executes. Absence means an unknown machine (404).
 var machineKind = map[string]string{
 	"interp": KindMiniID,
+	"direct": KindMiniID,
 	"ttda":   KindMiniID,
 	"vn":     KindVNAsm,
 	"cmmp":   KindVNAsm,
@@ -162,7 +164,7 @@ func (s *JobSpec) normalize() error {
 	combining, compiled := c.Combining, c.Compiled
 	*c = Config{MaxCycles: c.MaxCycles}
 	switch s.Machine {
-	case "interp":
+	case "interp", "direct":
 		// Host-side evaluation: no machine knobs at all.
 	case "ttda":
 		c.PEs, c.NetLatency = pes, netLat

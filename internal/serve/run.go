@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/conformance"
 	"repro/internal/core"
+	"repro/internal/direct"
 	"repro/internal/experiments"
 	"repro/internal/graph"
 	"repro/internal/id"
@@ -81,6 +82,8 @@ func runJob(ctx context.Context, spec *JobSpec) (*RunResult, error) {
 	switch spec.Machine {
 	case "interp":
 		return runInterpJob(spec)
+	case "direct":
+		return runDirectJob(spec)
 	case "ttda":
 		return runTTDAJob(ctx, spec)
 	case "vn":
@@ -140,6 +143,31 @@ func runInterpJob(spec *JobSpec) (*RunResult, error) {
 		"tokens":          it.Tokens(),
 		"critical_path":   uint64(it.Depth()),
 		"max_parallelism": uint64(it.MaxParallelism()),
+	}}
+	for _, v := range res {
+		out.Results = append(out.Results, v.String())
+	}
+	return out, nil
+}
+
+// runDirectJob serves result-only traffic on the direct-execution oracle
+// backend: no cycle model, no engine, just the program's answer at native
+// Go speed. MaxCycles bounds instruction firings here — the backend's
+// only notion of time — so runaway programs still 422 instead of holding
+// a worker.
+func runDirectJob(spec *JobSpec) (*RunResult, error) {
+	prog, args, err := compileID(spec)
+	if err != nil {
+		return nil, err
+	}
+	x := direct.New(prog)
+	x.SetMaxSteps(spec.Config.MaxCycles)
+	res, err := x.Run(args...)
+	if err != nil {
+		return nil, errf(http.StatusUnprocessableEntity, "direct: %v", err)
+	}
+	out := &RunResult{Machine: spec.Machine, Stats: map[string]uint64{
+		"fired": x.Fired(),
 	}}
 	for _, v := range res {
 		out.Results = append(out.Results, v.String())
